@@ -1,0 +1,1 @@
+bench/fixtures.ml: Array Hoiho_geo Hoiho_geodb Hoiho_itdk List Printf String

@@ -1,0 +1,758 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (§6) on synthetic datasets, printing measured values next
+   to the paper's, plus bechamel micro-benchmarks of the core machinery.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- --list       -- list experiment ids
+     dune exec bench/main.exe -- -e fig9      -- run one experiment
+     dune exec bench/main.exe -- --quick      -- small datasets (CI) *)
+
+module Generate = Hoiho_netsim.Generate
+module Presets = Hoiho_netsim.Presets
+module Truth = Hoiho_netsim.Truth
+module Oper = Hoiho_netsim.Oper
+module Dataset = Hoiho_itdk.Dataset
+module Router = Hoiho_itdk.Router
+module Pipeline = Hoiho.Pipeline
+module Ncsel = Hoiho.Ncsel
+module Evalx = Hoiho.Evalx
+module Plan = Hoiho.Plan
+module Cand = Hoiho.Cand
+module Learned = Hoiho.Learned
+module City = Hoiho_geodb.City
+module Validate = Hoiho_validate.Validate
+module Analysis = Hoiho_validate.Analysis
+module Stat = Hoiho_util.Stat
+
+(* --- shared, lazily computed state --- *)
+
+type run = { ds : Dataset.t; truth : Truth.t; pipeline : Pipeline.t Lazy.t }
+
+let quick = ref false
+let runs : (string, run) Hashtbl.t = Hashtbl.create 4
+
+let presets () =
+  if !quick then
+    [ ("Aug '20 IPv4", Presets.tiny ~seed:20200801 ());
+      ("Mar '21 IPv4", Presets.tiny ~seed:20210301 ());
+      ("Nov '20 IPv6", Presets.tiny ~seed:20201101 ());
+      ("Mar '21 IPv6", Presets.tiny ~seed:20210302 ()) ]
+  else
+    List.map (fun (c : Generate.config) -> (c.Generate.label, c)) (Presets.all ())
+
+let run_for label =
+  match Hashtbl.find_opt runs label with
+  | Some r -> (r.ds, r.truth, Lazy.force r.pipeline)
+  | None ->
+      let config = List.assoc label (presets ()) in
+      let config = { config with Generate.label } in
+      let ds, truth = Generate.generate config in
+      let r = { ds; truth; pipeline = lazy (Pipeline.run ~db:(Truth.db truth) ds) } in
+      Hashtbl.replace runs label r;
+      (ds, truth, Lazy.force r.pipeline)
+
+let dataset_for label =
+  match Hashtbl.find_opt runs label with
+  | Some r -> r.ds
+  | None ->
+      let ds, _, _ = run_for label in
+      ds
+
+let aug20 = "Aug '20 IPv4"
+let all_labels = [ "Aug '20 IPv4"; "Mar '21 IPv4"; "Nov '20 IPv6"; "Mar '21 IPv6" ]
+
+(* --- table 1 --- *)
+
+let table1 () =
+  Report.section "Table 1: summary of ITDKs";
+  let rows =
+    List.map
+      (fun label ->
+        let ds = dataset_for label in
+        let n = Dataset.n_routers ds in
+        [
+          label;
+          string_of_int n;
+          Report.fmt_count_pct (Dataset.n_with_hostname ds) n;
+          Report.fmt_count_pct (Dataset.n_responsive ds) n;
+          string_of_int (Array.length ds.Dataset.vps);
+        ])
+      all_labels
+  in
+  Report.table
+    ~header:[ "dataset"; "routers"; "w/ hostnames"; "w/ RTT"; "VPs" ]
+    rows;
+  Report.note "paper: 2.56M/2.57M IPv4 and 559K/525K IPv6 routers; hostnames";
+  Report.note "55.0/54.1/15.1/16.0%%; RTT 81.9/81.7/47.3/45.2%%; VPs 106/100/46/39.";
+  Report.note "(synthetic datasets are ~1/40 of the paper's scale; the";
+  Report.note "percentages are the comparable quantity)"
+
+(* --- figure 5 --- *)
+
+let fig5 () =
+  Report.section "Figure 5: ping vs traceroute RTT measurements";
+  let ds = dataset_for aug20 in
+  Report.subsection "(a) CDF of min RTT per router: ping vs traceroute";
+  Report.table
+    ~header:[ "<= ms"; "ping CDF"; "traceroute CDF" ]
+    (List.map
+       (fun (th, ping, trace) ->
+         [ Printf.sprintf "%.0f" th; Printf.sprintf "%.3f" ping; Printf.sprintf "%.3f" trace ])
+       (Analysis.fig5a ds));
+  let pings, traces =
+    Array.to_list ds.Dataset.routers
+    |> List.filter_map (fun (r : Router.t) ->
+           match (Router.min_ping_rtt r, Router.min_trace_rtt r) with
+           | Some (_, p), Some (_, t) -> Some (p, t)
+           | _ -> None)
+    |> List.split
+  in
+  let mp = Stat.median pings and mt = Stat.median traces in
+  Report.paper_vs "median min ping RTT" "16 ms" (Printf.sprintf "%.0f ms" mp);
+  Report.paper_vs "median min traceroute RTT" "68 ms" (Printf.sprintf "%.0f ms" mt);
+  Report.paper_vs "traceroute / ping ratio" "4.25x" (Printf.sprintf "%.2fx" (mt /. mp));
+  Report.subsection "(b) CDF of number of VPs observing each router";
+  Report.table
+    ~header:[ "<= k VPs"; "traceroute CDF"; "ping CDF" ]
+    (List.map
+       (fun (k, trace, ping) ->
+         [ string_of_int k; Printf.sprintf "%.3f" trace; Printf.sprintf "%.3f" ping ])
+       (Analysis.fig5b ds));
+  let one_vp =
+    Stat.fraction
+      (fun (r : Router.t) -> List.length r.Router.trace_rtts = 1)
+      (Array.to_list ds.Dataset.routers
+      |> List.filter (fun (r : Router.t) -> r.Router.ping_rtts <> []))
+  in
+  Report.paper_vs "routers seen by 1 VP in traceroute" "35.8%"
+    (Printf.sprintf "%.1f%%" (100.0 *. one_vp))
+
+(* --- table 2 --- *)
+
+let table2 () =
+  Report.section "Table 2: coverage of usable naming conventions";
+  let rows =
+    List.map
+      (fun label ->
+        let _, _, p = run_for label in
+        let c = Analysis.coverage p in
+        [
+          label;
+          string_of_int c.Analysis.total;
+          Report.fmt_count_pct c.Analysis.with_hostname c.Analysis.total;
+          Report.fmt_count_pct c.Analysis.with_apparent c.Analysis.total;
+          Report.fmt_count_pct c.Analysis.geolocated c.Analysis.total;
+        ])
+      all_labels
+  in
+  Report.table
+    ~header:[ "dataset"; "total"; "with hostname"; "w/ apparent geohint"; "geolocated" ]
+    rows;
+  Report.note "paper (Aug '20 IPv4): hostname 55.0%%, apparent 8.8%%, geolocated 7.6%%;";
+  Report.note "paper (Nov '20 IPv6): hostname 15.1%%, apparent 5.3%%, geolocated 4.7%%."
+
+(* --- table 3 --- *)
+
+let table3 () =
+  Report.section "Table 3: classification of naming conventions";
+  let rows =
+    List.map
+      (fun label ->
+        let _, _, p = run_for label in
+        let k = Analysis.classifications p in
+        let total = k.Analysis.good + k.Analysis.promising + k.Analysis.poor in
+        [
+          label;
+          Report.fmt_count_pct k.Analysis.good total;
+          Report.fmt_count_pct k.Analysis.promising total;
+          Report.fmt_count_pct k.Analysis.poor total;
+          string_of_int total;
+        ])
+      all_labels
+  in
+  Report.table ~header:[ "dataset"; "good"; "promising"; "poor"; "total" ] rows;
+  Report.note "paper (Aug '20 IPv4): good 43.6%%, promising 6.1%%, poor 50.4%% of 1825;";
+  Report.note "paper (Nov '20 IPv6): good 56.4%%, promising 4.9%%, poor 38.7%% of 346."
+
+(* --- table 4 --- *)
+
+let annot_name = function
+  | Analysis.A_none -> "none"
+  | Analysis.A_state -> "state"
+  | Analysis.A_country -> "country"
+  | Analysis.A_both -> "both"
+
+let table4 () =
+  Report.section "Table 4: geohint types and state/country annotations (usable NCs)";
+  let _, _, p = run_for aug20 in
+  let rows, mixed = Analysis.table4 p in
+  let order (r : Analysis.type_breakdown) =
+    ( (match r.Analysis.hint_type with
+      | Plan.Iata -> 0 | Plan.CityName -> 1 | Plan.Clli -> 2
+      | Plan.Locode -> 3 | Plan.FacilityAddr -> 4 | Plan.Icao -> 5),
+      annot_name r.Analysis.annot )
+  in
+  let sorted = List.sort (fun a b -> compare (order a) (order b)) rows in
+  Report.table
+    ~header:[ "geohint"; "annotation"; "good"; "promising" ]
+    (List.map
+       (fun (r : Analysis.type_breakdown) ->
+         [
+           Plan.hint_type_name r.Analysis.hint_type;
+           annot_name r.Analysis.annot;
+           string_of_int r.Analysis.n_good;
+           string_of_int r.Analysis.n_promising;
+         ])
+       sorted);
+  Report.note "NCs mixing geohint types: %d (paper: 31 of 795 good NCs)" mixed;
+  Report.note "paper (good NCs): IATA 51.7%% (23.6%% with state/country), city 38.9%%,";
+  Report.note "CLLI 12.1%%, LOCODE 1.3%%, facility 0.3%%."
+
+(* --- figure 9 --- *)
+
+let fig9 () =
+  Report.section "Figure 9: router geolocation, Hoiho vs HLOC vs DRoP vs undns";
+  let _, truth, p = run_for aug20 in
+  let suffixes = Oper.validation_suffixes in
+  let cmps = Validate.compare_methods p truth ~suffixes in
+  let cell (s : Validate.scores) =
+    Printf.sprintf "%3.0f/%3.0f/%3.0f" (Validate.tp_pct s) (Validate.fp_pct s)
+      (Validate.fn_pct s)
+  in
+  Report.table
+    ~header:[ "suffix"; "n"; "hoiho tp/fp/fn%"; "hloc"; "drop"; "undns" ]
+    (List.map
+       (fun (c : Validate.comparison) ->
+         [ c.Validate.suffix; string_of_int c.Validate.n; cell c.Validate.hoiho;
+           cell c.Validate.hloc; cell c.Validate.drop; cell c.Validate.undns ])
+       cmps);
+  let mean get =
+    List.fold_left (fun a c -> a +. Validate.tp_pct (get c)) 0.0 cmps
+    /. float_of_int (List.length cmps)
+  in
+  Report.paper_vs "hoiho average correct" "94.0%"
+    (Printf.sprintf "%.1f%%" (mean (fun (c : Validate.comparison) -> c.Validate.hoiho)));
+  Report.paper_vs "hloc average correct" "73.1%"
+    (Printf.sprintf "%.1f%%" (mean (fun (c : Validate.comparison) -> c.Validate.hloc)));
+  Report.paper_vs "drop average correct" "56.6%"
+    (Printf.sprintf "%.1f%%" (mean (fun (c : Validate.comparison) -> c.Validate.drop)));
+  let agg get =
+    List.fold_left
+      (fun (tp, fp) (c : Validate.comparison) ->
+        let s = get c in
+        (tp + s.Validate.tp, fp + s.Validate.fp))
+      (0, 0) cmps
+  in
+  let ppv (tp, fp) = Report.pct tp (tp + fp) in
+  Report.paper_vs "PPV undns" "98.3%"
+    (Printf.sprintf "%.1f%%" (ppv (agg (fun c -> c.Validate.undns))));
+  Report.paper_vs "PPV hoiho" "95.6%"
+    (Printf.sprintf "%.1f%%" (ppv (agg (fun c -> c.Validate.hoiho))));
+  Report.paper_vs "PPV drop" "87.2%"
+    (Printf.sprintf "%.1f%%" (ppv (agg (fun c -> c.Validate.drop))));
+  Report.paper_vs "PPV hloc" "85.1%"
+    (Printf.sprintf "%.1f%%" (ppv (agg (fun c -> c.Validate.hloc))))
+
+(* --- table 5 --- *)
+
+let table5 () =
+  Report.section "Table 5: most frequently learned three-letter geohints";
+  let _, _, p = run_for aug20 in
+  let rows = Analysis.table5 ~top:8 p in
+  Report.table
+    ~header:[ "hint"; "#sfx"; "location"; "iata?"; "alternatives" ]
+    (List.map
+       (fun (r : Analysis.learned_freq) ->
+         [
+           r.Analysis.hint;
+           string_of_int r.Analysis.n_suffixes;
+           City.describe r.Analysis.city;
+           (if r.Analysis.in_iata_dict then "(x)" else "");
+           String.concat ", "
+             (List.map (fun (c, n) -> Printf.sprintf "%s:%d" c n) r.Analysis.alternatives);
+         ])
+       rows);
+  Report.note "paper: ash:12 (Ashburn), tor:10 (Toronto), wdc:9 (Washington),";
+  Report.note "tok:8 (Tokyo), zur:8 (Zurich), ldn:7 (London); 4 of 6 collide with";
+  Report.note "IATA codes ((x) marks a collision)."
+
+(* --- table 6 --- *)
+
+let table6 () =
+  Report.section "Table 6: validation of learned geohints per suffix";
+  let _, truth, p = run_for aug20 in
+  let suffixes = Oper.validation_suffixes in
+  let checks = Validate.check_learned p truth ~suffixes in
+  let rows =
+    List.filter_map
+      (fun suffix ->
+        let of_suffix =
+          List.filter
+            (fun (c : Validate.learned_check) -> c.Validate.suffix = suffix)
+            checks
+        in
+        if of_suffix = [] then None
+        else begin
+          let ok =
+            List.length
+              (List.filter (fun (c : Validate.learned_check) -> c.Validate.ok) of_suffix)
+          in
+          let n = List.length of_suffix in
+          Some [ suffix; Printf.sprintf "%d/%d" ok n; Report.fmt_pct ok n ]
+        end)
+      suffixes
+  in
+  Report.table ~header:[ "suffix"; "verified"; "fraction" ] rows;
+  let ok =
+    List.length (List.filter (fun (c : Validate.learned_check) -> c.Validate.ok) checks)
+  in
+  let n = List.length checks in
+  Report.paper_vs "overall verified learned geohints" "92/117 (78.6%)"
+    (Printf.sprintf "%d/%d (%s)" ok n (Report.fmt_pct ok n));
+  List.iter
+    (fun (c : Validate.learned_check) ->
+      if not c.Validate.ok then
+        Report.note "  wrong: %s %S learned as %s (operator meant %s)" c.Validate.suffix
+          c.Validate.hint
+          (City.describe c.Validate.learned_city)
+          (Option.value c.Validate.true_city_key ~default:"<not a geohint>"))
+    checks
+
+(* --- figure 10 --- *)
+
+let fig10 () =
+  Report.section "Figure 10: properties of learned geohints";
+  let _, _, p = run_for aug20 in
+  let prox = Analysis.fig10a p in
+  let frac_within ms = Stat.fraction (fun x -> x <= ms) prox in
+  Report.subsection "(a) best-case RTT from the closest VP to learned locations";
+  Report.table
+    ~header:[ "<= ms"; "CDF" ]
+    (List.map
+       (fun th -> [ Printf.sprintf "%.0f" th; Printf.sprintf "%.3f" (frac_within th) ])
+       [ 2.; 5.; 10.; 22.; 50. ]);
+  Report.paper_vs "learned hints within 10 ms of a VP" "48.6%"
+    (Printf.sprintf "%.1f%%" (100.0 *. frac_within 10.0));
+  Report.paper_vs "learned hints within 22 ms of a VP" "80%"
+    (Printf.sprintf "%.1f%%" (100.0 *. frac_within 22.0));
+  Report.subsection "(b) distance from learned location to same-code airport";
+  let dists = Analysis.fig10b p in
+  if dists = [] then Report.note "no learned hints collide with airport codes in this run"
+  else begin
+    let far = Stat.fraction (fun d -> d > 1000.0) dists in
+    Report.paper_vs "collisions >1000 km from the airport" "93.5%"
+      (Printf.sprintf "%.1f%%" (100.0 *. far));
+    Report.paper_vs "median distance to same-code airport" ">=7600 km"
+      (Printf.sprintf "%.0f km" (Stat.median dists))
+  end
+
+(* --- figure 11 --- *)
+
+let fig11 () =
+  Report.section "Figure 11: learned-geohint correctness vs VP proximity";
+  let _, truth, p = run_for aug20 in
+  let entries = Analysis.fig11 p truth ~suffixes:Oper.validation_suffixes in
+  Report.table
+    ~header:[ "closest VP <= ms"; "n"; "correct" ]
+    (List.map
+       (fun th ->
+         let within = List.filter (fun (x, _) -> x <= th) entries in
+         [
+           Printf.sprintf "%.0f" th;
+           string_of_int (List.length within);
+           Printf.sprintf "%.0f%%" (100.0 *. Analysis.accuracy_at th entries);
+         ])
+       [ 7.; 11.; 16.; 50. ]);
+  Report.note "paper: 90%% correct at <=7 ms, 84%% at <=11 ms, 80%% at <=16 ms;";
+  Report.note "closer VPs produce more reliable learned geohints."
+
+(* --- ablation --- *)
+
+let ablation () =
+  Report.section "Ablation: value of learning operator geohints (stage 4)";
+  let ds, truth, _ = run_for aug20 in
+  let a = Analysis.ablation ~db:(Truth.db truth) ds ~suffixes:Oper.validation_suffixes in
+  let line (s : Validate.scores) =
+    Printf.sprintf "correct %.1f%%  PPV %.1f%%" (Validate.tp_pct s)
+      (100.0 *. Validate.ppv s)
+  in
+  Report.paper_vs "with learned geohints" "94.0% / 95.6%" (line a.Analysis.with_learning);
+  Report.paper_vs "without learned geohints" "82.4% / 94.5%"
+    (line a.Analysis.without_learning)
+
+(* --- CBG feasibility (Cai 2015) --- *)
+
+let cai () =
+  Report.section "Cai 2015: fraction of inferred locations outside CBG bounds";
+  let _, truth, p = run_for aug20 in
+  (* evaluate across every geohint-embedding suffix, as Cai probed
+     DRoP's full published dataset *)
+  let f = Analysis.cai_feasibility p ~suffixes:(Truth.geo_suffixes truth) in
+  Report.paper_vs "DRoP locations outside feasible region" "46%"
+    (Printf.sprintf "%.1f%% (of %d)" (100.0 *. f.Analysis.drop_infeasible) f.Analysis.n_drop);
+  Report.paper_vs "Hoiho locations outside feasible region" "(small)"
+    (Printf.sprintf "%.1f%% (of %d)" (100.0 *. f.Analysis.hoiho_infeasible) f.Analysis.n_hoiho);
+  Report.note "DRoP interprets dictionaries verbatim, so repurposed codes";
+  Report.note "(\"ash\" meaning Ashburn) decode to places the speed of light rules out."
+
+(* --- stale-hostname detection (section 7) --- *)
+
+let stale () =
+  Report.section "Stale-hostname detection (section 7, Zhang 2006 mitigation)";
+  let _, _, p = run_for aug20 in
+  let a = Analysis.stale_accuracy p in
+  Report.note "flagged %d hostnames as stale across all usable NCs" a.Hoiho.Stale.flagged;
+  Report.note "truly stale among flagged: %d (precision %.1f%%)" a.Hoiho.Stale.true_stale
+    (100.0 *. Hoiho.Stale.precision a);
+  Report.note "stale hostnames present: %d (recall %.1f%%)" a.Hoiho.Stale.actual_stale
+    (100.0 *. Hoiho.Stale.recall a);
+  Report.note "(the paper cites Zhang 2006: ~0.5%% of a large network's";
+  Report.note "hostnames carried incorrect geohints)"
+
+(* --- ASN conventions (platform capability, section 3.4) --- *)
+
+let asn () =
+  Report.section "ASN-extraction conventions (the Hoiho platform, section 3.4)";
+  let ds, truth, _ = run_for aug20 in
+  let groups = Dataset.by_suffix ds in
+  let learned =
+    List.filter_map
+      (fun (suffix, routers) ->
+        let samples = Hoiho.Asnconv.samples_of_routers routers ~suffix in
+        match Hoiho.Asnconv.learn ~suffix samples with
+        | Some t when Hoiho.Asnconv.usable t -> Some (suffix, t)
+        | _ -> None)
+      groups
+  in
+  Report.note "usable ASN conventions learned for %d suffixes" (List.length learned);
+  let tp, fp, fn =
+    List.fold_left
+      (fun (tp, fp, fn) (_, (t : Hoiho.Asnconv.t)) ->
+        ( tp + t.Hoiho.Asnconv.counts.Hoiho.Asnconv.tp,
+          fp + t.Hoiho.Asnconv.counts.Hoiho.Asnconv.fp,
+          fn + t.Hoiho.Asnconv.counts.Hoiho.Asnconv.fn ))
+      (0, 0, 0) learned
+  in
+  Report.note "hostnames with ASN extracted correctly: %d (fp %d, fn %d)" tp fp fn;
+  (match learned with
+  | (suffix, t) :: _ ->
+      Report.note "e.g. %s: %s" suffix t.Hoiho.Asnconv.source;
+      (match Truth.find truth suffix with
+      | Some op ->
+          Report.note "     operator's own ASN: %d" op.Hoiho_netsim.Oper.asn
+      | None -> ())
+  | [] -> ());
+  Report.note "(not a table of this paper: the ASN capability is the IMC 2020";
+  Report.note "feature of the Hoiho framework the paper builds on)"
+
+(* --- spoofing-VP detection (section 5.1.4 future work) --- *)
+
+let spoof () =
+  Report.section "Spoofing-VP detection (section 5.1.4 future work)";
+  let base = List.assoc aug20 (presets ()) in
+  let config =
+    { base with Generate.label = aug20 ^ " +spoof"; n_spoofing_vps = 7 }
+  in
+  let ds, truth = Generate.generate config in
+  let flagged = Hoiho.Vpfilter.detect ds in
+  Report.note "VPs with spoofed measurements injected: 7 (the paper found 7)";
+  Report.note "VPs flagged by disc-compatibility scoring: %d (%s)"
+    (List.length flagged)
+    (String.concat "," (List.map string_of_int flagged));
+  let db = Truth.db truth in
+  let score dataset =
+    let p = Pipeline.run ~db dataset in
+    let suffixes = Oper.validation_suffixes in
+    let agg =
+      List.fold_left
+        (fun (tp, total) suffix ->
+          let gts = Validate.ground_truth_hostnames dataset ~suffix in
+          let s =
+            Validate.score
+              (fun gt -> Pipeline.geolocate p gt.Validate.hostname)
+              gts
+          in
+          (tp + s.Validate.tp, total + Validate.total s))
+        (0, 0) suffixes
+    in
+    Report.pct (fst agg) (snd agg)
+  in
+  Report.note "correct geolocations with spoofers present: %.1f%%" (score ds);
+  Report.note "after stripping flagged VPs:               %.1f%%"
+    (score (Hoiho.Vpfilter.strip ds flagged))
+
+(* --- router names (platform capability, IMC 2019) --- *)
+
+let names () =
+  Report.section "Router-name conventions (the Hoiho platform, IMC 2019)";
+  let ds, _, _ = run_for aug20 in
+  let groups = Dataset.by_suffix ds in
+  let learned =
+    List.filter_map
+      (fun (suffix, routers) ->
+        match Hoiho.Rname.learn ~suffix routers with
+        | Some t when Hoiho.Rname.usable t -> Some (suffix, t)
+        | _ -> None)
+      groups
+  in
+  Report.note "usable router-name conventions learned for %d suffixes"
+    (List.length learned);
+  let tp, fp =
+    List.fold_left
+      (fun (tp, fp) (_, (t : Hoiho.Rname.t)) ->
+        (tp + t.Hoiho.Rname.counts.Hoiho.Rname.tp,
+         fp + t.Hoiho.Rname.counts.Hoiho.Rname.fp))
+      (0, 0) learned
+  in
+  Report.note "multi-interface routers named consistently and uniquely: %d (fp %d)"
+    tp fp;
+  (match learned with
+  | (suffix, t) :: _ -> Report.note "e.g. %s: %s" suffix t.Hoiho.Rname.source
+  | [] -> ());
+  Report.note "(the IMC 2019 capability of the framework; completes the";
+  Report.note "names / ASNs / geolocation platform triple of section 3.4)"
+
+(* --- TBG anchoring (conclusion: "the most promising next step") --- *)
+
+let tbg () =
+  Report.section "TBG: naming-convention anchors geolocating adjacent routers";
+  let _, _, p = run_for aug20 in
+  let inferences, n_anchors = Hoiho.Tbg.coverage_gain p in
+  Report.note "anchors (routers geolocated by usable NCs): %d" n_anchors;
+  Report.note "additional routers geolocated via anchored neighbors: %d"
+    (List.length inferences);
+  let correct =
+    List.filter
+      (fun (inf : Hoiho.Tbg.inference) ->
+        match
+          Array.find_opt
+            (fun (r : Router.t) -> r.Router.id = inf.Hoiho.Tbg.router_id)
+            p.Pipeline.dataset.Dataset.routers
+        with
+        | Some { Router.truth = Some t; _ } ->
+            Validate.correct inf.Hoiho.Tbg.city t.Router.coord
+        | _ -> false)
+      inferences
+  in
+  Report.note "of which within 40 km of the true location: %d (%.1f%%)"
+    (List.length correct)
+    (Report.pct (List.length correct) (List.length inferences));
+  Report.note "(implements the paper's §3.1/§8 direction: regex-derived";
+  Report.note "locations as anchors for topology-based geolocation)"
+
+(* --- figure 13 --- *)
+
+let show_phase consist samples label cands =
+  Report.subsection label;
+  let scored =
+    List.map
+      (fun c ->
+        let counts, _ = Evalx.eval_cand consist Fixtures.db c samples in
+        (c, counts))
+      cands
+  in
+  let ranked =
+    List.sort (fun (_, a) (_, b) -> compare (Evalx.atp b) (Evalx.atp a)) scored
+  in
+  List.iteri
+    (fun i ((c : Cand.t), counts) ->
+      if i < 6 then
+        Printf.printf "  tp=%2d fp=%2d fn=%2d unk=%2d atp=%3d ppv=%3.0f%%  %s\n"
+          counts.Evalx.tp counts.Evalx.fp counts.Evalx.fn counts.Evalx.unk
+          (Evalx.atp counts)
+          (100.0 *. Evalx.ppv counts)
+          c.Cand.source)
+    ranked;
+  if List.length ranked > 6 then
+    Report.note "  ... and %d more candidates" (List.length ranked - 6)
+
+let fig13 () =
+  Report.section "Figure 13: regex generation phases on an alter.net-style suffix";
+  let ds, routers = Fixtures.alter_net () in
+  let consist = Hoiho.Consist.create ds in
+  let samples =
+    Hoiho.Apparent.build_samples consist Fixtures.db ~suffix:"alter.net" routers
+  in
+  let tagged =
+    List.filter (fun (s : Hoiho.Apparent.sample) -> s.Hoiho.Apparent.tags <> []) samples
+  in
+  Report.note "%d hostnames, %d with apparent geohints" (List.length samples)
+    (List.length tagged);
+  let p1 = Hoiho.Regen.phase1 ~suffix:"alter.net" tagged in
+  show_phase consist samples "phase 1: base regexes" p1;
+  let p2 = Hoiho.Regen.phase2 p1 in
+  show_phase consist samples "phase 2: merged regexes (\\d+ -> \\d*)" p2;
+  let pool = Cand.dedup (p1 @ p2) in
+  let p3 = Hoiho.Regen.phase3 samples pool in
+  show_phase consist samples "phase 3: embedded character classes" p3;
+  match Ncsel.build consist Fixtures.db (Cand.dedup (pool @ p3)) samples with
+  | None -> Report.note "no NC built"
+  | Some nc ->
+      Report.subsection "phase 4: selected naming convention (regex set)";
+      List.iter (fun (c : Cand.t) -> Printf.printf "  %s\n" c.Cand.source) nc.Ncsel.cands;
+      Printf.printf "  tp=%d fp=%d fn=%d unk=%d atp=%d ppv=%.0f%%\n"
+        nc.Ncsel.counts.Evalx.tp nc.Ncsel.counts.Evalx.fp nc.Ncsel.counts.Evalx.fn
+        nc.Ncsel.counts.Evalx.unk (Evalx.atp nc.Ncsel.counts)
+        (100.0 *. Evalx.ppv nc.Ncsel.counts);
+      Report.note "paper's NC #7 also combines IATA, CLLI and city-name regexes";
+      Report.note "to cover all of the operator's formats"
+
+(* --- figure 2 --- *)
+
+let fig2 () =
+  Report.section "Figure 2: DRoP's rigid rules vs Hoiho regexes (360.net style)";
+  let ds, routers = Fixtures.three_sixty_net () in
+  let consist = Hoiho.Consist.create ds in
+  let hostnames = List.concat_map (fun (r : Router.t) -> r.Router.hostnames) routers in
+  let drop = Hoiho_baselines.Drop.learn Fixtures.db ds in
+  let drop_matched =
+    List.filter (fun h -> Hoiho_baselines.Drop.infer drop Fixtures.db h <> None) hostnames
+  in
+  let result = Pipeline.run_suffix consist Fixtures.db ~suffix:"360.net" routers in
+  let hoiho_matched =
+    match result.Pipeline.nc with
+    | None -> []
+    | Some nc ->
+        List.filter
+          (fun h ->
+            List.exists
+              (fun (c : Cand.t) -> Hoiho_rx.Engine.matches c.Cand.regex h)
+              nc.Ncsel.cands)
+          hostnames
+  in
+  Report.note "hostnames in the suffix: %d (two different shapes)" (List.length hostnames);
+  (match Hoiho_baselines.Drop.find_rule drop "360.net" with
+  | Some rule ->
+      Report.note "DRoP rule: geohint at position %d from the end, exactly %d labels"
+        rule.Hoiho_baselines.Drop.pos_from_end rule.Hoiho_baselines.Drop.n_labels
+  | None -> Report.note "DRoP learned no rule");
+  Report.paper_vs "DRoP coverage" "3 of 7 hostnames"
+    (Printf.sprintf "%d of %d" (List.length drop_matched) (List.length hostnames));
+  (match result.Pipeline.nc with
+  | Some nc ->
+      List.iter
+        (fun (c : Cand.t) -> Printf.printf "  hoiho: %s\n" c.Cand.source)
+        nc.Ncsel.cands
+  | None -> ());
+  Report.paper_vs "Hoiho coverage" "7 of 7 hostnames"
+    (Printf.sprintf "%d of %d" (List.length hoiho_matched) (List.length hostnames))
+
+(* --- micro-benchmarks --- *)
+
+let micro () =
+  Report.section "Micro-benchmarks (bechamel, ns per run)";
+  let open Bechamel in
+  let open Toolkit in
+  let regex =
+    Hoiho_rx.Engine.compile_exn
+      {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|}
+  in
+  let hostname = "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com" in
+  let ds, routers = Fixtures.alter_net () in
+  let consist = Hoiho.Consist.create ds in
+  let router0 = List.hd routers in
+  let host0 = List.hd router0.Router.hostnames in
+  let samples =
+    Hoiho.Apparent.build_samples consist Fixtures.db ~suffix:"alter.net" routers
+  in
+  let tagged =
+    List.filter (fun (s : Hoiho.Apparent.sample) -> s.Hoiho.Apparent.tags <> []) samples
+  in
+  let a = Hoiho_geo.Coord.make ~lat:51.47 ~lon:(-0.45) in
+  let b = Hoiho_geo.Coord.make ~lat:40.64 ~lon:(-73.78) in
+  let tests =
+    Test.make_grouped ~name:"hoiho" ~fmt:"%s.%s"
+      [
+        Test.make ~name:"regex-exec"
+          (Staged.stage (fun () -> ignore (Hoiho_rx.Engine.exec regex hostname)));
+        Test.make ~name:"haversine"
+          (Staged.stage (fun () -> ignore (Hoiho_geo.Coord.distance_km a b)));
+        Test.make ~name:"stage2-tag-hostname"
+          (Staged.stage (fun () ->
+               ignore
+                 (Hoiho.Apparent.tag_hostname consist Fixtures.db ~suffix:"alter.net"
+                    router0 host0)));
+        Test.make ~name:"stage3-phase1"
+          (Staged.stage (fun () -> ignore (Hoiho.Regen.phase1 ~suffix:"alter.net" tagged)));
+        Test.make ~name:"suffix-pipeline"
+          (Staged.stage (fun () ->
+               ignore
+                 (Pipeline.run_suffix consist Fixtures.db ~suffix:"alter.net" routers)));
+      ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1_000_000.0 then Printf.sprintf "%.2f ms" (est /. 1_000_000.0)
+            else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.0)
+            else Printf.sprintf "%.0f ns" est
+          in
+          rows := [ name; pretty ] :: !rows
+      | _ -> rows := [ name; "(no estimate)" ] :: !rows)
+    results;
+  Report.table ~header:[ "operation"; "time/run" ] (List.sort compare !rows)
+
+(* --- driver --- *)
+
+let experiments =
+  [
+    ("table1", "ITDK summaries", table1);
+    ("fig5", "ping vs traceroute RTTs", fig5);
+    ("table2", "coverage of usable NCs", table2);
+    ("table3", "NC classifications", table3);
+    ("table4", "geohint types and annotations", table4);
+    ("fig9", "method comparison vs baselines", fig9);
+    ("table5", "most frequently learned geohints", table5);
+    ("table6", "validation of learned geohints", table6);
+    ("fig10", "properties of learned geohints", fig10);
+    ("fig11", "learned-geohint correctness vs VP proximity", fig11);
+    ("ablation", "pipeline without stage 4", ablation);
+    ("cai", "CBG feasibility of DRoP vs Hoiho locations", cai);
+    ("stale", "stale-hostname detection accuracy", stale);
+    ("asn", "ASN-extraction conventions (platform, §3.4)", asn);
+    ("tbg", "topology anchoring coverage gain (§3.1, §8)", tbg);
+    ("names", "router-name conventions (platform, IMC 2019)", names);
+    ("spoof", "spoofing-VP detection (§5.1.4 future work)", spoof);
+    ("fig13", "regex generation phases", fig13);
+    ("fig2", "DRoP rigidity comparison", fig2);
+    ("micro", "bechamel micro-benchmarks", micro);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse selected = function
+    | [] -> selected
+    | "--quick" :: rest ->
+        quick := true;
+        parse selected rest
+    | "--list" :: _ ->
+        List.iter (fun (id, doc, _) -> Printf.printf "%-10s %s\n" id doc) experiments;
+        exit 0
+    | ("-e" | "--experiment") :: id :: rest -> parse (id :: selected) rest
+    | other :: _ ->
+        Printf.eprintf "unknown argument %s (try --list)\n" other;
+        exit 2
+  in
+  let selected = parse [] args in
+  let to_run =
+    if selected = [] then experiments
+    else List.filter (fun (id, _, _) -> List.mem id selected) experiments
+  in
+  if to_run = [] then begin
+    Printf.eprintf "no such experiment (try --list)\n";
+    exit 2
+  end;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, run) -> run ()) to_run;
+  Printf.printf "\n(%d experiment(s), %.1f s)\n" (List.length to_run)
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,36 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let hr width = String.make width '-'
+
+let section title =
+  let line = hr (String.length title + 8) in
+  Printf.printf "\n%s\n=== %s ===\n%s\n" line title line
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+(* columns are sized to the widest cell *)
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%-*s" (List.nth widths i) cell) row)
+  in
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n" (hr (String.length (render header)));
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows
+
+let pct n d = if d = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int d
+
+let fmt_pct n d = Printf.sprintf "%.1f%%" (pct n d)
+
+let fmt_count_pct n d = Printf.sprintf "%d (%s)" n (fmt_pct n d)
+
+let paper_vs name paper measured =
+  Printf.printf "  %-44s paper: %-12s measured: %s\n" name paper measured

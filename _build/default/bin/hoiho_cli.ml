@@ -1,0 +1,242 @@
+(* hoiho — learn geographic naming conventions from router hostnames.
+
+   Subcommands:
+     generate   synthesize an ITDK-style dataset and write it to a file
+     learn      run the five-stage pipeline and report naming conventions
+     geolocate  apply learned conventions to hostnames
+     compare    evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
+     lookup     consult the reference location dictionary *)
+
+open Cmdliner
+
+let preset_conv =
+  let parse s =
+    match s with
+    | "ipv4-aug20" -> Ok (Hoiho_netsim.Presets.ipv4_aug20 ())
+    | "ipv4-mar21" -> Ok (Hoiho_netsim.Presets.ipv4_mar21 ())
+    | "ipv6-nov20" -> Ok (Hoiho_netsim.Presets.ipv6_nov20 ())
+    | "ipv6-mar21" -> Ok (Hoiho_netsim.Presets.ipv6_mar21 ())
+    | "tiny" -> Ok (Hoiho_netsim.Presets.tiny ())
+    | other -> Error (`Msg (Printf.sprintf "unknown preset %S" other))
+  in
+  let print fmt (c : Hoiho_netsim.Generate.config) =
+    Format.pp_print_string fmt c.Hoiho_netsim.Generate.label
+  in
+  Arg.conv (parse, print)
+
+let preset_arg =
+  Arg.(
+    value
+    & opt preset_conv (Hoiho_netsim.Presets.tiny ())
+    & info [ "p"; "preset" ] ~docv:"PRESET"
+        ~doc:
+          "Dataset preset: ipv4-aug20, ipv4-mar21, ipv6-nov20, ipv6-mar21, or \
+           tiny.")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Override the preset's PRNG seed.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Read the dataset from $(docv) instead of generating one.")
+
+let apply_seed config = function
+  | None -> config
+  | Some seed -> { config with Hoiho_netsim.Generate.seed }
+
+let dataset_of config seed input =
+  match input with
+  | Some path -> (Hoiho_itdk.Io.load path, Hoiho_geodb.Db.default ())
+  | None ->
+      let ds, truth = Hoiho_netsim.Generate.generate (apply_seed config seed) in
+      (ds, Hoiho_netsim.Truth.db truth)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run config seed out =
+    let ds, _ = Hoiho_netsim.Generate.generate (apply_seed config seed) in
+    Hoiho_itdk.Io.save out ds;
+    Printf.printf "%s\nwrote %s\n" (Hoiho_itdk.Dataset.summary ds) out
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an ITDK-style dataset.")
+    Term.(const run $ preset_arg $ seed_arg $ out)
+
+(* --- learn --- *)
+
+let classification_name = function
+  | Some Hoiho.Ncsel.Good -> "good"
+  | Some Hoiho.Ncsel.Promising -> "promising"
+  | Some Hoiho.Ncsel.Poor -> "poor"
+  | None -> "-"
+
+let learn_cmd =
+  let suffix_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "suffix" ] ~docv:"SUFFIX" ~doc:"Only report this domain suffix.")
+  in
+  let show_regexes =
+    Arg.(value & flag & info [ "r"; "regexes" ] ~doc:"Print the regexes of each NC.")
+  in
+  let run config seed input suffix_filter show_regexes =
+    let ds, db = dataset_of config seed input in
+    let pipeline = Hoiho.Pipeline.run ~db ds in
+    let results =
+      match suffix_filter with
+      | None -> pipeline.Hoiho.Pipeline.results
+      | Some s -> List.filter (fun (r : Hoiho.Pipeline.suffix_result) -> r.suffix = s)
+                    pipeline.Hoiho.Pipeline.results
+    in
+    let shown =
+      List.filter (fun (r : Hoiho.Pipeline.suffix_result) -> r.n_tagged > 0) results
+    in
+    Printf.printf "%-30s %6s %6s %5s %5s %5s %5s %5s  %s\n" "suffix" "hosts"
+      "tagged" "tp" "fp" "fn" "unk" "lrn" "class";
+    List.iter
+      (fun (r : Hoiho.Pipeline.suffix_result) ->
+        let tp, fp, fn, unk =
+          match r.nc with
+          | Some nc ->
+              ( nc.Hoiho.Ncsel.counts.Hoiho.Evalx.tp,
+                nc.Hoiho.Ncsel.counts.Hoiho.Evalx.fp,
+                nc.Hoiho.Ncsel.counts.Hoiho.Evalx.fn,
+                nc.Hoiho.Ncsel.counts.Hoiho.Evalx.unk )
+          | None -> (0, 0, 0, 0)
+        in
+        Printf.printf "%-30s %6d %6d %5d %5d %5d %5d %5d  %s\n" r.suffix
+          r.n_samples r.n_tagged tp fp fn unk
+          (Hoiho.Learned.size r.learned)
+          (classification_name r.classification);
+        if show_regexes then begin
+          (match r.nc with
+          | Some nc ->
+              List.iter
+                (fun (c : Hoiho.Cand.t) ->
+                  Printf.printf "    %s    [%s]\n" c.Hoiho.Cand.source
+                    (Format.asprintf "%a" Hoiho.Plan.pp c.Hoiho.Cand.plan))
+                nc.Hoiho.Ncsel.cands
+          | None -> ());
+          List.iter
+            (fun (e : Hoiho.Learned.entry) ->
+              Printf.printf "    learned %-8s -> %s\n" e.Hoiho.Learned.hint
+                (Hoiho_geodb.City.describe e.Hoiho.Learned.city))
+            (Hoiho.Learned.entries r.learned)
+        end)
+      shown
+  in
+  Cmd.v
+    (Cmd.info "learn" ~doc:"Learn naming conventions from a dataset.")
+    Term.(const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes)
+
+(* --- geolocate --- *)
+
+let geolocate_cmd =
+  let hostnames =
+    Arg.(value & pos_all string [] & info [] ~docv:"HOSTNAME" ~doc:"Hostnames to locate.")
+  in
+  let run config seed input hostnames =
+    let ds, db = dataset_of config seed input in
+    let pipeline = Hoiho.Pipeline.run ~db ds in
+    List.iter
+      (fun hostname ->
+        match Hoiho.Pipeline.geolocate pipeline hostname with
+        | Some city ->
+            Printf.printf "%-50s %s\n" hostname (Hoiho_geodb.City.describe city)
+        | None -> Printf.printf "%-50s (no geolocation)\n" hostname)
+      hostnames
+  in
+  Cmd.v
+    (Cmd.info "geolocate" ~doc:"Apply learned conventions to hostnames.")
+    Term.(const run $ preset_arg $ seed_arg $ input_arg $ hostnames)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run config seed =
+    let config = apply_seed config seed in
+    let ds, truth = Hoiho_netsim.Generate.generate config in
+    let pipeline = Hoiho.Pipeline.run ~db:(Hoiho_netsim.Truth.db truth) ds in
+    let suffixes = Hoiho_netsim.Oper.validation_suffixes in
+    let cmps = Hoiho_validate.Validate.compare_methods pipeline truth ~suffixes in
+    let open Hoiho_validate.Validate in
+    Printf.printf "%-14s %5s | %-15s | %-15s | %-15s | %-15s\n" "suffix" "n"
+      "hoiho tp/fp/fn%" "hloc" "drop" "undns";
+    List.iter
+      (fun (c : comparison) ->
+        let f s = Printf.sprintf "%3.0f/%3.0f/%3.0f" (tp_pct s) (fp_pct s) (fn_pct s) in
+        Printf.printf "%-14s %5d | %-15s | %-15s | %-15s | %-15s\n" c.suffix c.n
+          (f c.hoiho) (f c.hloc) (f c.drop) (f c.undns))
+      cmps
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare Hoiho against HLOC, DRoP and undns.")
+    Term.(const run $ preset_arg $ seed_arg)
+
+(* --- report --- *)
+
+let report_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Directory for the pages.")
+  in
+  let run config seed input out =
+    let ds, db = dataset_of config seed input in
+    let pipeline = Hoiho.Pipeline.run ~db ds in
+    let n = Hoiho_validate.Webreport.write pipeline ~dir:out in
+    Printf.printf "wrote index.md and %d suffix pages to %s\n" n out
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render per-suffix pages of inferred conventions (the paper's website).")
+    Term.(const run $ preset_arg $ seed_arg $ input_arg $ out)
+
+(* --- lookup --- *)
+
+let lookup_cmd =
+  let code =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc:"Hint string.")
+  in
+  let run code =
+    let db = Hoiho_geodb.Db.default () in
+    let kinds =
+      [ Hoiho.Plan.Iata; Hoiho.Plan.Icao; Hoiho.Plan.Locode; Hoiho.Plan.Clli;
+        Hoiho.Plan.CityName; Hoiho.Plan.FacilityAddr ]
+    in
+    List.iter
+      (fun kind ->
+        match Hoiho.Dicts.lookup db kind code with
+        | [] -> ()
+        | cities ->
+            List.iter
+              (fun city ->
+                Printf.printf "%-8s %s\n"
+                  (Hoiho.Plan.hint_type_name kind)
+                  (Hoiho_geodb.City.describe city))
+              cities)
+      kinds
+  in
+  Cmd.v
+    (Cmd.info "lookup" ~doc:"Consult the reference location dictionary.")
+    Term.(const run $ code)
+
+let () =
+  let doc = "learn geographic naming conventions from router hostnames" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
+                    [ generate_cmd; learn_cmd; geolocate_cmd; compare_cmd; report_cmd; lookup_cmd ]))

@@ -1,0 +1,1 @@
+examples/asn_conventions.ml: Hoiho Hoiho_itdk Hoiho_netsim List Printf

@@ -1,0 +1,1 @@
+examples/asn_conventions.mli:

@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Hoiho Hoiho_netsim Hoiho_validate List Printf

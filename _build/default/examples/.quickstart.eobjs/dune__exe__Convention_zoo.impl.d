@@ -1,0 +1,1 @@
+examples/convention_zoo.ml: Hashtbl Hoiho Hoiho_netsim List Option Printf

@@ -1,0 +1,1 @@
+examples/custom_geohints.ml: Array Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim Hoiho_psl Hoiho_util List Printf String

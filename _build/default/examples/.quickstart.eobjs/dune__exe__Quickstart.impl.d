@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim List Printf

@@ -1,0 +1,1 @@
+examples/regex_phases.ml: Array Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim List Printf Sys

@@ -1,0 +1,1 @@
+examples/regex_phases.mli:

@@ -1,0 +1,49 @@
+(* The other thing hostnames encode: who operates the router.
+
+   The Hoiho platform this paper extends also learns ASN-extraction
+   conventions (§3.4, IMC 2020). Providers name customer interconnection
+   interfaces with the customer's AS number — "as15169-cust.gw1..." —
+   and BGP-derived IP2AS data supplies the training signal the way RTTs
+   do for geolocation.
+
+   Run with: dune exec examples/asn_conventions.exe *)
+
+module Asnconv = Hoiho.Asnconv
+
+let () =
+  let dataset, truth =
+    Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ())
+  in
+  let groups = Hoiho_itdk.Dataset.by_suffix dataset in
+  let learned =
+    List.filter_map
+      (fun (suffix, routers) ->
+        let samples = Asnconv.samples_of_routers routers ~suffix in
+        match Asnconv.learn ~suffix samples with
+        | Some t when Asnconv.usable t -> Some (suffix, t)
+        | _ -> None)
+      groups
+  in
+  Printf.printf "usable ASN-extraction conventions: %d\n\n" (List.length learned);
+  List.iteri
+    (fun i (suffix, (t : Asnconv.t)) ->
+      if i < 6 then begin
+        Printf.printf "%-24s %s\n" suffix t.Asnconv.source;
+        Printf.printf "%-24s %d hostnames, %d distinct customer ASNs"
+          "" t.Asnconv.counts.Asnconv.tp t.Asnconv.distinct_asns;
+        (match Hoiho_netsim.Truth.find truth suffix with
+        | Some op ->
+            Printf.printf " (operator itself is AS%d)" op.Hoiho_netsim.Oper.asn
+        | None -> ());
+        print_newline ()
+      end)
+    learned;
+  (* apply one convention to a hostname the learner never saw *)
+  match learned with
+  | (suffix, t) :: _ ->
+      let hostname = Printf.sprintf "as64500-newcustomer.gw9.zz1.%s" suffix in
+      Printf.printf "\n%s\n  -> AS%s\n" hostname
+        (match Asnconv.extract t hostname with
+        | Some asn -> string_of_int asn
+        | None -> "?")
+  | [] -> ()

@@ -1,0 +1,50 @@
+(* Figure-9-style comparison: Hoiho vs HLOC, DRoP and undns over the
+   validation suffixes, scored against ground truth with the 40 km rule.
+
+   Run with: dune exec examples/baseline_comparison.exe *)
+
+open Hoiho_validate.Validate
+
+let () =
+  let dataset, truth =
+    Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ())
+  in
+  let pipeline = Hoiho.Pipeline.run dataset in
+  let suffixes = Hoiho_netsim.Oper.validation_suffixes in
+  let comparisons = compare_methods pipeline truth ~suffixes in
+  Printf.printf "%-14s %5s | %-15s | %-15s | %-15s | %-15s\n" "suffix" "n"
+    "hoiho tp/fp/fn%" "hloc" "drop" "undns";
+  List.iter
+    (fun (c : comparison) ->
+      let cell s =
+        Printf.sprintf "%3.0f/%3.0f/%3.0f" (tp_pct s) (fp_pct s) (fn_pct s)
+      in
+      Printf.printf "%-14s %5d | %-15s | %-15s | %-15s | %-15s\n" c.suffix c.n
+        (cell c.hoiho) (cell c.hloc) (cell c.drop) (cell c.undns))
+    comparisons;
+  let mean get =
+    List.fold_left (fun acc c -> acc +. tp_pct (get c)) 0.0 comparisons
+    /. float_of_int (List.length comparisons)
+  in
+  Printf.printf
+    "\naverage correct geolocations: hoiho %.1f%%  hloc %.1f%%  drop %.1f%%  undns %.1f%%\n"
+    (mean (fun c -> c.hoiho))
+    (mean (fun c -> c.hloc))
+    (mean (fun c -> c.drop))
+    (mean (fun c -> c.undns));
+  (* aggregate PPV, as reported in §6.1 *)
+  let agg get =
+    List.fold_left
+      (fun (tp, fp) c ->
+        let s = get c in
+        (tp + s.tp, fp + s.fp))
+      (0, 0) comparisons
+  in
+  let ppv_of (tp, fp) =
+    if tp + fp = 0 then 0.0 else 100.0 *. float_of_int tp /. float_of_int (tp + fp)
+  in
+  Printf.printf "PPV: undns %.1f%%  hoiho %.1f%%  drop %.1f%%  hloc %.1f%%\n"
+    (ppv_of (agg (fun c -> c.undns)))
+    (ppv_of (agg (fun c -> c.hoiho)))
+    (ppv_of (agg (fun c -> c.drop)))
+    (ppv_of (agg (fun c -> c.hloc)))

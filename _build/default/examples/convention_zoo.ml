@@ -1,0 +1,86 @@
+(* A tour of the diversity of naming conventions the pipeline learns:
+   which dictionaries operators draw geohints from, which conventions
+   also embed country or state codes, and an example regex of each kind
+   (the flavor of table 4 and figure 7).
+
+   Run with: dune exec examples/convention_zoo.exe *)
+
+module Pipeline = Hoiho.Pipeline
+module Ncsel = Hoiho.Ncsel
+module Plan = Hoiho.Plan
+module Cand = Hoiho.Cand
+
+let () =
+  let dataset, _ = Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ()) in
+  let pipeline = Pipeline.run dataset in
+  let usable = List.filter Pipeline.usable pipeline.Pipeline.results in
+
+  (* group usable NCs by the geohint type of their first regex *)
+  let by_type : (Plan.hint_type, Pipeline.suffix_result list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (r : Pipeline.suffix_result) ->
+      match r.Pipeline.nc with
+      | Some nc -> (
+          match nc.Ncsel.cands with
+          | cand :: _ -> (
+              match Plan.hint_type_of cand.Cand.plan with
+              | Some ht ->
+                  Hashtbl.replace by_type ht
+                    (r :: Option.value (Hashtbl.find_opt by_type ht) ~default:[])
+              | None -> ())
+          | [] -> ())
+      | None -> ())
+    usable;
+
+  Printf.printf "%d usable naming conventions by geohint type:\n\n"
+    (List.length usable);
+  List.iter
+    (fun ht ->
+      match Hashtbl.find_opt by_type ht with
+      | None -> ()
+      | Some results ->
+          let with_region =
+            List.filter
+              (fun (r : Pipeline.suffix_result) ->
+                match r.Pipeline.nc with
+                | Some nc ->
+                    List.exists
+                      (fun (c : Cand.t) ->
+                        List.exists
+                          (function Plan.Cc | Plan.State -> true | _ -> false)
+                          c.Cand.plan)
+                      nc.Ncsel.cands
+                | None -> false)
+              results
+          in
+          Printf.printf "%-10s %3d conventions (%d also extract a country/state code)\n"
+            (Plan.hint_type_name ht) (List.length results)
+            (List.length with_region);
+          (* show the best example: the convention with the most TPs *)
+          let best =
+            List.fold_left
+              (fun acc (r : Pipeline.suffix_result) ->
+                match (acc, r.Pipeline.nc) with
+                | None, Some _ -> Some r
+                | Some (b : Pipeline.suffix_result), Some nc -> (
+                    match b.Pipeline.nc with
+                    | Some bnc
+                      when nc.Ncsel.counts.Hoiho.Evalx.tp
+                           > bnc.Ncsel.counts.Hoiho.Evalx.tp ->
+                        Some r
+                    | _ -> acc)
+                | _ -> acc)
+              None results
+          in
+          (match best with
+          | Some ({ nc = Some nc; _ } as r) ->
+              Printf.printf "  e.g. %s:\n" r.Pipeline.suffix;
+              List.iter
+                (fun (c : Cand.t) -> Printf.printf "       %s\n" c.Cand.source)
+                nc.Ncsel.cands
+          | _ -> ());
+          print_newline ())
+    [ Plan.Iata; Plan.CityName; Plan.Clli; Plan.Locode; Plan.FacilityAddr;
+      Plan.Icao ]

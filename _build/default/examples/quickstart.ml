@@ -1,0 +1,54 @@
+(* Quickstart: generate a small synthetic Internet, learn naming
+   conventions, and geolocate hostnames with them.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A dataset: routers with hostnames and RTT measurements from
+     vantage points. The "tiny" preset synthesizes one (DESIGN.md §1
+     explains how this substitutes for a CAIDA ITDK). *)
+  let config = Hoiho_netsim.Presets.tiny () in
+  let dataset, _truth = Hoiho_netsim.Generate.generate config in
+  print_endline (Hoiho_itdk.Dataset.summary dataset);
+
+  (* 2. Run the five-stage pipeline: tag apparent geohints, generate and
+     evaluate regexes, learn custom geohints, classify conventions. *)
+  let pipeline = Hoiho.Pipeline.run dataset in
+  let usable =
+    List.filter Hoiho.Pipeline.usable pipeline.Hoiho.Pipeline.results
+  in
+  Printf.printf "learned usable naming conventions for %d suffixes\n\n"
+    (List.length usable);
+
+  (* 3. Inspect one suffix's convention. *)
+  (match Hoiho.Pipeline.find pipeline "zayo.com" with
+  | Some { nc = Some nc; learned; _ } ->
+      print_endline "zayo.com naming convention:";
+      List.iter
+        (fun (c : Hoiho.Cand.t) ->
+          Printf.printf "  %s\n    plan: %s\n" c.Hoiho.Cand.source
+            (Format.asprintf "%a" Hoiho.Plan.pp c.Hoiho.Cand.plan))
+        nc.Hoiho.Ncsel.cands;
+      List.iter
+        (fun (e : Hoiho.Learned.entry) ->
+          Printf.printf "  learned geohint: %S means %s\n" e.Hoiho.Learned.hint
+            (Hoiho_geodb.City.describe e.Hoiho.Learned.city))
+        (Hoiho.Learned.entries learned)
+  | _ -> print_endline "no convention for zayo.com");
+
+  (* 4. Geolocate hostnames — including ones the pipeline never saw.
+     Conventions are regexes: no measurement needed at lookup time. *)
+  print_newline ();
+  List.iter
+    (fun hostname ->
+      match Hoiho.Pipeline.geolocate pipeline hostname with
+      | Some city ->
+          Printf.printf "%-46s -> %s\n" hostname (Hoiho_geodb.City.describe city)
+      | None -> Printf.printf "%-46s -> (unknown)\n" hostname)
+    [
+      "dns-mail.mpr2.lhr3.uk.zip.zayo.com";
+      "cust-acme.mpr1.sea9.us.zip.zayo.com";
+      "100ge7-2.core1.ash1.he.net";
+      "ae-3.r21.mlanit02.it.bb.ntt.net";
+      "no-such-convention.example.com";
+    ]

@@ -1,0 +1,87 @@
+(* Figure-13-style walkthrough of regex generation: watch one suffix's
+   candidate pool evolve through the four phases — base regexes, digit
+   merging, character-class embedding, and regex-set building — with
+   TP/FP/FN/UNK, ATP and PPV for each candidate.
+
+   Run with: dune exec examples/regex_phases.exe [suffix]
+   (default suffix: zayo.com) *)
+
+module Apparent = Hoiho.Apparent
+module Regen = Hoiho.Regen
+module Evalx = Hoiho.Evalx
+module Ncsel = Hoiho.Ncsel
+module Cand = Hoiho.Cand
+
+let show_cands consist db samples label cands =
+  Printf.printf "--- %s (%d candidates) ---\n" label (List.length cands);
+  let scored =
+    List.map
+      (fun cand ->
+        let counts, hits = Evalx.eval_cand consist db cand samples in
+        (cand, counts, hits))
+      cands
+  in
+  let ranked =
+    List.sort
+      (fun (_, a, _) (_, b, _) -> compare (Evalx.atp b) (Evalx.atp a))
+      scored
+  in
+  List.iteri
+    (fun i ((cand : Cand.t), counts, _) ->
+      if i < 8 then
+        Printf.printf
+          "  tp=%3d fp=%3d fn=%3d unk=%3d atp=%4d ppv=%3.0f%%  %s\n"
+          counts.Evalx.tp counts.Evalx.fp counts.Evalx.fn counts.Evalx.unk
+          (Evalx.atp counts)
+          (100.0 *. Evalx.ppv counts)
+          cand.Cand.source)
+    ranked;
+  if List.length ranked > 8 then
+    Printf.printf "  ... and %d more\n" (List.length ranked - 8)
+
+let () =
+  let suffix = if Array.length Sys.argv > 1 then Sys.argv.(1) else "zayo.com" in
+  let dataset, _ = Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ()) in
+  let consist = Hoiho.Consist.create dataset in
+  let db = Hoiho_geodb.Db.default () in
+  let routers =
+    match List.assoc_opt suffix (Hoiho_itdk.Dataset.by_suffix dataset) with
+    | Some rs -> rs
+    | None -> failwith (Printf.sprintf "suffix %s not in dataset" suffix)
+  in
+  let samples = Apparent.build_samples consist db ~suffix routers in
+  let tagged =
+    List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples
+  in
+  Printf.printf "%s: %d hostnames, %d with apparent geohints\n\n" suffix
+    (List.length samples) (List.length tagged);
+
+  let p1 = Regen.phase1 ~suffix tagged in
+  show_cands consist db samples "phase 1: base regexes" p1;
+
+  let p2 = Regen.phase2 p1 in
+  show_cands consist db samples "phase 2: merged (\\d+ -> \\d*)" p2;
+
+  let pool = Cand.dedup (p1 @ p2) in
+  let p3 = Regen.phase3 samples pool in
+  show_cands consist db samples "phase 3: embedded character classes" p3;
+
+  let all = Cand.dedup (pool @ p3) in
+  match Ncsel.build consist db all samples with
+  | None -> print_endline "no naming convention could be built"
+  | Some nc ->
+      Printf.printf "--- phase 4: selected naming convention ---\n";
+      List.iter
+        (fun (c : Cand.t) -> Printf.printf "  %s\n" c.Cand.source)
+        nc.Ncsel.cands;
+      Printf.printf
+        "  tp=%d fp=%d fn=%d unk=%d atp=%d ppv=%.0f%% unique hints=%d -> %s\n"
+        nc.Ncsel.counts.Evalx.tp nc.Ncsel.counts.Evalx.fp
+        nc.Ncsel.counts.Evalx.fn nc.Ncsel.counts.Evalx.unk
+        (Evalx.atp nc.Ncsel.counts)
+        (100.0 *. Evalx.ppv nc.Ncsel.counts)
+        nc.Ncsel.unique_hints
+        (match Ncsel.classify nc with
+        | Ncsel.Good -> "good"
+        | Ncsel.Promising -> "promising"
+        | Ncsel.Poor -> "poor")

@@ -1,0 +1,1 @@
+lib/baselines/drop.ml: Array Hashtbl Hoiho Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_psl Hoiho_util List Option String

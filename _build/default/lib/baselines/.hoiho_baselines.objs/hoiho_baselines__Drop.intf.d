@@ -1,0 +1,1 @@
+lib/baselines/drop.mli: Hoiho Hoiho_geodb Hoiho_itdk

@@ -1,0 +1,1 @@
+lib/baselines/hloc.ml: Float Hoiho Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_psl Hoiho_util List String

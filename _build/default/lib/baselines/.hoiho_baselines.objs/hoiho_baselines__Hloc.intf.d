@@ -1,0 +1,1 @@
+lib/baselines/hloc.mli: Hoiho_geodb Hoiho_itdk

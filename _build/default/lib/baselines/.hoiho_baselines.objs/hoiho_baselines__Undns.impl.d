@@ -1,0 +1,1 @@
+lib/baselines/undns.ml: Hashtbl Hoiho_geodb Hoiho_psl Hoiho_util List

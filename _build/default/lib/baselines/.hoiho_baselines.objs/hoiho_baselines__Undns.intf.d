@@ -1,0 +1,1 @@
+lib/baselines/undns.mli: Hoiho_geodb

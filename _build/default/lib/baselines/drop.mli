@@ -1,0 +1,41 @@
+(** DRoP baseline (Huffaker et al., 2014), reimplemented with the design
+    trade-offs the paper identifies (§3.3, figure 2):
+
+    - one rule per suffix, geohint at a fixed position relative to the
+      end of the hostname, with a fixed label count taken from the modal
+      hostname shape — hostnames with different shapes do not match;
+    - the rule emits a single sequence: it is built from the modal
+      example, so a geohint label with trailing digits only matches
+      hostnames that also have trailing digits (and vice versa);
+    - acceptance requires only a majority (>50%) of extractions to be
+      delay-consistent, using the traceroute-observed RTTs only (no
+      follow-up pings), which constrain locations weakly;
+    - dictionaries are used verbatim: no custom geohints are learned. *)
+
+type rule = {
+  suffix : string;
+  n_labels : int;  (** exact label count of the hostname prefix *)
+  pos_from_end : int;  (** 0 = label adjacent to the suffix *)
+  digits_after : bool;  (** modal geo label had trailing digits *)
+  hint_type : Hoiho.Plan.hint_type;
+}
+
+type t
+
+val learn :
+  ?staleness:float -> ?seed:int -> Hoiho_geodb.Db.t -> Hoiho_itdk.Dataset.t -> t
+(** Learn one rule per suffix from the dataset. [staleness] (default 0)
+    deterministically discards that fraction of the learned rules,
+    emulating DRoP's published ruleset being years out of date — the
+    paper attributes most of DRoP's false negatives to its 2013-era
+    rules (§6.1). *)
+
+val rules : t -> rule list
+
+val find_rule : t -> string -> rule option
+
+val infer :
+  t -> Hoiho_geodb.Db.t -> string -> Hoiho_geodb.City.t option
+(** Apply the suffix's rule to a hostname; interpret the extraction with
+    the reference dictionary, choosing the highest-population
+    candidate. *)

@@ -1,0 +1,27 @@
+(** HLOC baseline (Scheitle et al., 2017), reimplemented with the design
+    trade-offs the paper identifies (§3.2, §6.1):
+
+    - no learned structure: every token of a hostname is looked up in
+      the geohint dictionaries at run time, filtered by a manually-
+      assembled blocklist of strings known not to be geohints;
+    - verification uses only the vantage points *nearest the candidate
+      location* that can ping the router — a confirmation-biased test
+      that cannot rule a hint out using far-away VPs;
+    - routers that cannot be pinged yield no measurement and hence no
+      inference;
+    - operators' custom geohints are not in the dictionary and are
+      missed. *)
+
+val blocklist : string list
+(** Strings never considered as geohints (their dictionary had 468). *)
+
+val vps_consulted : int
+(** How many nearest VPs verify a candidate (per HLOC's probe budget). *)
+
+val infer :
+  Hoiho_geodb.Db.t ->
+  Hoiho_itdk.Dataset.t ->
+  Hoiho_itdk.Router.t ->
+  string ->
+  Hoiho_geodb.City.t option
+(** Run-time inference for one hostname of a router. *)

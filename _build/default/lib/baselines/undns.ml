@@ -1,0 +1,44 @@
+module Strutil = Hoiho_util.Strutil
+module Prng = Hoiho_util.Prng
+module City = Hoiho_geodb.City
+module Psl = Hoiho_psl.Psl
+
+type t = { by_suffix : (string, (string, City.t) Hashtbl.t) Hashtbl.t }
+
+let make ~coverage ~seed tables =
+  let rng = Prng.create seed in
+  let by_suffix = Hashtbl.create 16 in
+  List.iter
+    (fun (suffix, codes) ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (code, city) ->
+          if Prng.float rng 1.0 < coverage then Hashtbl.replace tbl code city)
+        codes;
+      if Hashtbl.length tbl > 0 then Hashtbl.replace by_suffix suffix tbl)
+    tables;
+  { by_suffix }
+
+let n_entries t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.by_suffix 0
+
+let infer t hostname =
+  match Psl.registered_suffix hostname with
+  | None -> None
+  | Some suffix -> (
+      match Hashtbl.find_opt t.by_suffix suffix with
+      | None -> None
+      | Some tbl -> (
+          match Strutil.drop_suffix ~suffix hostname with
+          | None | Some "" -> None
+          | Some prefix ->
+              let tokens = Strutil.split_punct prefix in
+              let rec scan = function
+                | [] -> None
+                | tok :: rest -> (
+                    let alpha = Strutil.strip_trailing_digits tok in
+                    match Hashtbl.find_opt tbl alpha with
+                    | Some city -> Some city
+                    | None -> scan rest)
+              in
+              scan tokens))

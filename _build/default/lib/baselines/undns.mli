@@ -1,0 +1,26 @@
+(** undns baseline (Spring et al., 2002): a manually-assembled ruleset
+    with per-suffix geohint→location tables.
+
+    The real undns database was hand-curated by experts: its
+    interpretations are nearly always right, but the tables cover only a
+    subset of the codes an operator uses and have not been updated since
+    2014 (§3.2, §6.1). We emulate this by constructing the baseline from
+    a *partial* codebook: the caller supplies each suffix's true
+    code→city table (which a human expert would have transcribed
+    correctly) and the fraction that made it into the frozen database. *)
+
+type t
+
+val make :
+  coverage:float ->
+  seed:int ->
+  (string * (string * Hoiho_geodb.City.t) list) list ->
+  t
+(** [make ~coverage ~seed tables]: keep a deterministic [coverage]
+    fraction of each suffix's (code, city) entries. *)
+
+val n_entries : t -> int
+
+val infer : t -> string -> Hoiho_geodb.City.t option
+(** A hostname token (digits stripped) equal to a known code of its
+    suffix yields that code's city. *)

@@ -1,0 +1,1 @@
+lib/core/apparent.ml: Array Consist Dicts Hoiho_geodb Hoiho_itdk Hoiho_psl Hoiho_util List Plan String

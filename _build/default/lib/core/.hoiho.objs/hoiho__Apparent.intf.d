@@ -1,0 +1,1 @@
+lib/core/apparent.mli: Consist Hoiho_geodb Hoiho_itdk Plan

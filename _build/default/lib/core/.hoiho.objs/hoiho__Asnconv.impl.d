@@ -1,0 +1,1 @@
+lib/core/asnconv.ml: Array Hashtbl Hoiho_itdk Hoiho_psl Hoiho_rx Hoiho_util List String

@@ -1,0 +1,1 @@
+lib/core/asnconv.mli: Hoiho_itdk Hoiho_rx

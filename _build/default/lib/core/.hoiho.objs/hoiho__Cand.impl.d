@@ -1,0 +1,1 @@
+lib/core/cand.ml: Format Hashtbl Hoiho_rx List Plan String

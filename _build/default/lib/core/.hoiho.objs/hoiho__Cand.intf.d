@@ -1,0 +1,1 @@
+lib/core/cand.mli: Format Hoiho_rx Plan

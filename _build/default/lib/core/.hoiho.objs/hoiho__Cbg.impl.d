@@ -1,0 +1,1 @@
+lib/core/cbg.ml: Consist Float Hoiho_geo Hoiho_itdk Hoiho_util List Option

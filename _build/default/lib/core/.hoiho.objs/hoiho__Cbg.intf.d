@@ -1,0 +1,1 @@
+lib/core/cbg.mli: Consist Hoiho_geo Hoiho_itdk

@@ -1,0 +1,1 @@
+lib/core/consist.ml: Array Hashtbl Hoiho_geo Hoiho_geodb Hoiho_itdk List

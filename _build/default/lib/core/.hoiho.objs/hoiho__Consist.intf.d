@@ -1,0 +1,1 @@
+lib/core/consist.mli: Hoiho_geo Hoiho_geodb Hoiho_itdk

@@ -1,0 +1,1 @@
+lib/core/dicts.ml: Hoiho_geodb List Plan String

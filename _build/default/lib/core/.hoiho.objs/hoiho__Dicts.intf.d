@@ -1,0 +1,1 @@
+lib/core/dicts.mli: Hoiho_geodb Plan

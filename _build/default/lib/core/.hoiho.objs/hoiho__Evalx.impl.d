@@ -1,0 +1,1 @@
+lib/core/evalx.ml: Apparent Cand Consist Dicts Hoiho_geodb Hoiho_rx Learned List Plan

@@ -1,0 +1,1 @@
+lib/core/evalx.mli: Apparent Cand Consist Hoiho_geodb Learned Plan

@@ -1,0 +1,1 @@
+lib/core/learn.ml: Apparent Consist Dicts Evalx Hashtbl Hoiho_geodb Hoiho_itdk Hoiho_util Learned List Ncsel Plan Printf String

@@ -1,0 +1,1 @@
+lib/core/learn.mli: Consist Hoiho_geodb Learned Ncsel

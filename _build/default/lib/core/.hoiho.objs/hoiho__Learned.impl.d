@@ -1,0 +1,1 @@
+lib/core/learned.ml: Hashtbl Hoiho_geodb Plan

@@ -1,0 +1,1 @@
+lib/core/learned.mli: Hoiho_geodb Plan

@@ -1,0 +1,1 @@
+lib/core/ncsel.ml: Apparent Array Cand Evalx Hashtbl List Plan

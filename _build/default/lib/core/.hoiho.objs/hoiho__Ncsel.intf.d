@@ -1,0 +1,1 @@
+lib/core/ncsel.mli: Apparent Cand Consist Evalx Hoiho_geodb Learned

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Apparent Cand Consist Evalx Hoiho_geodb Hoiho_itdk Hoiho_psl Hoiho_rx Learn Learned List Ncsel Plan Regen

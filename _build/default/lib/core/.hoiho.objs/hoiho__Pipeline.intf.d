@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Consist Hoiho_geodb Hoiho_itdk Learned Ncsel

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Buffer Format List String

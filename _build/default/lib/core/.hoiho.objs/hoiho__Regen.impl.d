@@ -1,0 +1,1 @@
+lib/core/regen.ml: Apparent Array Cand Hashtbl Hoiho_rx Hoiho_util List Option Plan Printf String

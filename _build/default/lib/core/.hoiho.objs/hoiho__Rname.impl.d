@@ -1,0 +1,1 @@
+lib/core/rname.ml: Fun Hashtbl Hoiho_itdk Hoiho_psl Hoiho_rx Hoiho_util List Option String

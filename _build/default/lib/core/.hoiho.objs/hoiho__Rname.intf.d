@@ -1,0 +1,1 @@
+lib/core/rname.mli: Hoiho_itdk Hoiho_rx

@@ -1,0 +1,1 @@
+lib/core/stale.ml: Apparent Evalx Hashtbl Hoiho_geodb Hoiho_itdk List Ncsel Option Plan

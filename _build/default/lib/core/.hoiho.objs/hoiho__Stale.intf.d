@@ -1,0 +1,1 @@
+lib/core/stale.mli: Hoiho_geodb Hoiho_itdk Ncsel Plan

@@ -1,0 +1,1 @@
+lib/core/tbg.ml: Apparent Array Consist Evalx Hashtbl Hoiho_geodb Hoiho_itdk List Ncsel Option Pipeline

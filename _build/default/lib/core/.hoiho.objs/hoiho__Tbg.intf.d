@@ -1,0 +1,1 @@
+lib/core/tbg.mli: Consist Hoiho_geodb Hoiho_itdk Pipeline

@@ -1,0 +1,1 @@
+lib/core/vpfilter.ml: Array Hashtbl Hoiho_geo Hoiho_itdk Hoiho_util List

@@ -1,0 +1,1 @@
+lib/core/vpfilter.mli: Hoiho_itdk

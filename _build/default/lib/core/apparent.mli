@@ -1,0 +1,50 @@
+(** Stage 2: identify apparent geohints in hostnames (§5.2).
+
+    For each hostname, every alphanumeric token before the registered
+    suffix is tested against the dictionaries (IATA, ICAO, LOCODE, CLLI
+    — including first-6-of-longer and split 4+2 forms — city names, and
+    facility street addresses). A candidate interpretation survives when
+    at least one of its dictionary locations is RTT-consistent for the
+    router. Adjacent country/state tokens that match a surviving
+    location are recorded as part of the expected extraction, so that
+    regex evaluation can penalize conventions that drop them. *)
+
+type span = { label : int; start : int; len : int }
+(** A substring of one dot-separated label of the hostname prefix. *)
+
+type tag = {
+  hint : string;  (** the hint string; split CLLI parts concatenated *)
+  hint_type : Plan.hint_type;
+  spans : span list;  (** one span normally; two for split CLLI *)
+  cc : (span * string) option;  (** matching country-code token, if any *)
+  state : (span * string) option;
+  locations : Hoiho_geodb.City.t list;  (** RTT-consistent candidates *)
+}
+
+type sample = {
+  hostname : string;
+  labels : string array;  (** prefix labels (suffix removed) *)
+  suffix : string;
+  router : Hoiho_itdk.Router.t;
+  tags : tag list;  (** empty = no apparent geohint *)
+}
+
+val tag_hostname :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  suffix:string ->
+  Hoiho_itdk.Router.t ->
+  string ->
+  sample option
+(** [None] when the hostname is not under [suffix] or has no prefix. *)
+
+val build_samples :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  suffix:string ->
+  Hoiho_itdk.Router.t list ->
+  sample list
+(** All (hostname, router) samples of a suffix group, tagged. *)
+
+val min_city_name_len : int
+(** City-name candidates shorter than this are ignored (noise guard). *)

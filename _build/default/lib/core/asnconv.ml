@@ -1,0 +1,175 @@
+module Ast = Hoiho_rx.Ast
+module Engine = Hoiho_rx.Engine
+module Strutil = Hoiho_util.Strutil
+module Router = Hoiho_itdk.Router
+module Psl = Hoiho_psl.Psl
+
+type sample = { hostname : string; router_asn : int option }
+
+type counts = { tp : int; fp : int; fn : int }
+
+type t = {
+  regex : Engine.t;
+  source : string;
+  counts : counts;
+  distinct_asns : int;
+}
+
+let atp c = c.tp - (c.fp + c.fn)
+let ppv c = if c.tp + c.fp = 0 then 0.0 else float_of_int c.tp /. float_of_int (c.tp + c.fp)
+
+(* does the hostname embed the router's known ASN? *)
+let apparent s =
+  match s.router_asn with
+  | None -> None
+  | Some asn ->
+      let needle = string_of_int asn in
+      let tokens =
+        match Psl.registered_suffix s.hostname with
+        | Some suffix -> (
+            match Strutil.drop_suffix ~suffix s.hostname with
+            | Some prefix -> Strutil.split_punct prefix
+            | None -> [])
+        | None -> []
+      in
+      if
+        List.exists
+          (fun tok -> tok = needle || tok = "as" ^ needle || Strutil.strip_leading_digits tok = "" && tok = needle)
+          tokens
+      then Some asn
+      else None
+
+let lit s = List.init (String.length s) (fun i -> Ast.Lit s.[i])
+let fill_label = Ast.Rep (Ast.Cls (Ast.not_char '.'), 1, None, Ast.Greedy)
+let any_plus = Ast.Rep (Ast.Any, 1, None, Ast.Greedy)
+let digits_plus = Ast.Rep (Ast.Cls Ast.digit, 1, None, Ast.Greedy)
+let alpha_plus = Ast.Rep (Ast.Cls Ast.lower, 1, None, Ast.Greedy)
+
+(* the pattern for the label carrying the ASN: chunk-accurate, with the
+   ASN digits captured; an "as" prefix chunk stays literal *)
+let asn_label_pattern label needle =
+  let chunks = Strutil.chunks_of_classes label in
+  let found = ref false in
+  let nodes =
+    List.concat_map
+      (fun chunk ->
+        match chunk with
+        | `Digit d when d = needle && not !found ->
+            found := true;
+            [ Ast.Grp [ digits_plus ] ]
+        | `Digit _ -> [ digits_plus ]
+        | `Alpha a when Strutil.lowercase a = "as" -> lit "as"
+        | `Alpha _ -> [ alpha_plus ]
+        | `Other o -> lit o)
+      chunks
+  in
+  if !found then Some nodes else None
+
+let candidates_of_sample ~suffix s =
+  match apparent s with
+  | None -> []
+  | Some asn ->
+      let needle = string_of_int asn in
+      let prefix =
+        match Strutil.drop_suffix ~suffix s.hostname with
+        | Some p -> p
+        | None -> ""
+      in
+      let labels = Array.of_list (String.split_on_char '.' prefix) in
+      let n = Array.length labels in
+      let builds = ref [] in
+      Array.iteri
+        (fun i label ->
+          match asn_label_pattern label needle with
+          | None -> ()
+          | Some asn_nodes ->
+              let tail =
+                List.concat
+                  (List.init (n - i - 1) (fun j ->
+                       Ast.Lit '.' :: [ (ignore j; fill_label) ]))
+              in
+              let specific =
+                List.concat
+                  (List.init i (fun _ -> fill_label :: [ Ast.Lit '.' ]))
+                @ asn_nodes @ tail
+              in
+              builds := specific :: !builds;
+              if i > 0 then
+                builds := ((any_plus :: Ast.Lit '.' :: asn_nodes) @ tail) :: !builds)
+        labels;
+      List.map
+        (fun body ->
+          Ast.Bol :: body @ lit ("." ^ suffix) @ [ Ast.Eol ])
+        !builds
+
+let eval regex samples =
+  let counts = ref { tp = 0; fp = 0; fn = 0 } in
+  let distinct = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let app = apparent s in
+      match Engine.exec regex s.hostname with
+      | Some groups -> (
+          let extracted =
+            match Array.to_list groups with
+            | [ Some digits ] -> int_of_string_opt digits
+            | _ -> None
+          in
+          match (extracted, s.router_asn) with
+          | Some e, Some truth when e = truth ->
+              Hashtbl.replace distinct e ();
+              counts := { !counts with tp = !counts.tp + 1 }
+          | Some _, Some _ -> counts := { !counts with fp = !counts.fp + 1 }
+          | Some _, None -> ()
+          | None, _ -> if app <> None then counts := { !counts with fn = !counts.fn + 1 })
+      | None -> if app <> None then counts := { !counts with fn = !counts.fn + 1 })
+    samples;
+  (!counts, Hashtbl.length distinct)
+
+let learn ~suffix samples =
+  let asts =
+    List.concat_map (candidates_of_sample ~suffix) samples
+  in
+  let seen = Hashtbl.create 32 in
+  let cands =
+    List.filter_map
+      (fun ast ->
+        let src = Ast.to_string ast in
+        if Hashtbl.mem seen src then None
+        else begin
+          Hashtbl.replace seen src ();
+          Some (Engine.compile ast, src)
+        end)
+      asts
+  in
+  let scored =
+    List.map
+      (fun (regex, source) ->
+        let counts, distinct_asns = eval regex samples in
+        { regex; source; counts; distinct_asns })
+      cands
+  in
+  List.fold_left
+    (fun best cand ->
+      match best with
+      | Some b when atp b.counts >= atp cand.counts -> Some b
+      | _ -> Some cand)
+    None scored
+
+let usable t = t.distinct_asns >= 3 && ppv t.counts >= 0.9
+
+let extract t hostname =
+  match Engine.exec t.regex hostname with
+  | Some [| Some digits |] -> int_of_string_opt digits
+  | _ -> None
+
+let samples_of_routers routers ~suffix =
+  List.concat_map
+    (fun (r : Router.t) ->
+      List.filter_map
+        (fun hostname ->
+          if Psl.registered_suffix hostname = Some suffix then
+            Some { hostname; router_asn = r.Router.asn }
+          else None)
+        r.Router.hostnames)
+    routers

@@ -1,0 +1,45 @@
+(** ASN-extraction conventions (§3.4; Luckie et al., IMC 2020).
+
+    The Hoiho platform this paper builds on also learns regexes that
+    extract the *autonomous system number* operating a router — e.g.
+    "as8218" in a customer interconnection hostname under a provider's
+    suffix. Training uses BGP-derived IP2AS data ({!Hoiho_itdk.Router.t}
+    [asn]) the way geolocation training uses RTTs: a candidate regex is
+    good when the number it extracts matches the router's known AS.
+
+    The machinery mirrors the geolocation pipeline in miniature: tag
+    apparent ASNs, build anchored per-suffix regexes from the tagged
+    hostnames, evaluate TP/FP/FN, select by ATP, and classify. *)
+
+type sample = {
+  hostname : string;
+  router_asn : int option;  (** from IP2AS; [None] = unknown *)
+}
+
+type counts = { tp : int; fp : int; fn : int }
+
+type t = {
+  regex : Hoiho_rx.Engine.t;
+  source : string;
+  counts : counts;
+  distinct_asns : int;  (** distinct correctly-extracted ASNs *)
+}
+
+val atp : counts -> int
+val ppv : counts -> float
+
+val apparent : sample -> int option
+(** The ASN apparently embedded in the hostname: a digit token equal to
+    the router's known ASN (optionally prefixed with "as"). *)
+
+val learn : suffix:string -> sample list -> t option
+(** Learn the best ASN-extraction regex for one suffix, or [None] when
+    no hostname carries an apparent ASN. *)
+
+val usable : t -> bool
+(** ≥3 distinct ASNs extracted correctly with PPV ≥ 0.9. *)
+
+val extract : t -> string -> int option
+(** Apply a learned convention to a hostname. *)
+
+val samples_of_routers : Hoiho_itdk.Router.t list -> suffix:string -> sample list

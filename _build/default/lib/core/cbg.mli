@@ -1,0 +1,38 @@
+(** Constraint-based geolocation (CBG, Gueye et al. 2004/2006) and the
+    Shortest Ping heuristic (Katz-Bassett et al. 2006), as referenced in
+    §3.1. Each RTT sample from a vantage point bounds the router inside
+    a disc of radius {!Hoiho_geo.Lightrtt.max_distance_km}; CBG reports
+    a point in the intersection of the discs with an error estimate.
+
+    Two uses in this repository: checking whether a hostname-derived
+    location falls inside the CBG-feasible region (the test Cai 2015 and
+    HLOC applied to DRoP's inferences, §3.3), and providing a delay-only
+    baseline that works without hostnames at all. *)
+
+type estimate = {
+  center : Hoiho_geo.Coord.t;
+      (** approximate feasible-region point: the disc-weighted centroid
+          of the vantage points, pulled toward tight constraints *)
+  error_km : float;
+      (** radius of the tightest disc — the scale of the region the
+          constraints confine the router to *)
+  n_constraints : int;
+}
+
+val estimate : Consist.t -> Hoiho_itdk.Router.t -> estimate option
+(** [None] when the router has no RTT samples. *)
+
+val shortest_ping : Consist.t -> Hoiho_itdk.Router.t -> Hoiho_itdk.Vp.t option
+(** The VP with the smallest ping RTT — Shortest Ping geolocates the
+    router to that VP's location. *)
+
+val feasible : Consist.t -> Hoiho_itdk.Router.t -> Hoiho_geo.Coord.t -> bool
+(** Is a proposed location inside every RTT disc? Identical to the
+    stage-2 consistency test; exposed here under the CBG vocabulary. *)
+
+val infeasible_fraction :
+  Consist.t ->
+  (Hoiho_itdk.Router.t * Hoiho_geo.Coord.t) list ->
+  float
+(** Fraction of (router, inferred location) pairs outside the feasible
+    region — Cai 2015 measured 46% for DRoP's inferences. *)

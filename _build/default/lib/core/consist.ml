@@ -1,0 +1,51 @@
+module Coord = Hoiho_geo.Coord
+module Lightrtt = Hoiho_geo.Lightrtt
+module Router = Hoiho_itdk.Router
+module Vp = Hoiho_itdk.Vp
+module Dataset = Hoiho_itdk.Dataset
+
+(* measured RTTs are quantized/jittered; allow a small slack so a router
+   colocated with a VP is not rejected by sub-ms noise *)
+let slack_ms = 0.5
+
+type t = {
+  dataset : Dataset.t;
+  vp_by_id : Vp.t array;
+  min_rtt_cache : (int * float * float, float) Hashtbl.t;
+}
+
+let create dataset =
+  let max_id =
+    Array.fold_left (fun m (v : Vp.t) -> max m v.Vp.id) 0 dataset.Dataset.vps
+  in
+  let vp_by_id =
+    Array.make (max_id + 1) dataset.Dataset.vps.(0)
+  in
+  Array.iter (fun (v : Vp.t) -> vp_by_id.(v.Vp.id) <- v) dataset.Dataset.vps;
+  { dataset; vp_by_id; min_rtt_cache = Hashtbl.create 65536 }
+
+let dataset t = t.dataset
+
+let router_rtts t (r : Router.t) =
+  let pairs = if r.Router.ping_rtts <> [] then r.Router.ping_rtts else r.Router.trace_rtts in
+  List.map (fun (id, rtt) -> (t.vp_by_id.(id), rtt)) pairs
+
+let best_case t vp_id (loc : Coord.t) =
+  let key = (vp_id, loc.Coord.lat, loc.Coord.lon) in
+  match Hashtbl.find_opt t.min_rtt_cache key with
+  | Some v -> v
+  | None ->
+      let v = Lightrtt.min_rtt_ms t.vp_by_id.(vp_id).Vp.coord loc in
+      Hashtbl.replace t.min_rtt_cache key v;
+      v
+
+let location_consistent t (r : Router.t) loc =
+  let check (vp_id, rtt) = rtt +. slack_ms >= best_case t vp_id loc in
+  let pairs = if r.Router.ping_rtts <> [] then r.Router.ping_rtts else r.Router.trace_rtts in
+  List.for_all check pairs
+
+let city_consistent t r (city : Hoiho_geodb.City.t) =
+  location_consistent t r city.Hoiho_geodb.City.coord
+
+let closest_vp_rtt _t (r : Router.t) =
+  match Router.min_ping_rtt r with Some (_, rtt) -> Some rtt | None -> None

@@ -1,0 +1,31 @@
+(** RTT-consistency testing (§5.2).
+
+    A candidate location for a router is RTT-consistent when, for every
+    vantage point with an RTT sample to the router, the measured RTT is
+    no smaller than the theoretical best-case RTT from that VP to the
+    location. Ping-based RTTs are used when available; otherwise the
+    looser traceroute-observed RTTs (which are sound but constrain a
+    much larger area, figure 5).
+
+    Best-case VP→location RTTs are memoized, since the same few hundred
+    dictionary locations are tested against the same VPs millions of
+    times during a run. *)
+
+type t
+
+val create : Hoiho_itdk.Dataset.t -> t
+
+val dataset : t -> Hoiho_itdk.Dataset.t
+
+val router_rtts : t -> Hoiho_itdk.Router.t -> (Hoiho_itdk.Vp.t * float) list
+(** The RTT vector used for consistency testing. *)
+
+val location_consistent :
+  t -> Hoiho_itdk.Router.t -> Hoiho_geo.Coord.t -> bool
+(** True when every RTT sample admits the location. A router with no
+    RTT samples is vacuously consistent with any location. *)
+
+val city_consistent : t -> Hoiho_itdk.Router.t -> Hoiho_geodb.City.t -> bool
+
+val closest_vp_rtt : t -> Hoiho_itdk.Router.t -> float option
+(** Smallest ping RTT, if any (figure 10a / 11 analyses). *)

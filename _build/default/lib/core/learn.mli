@@ -1,0 +1,32 @@
+(** Stage 4: learn geohints not in the reference dictionary (§5.4).
+
+    Applied to NCs that extracted at least three unique RTT-consistent
+    geohints with PPV > 40%. Extractions scored FP (dictionary location
+    not RTT-consistent — a repurposed code like "ash") or UNK (not in
+    any dictionary — an invented code like "mlanit") become learning
+    candidates. Each is matched against place names with the paper's
+    abbreviation rules, candidates are ranked facility → population →
+    congruent routers, and the winner is adopted when its PPV is ≥ 80%,
+    it beats the dictionary interpretation by more than one TP, and
+    enough routers agree (three, or one when the extraction carries a
+    country/state code). *)
+
+val abbrev_matches : hint:string -> name:string -> bool
+(** The paper's abbreviation rule: all characters of [hint] appear in
+    [name] in order, the first characters agree, and inside any word
+    after the first the word's initial must be matched before other
+    characters of that word ("nyk" matches "new york"; "nwk" does not). *)
+
+val eligible : Ncsel.t -> bool
+(** ≥3 unique hints and PPV > 0.4. *)
+
+val learn :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  Ncsel.t ->
+  Learned.t
+(** Learned overrides for one suffix's selected NC. Empty when the NC is
+    not {!eligible} or nothing qualifies. *)
+
+val min_contiguous_for_city_plans : int
+(** City-name plans require this many contiguous matching characters. *)

@@ -1,0 +1,17 @@
+type entry = {
+  hint : string;
+  hint_type : Plan.hint_type;
+  city : Hoiho_geodb.City.t;
+  tp : int;
+  fp : int;
+  collides : bool;
+}
+
+type t = (Plan.hint_type * string, entry) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+let add t e = Hashtbl.replace t (e.hint_type, e.hint) e
+let find t ht hint = Hashtbl.find_opt t (ht, hint)
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t []
+let size t = Hashtbl.length t
+let is_empty t = Hashtbl.length t = 0

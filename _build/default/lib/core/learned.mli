@@ -1,0 +1,23 @@
+(** Suffix-local learned geohints (output of stage 4, §5.4).
+
+    When an operator deviates from the reference dictionaries, the
+    learner records a per-suffix override: hint string → city. Lookups
+    during evaluation consult these before the reference dictionary. *)
+
+type entry = {
+  hint : string;
+  hint_type : Plan.hint_type;
+  city : Hoiho_geodb.City.t;
+  tp : int;  (** routers RTT-consistent with the learned location *)
+  fp : int;
+  collides : bool;  (** the hint also exists in the reference dictionary *)
+}
+
+type t
+
+val empty : unit -> t
+val add : t -> entry -> unit
+val find : t -> Plan.hint_type -> string -> entry option
+val entries : t -> entry list
+val size : t -> int
+val is_empty : t -> bool

@@ -1,0 +1,176 @@
+type classification = Good | Promising | Poor
+
+type t = {
+  cands : Cand.t list;
+  counts : Evalx.counts;
+  hits : Evalx.hit list;
+  unique_hints : int;
+}
+
+let seed_count = 8
+
+(* per-candidate hits are evaluated once; NC evaluation then just picks,
+   per sample, the first member whose regex matched *)
+type prepared = { cand : Cand.t; hits : Evalx.hit array; atp : int }
+
+let matched (h : Evalx.hit) = h.Evalx.extraction <> None
+
+let eval_prepared samples (members : prepared list) =
+  let n = Array.length samples in
+  let hits =
+    Array.to_list
+      (Array.init n (fun i ->
+           let sample = samples.(i) in
+           let rec first = function
+             | [] ->
+                 let tagged = sample.Apparent.tags <> [] in
+                 {
+                   Evalx.sample;
+                   outcome = (if tagged then Evalx.FN else Evalx.Skip);
+                   extraction = None;
+                   location = None;
+                 }
+             | m :: rest -> if matched m.hits.(i) then m.hits.(i) else first rest
+           in
+           first members))
+  in
+  let counts =
+    List.fold_left (fun c (h : Evalx.hit) -> Evalx.add_outcome c h.Evalx.outcome) Evalx.zero hits
+  in
+  {
+    cands = List.map (fun m -> m.cand) members;
+    counts;
+    hits;
+    unique_hints = List.length (Evalx.unique_tp_hints hits);
+  }
+
+(* unique TP hints attributed to each member within an NC: a sample is
+   attributed to the first member whose regex matched it *)
+let member_unique_hints samples (members : prepared list) =
+  let n = Array.length samples in
+  let tables = List.map (fun _ -> Hashtbl.create 8) members in
+  for i = 0 to n - 1 do
+    let rec attribute ms ts =
+      match (ms, ts) with
+      | [], [] -> ()
+      | m :: ms', t :: ts' ->
+          if matched m.hits.(i) then begin
+            match m.hits.(i) with
+            | { Evalx.outcome = Evalx.TP; extraction = Some ex; _ } ->
+                Hashtbl.replace t ex.Plan.hint ()
+            | _ -> ()
+          end
+          else attribute ms' ts'
+      | _ -> assert false
+    in
+    attribute members tables
+  done;
+  List.map Hashtbl.length tables
+
+let prepare consist db ?learned cands samples_arr =
+  List.map
+    (fun cand ->
+      let hits =
+        Array.map (Evalx.eval_sample consist db ?learned cand) samples_arr
+      in
+      let counts =
+        Array.fold_left
+          (fun c (h : Evalx.hit) -> Evalx.add_outcome c h.Evalx.outcome)
+          Evalx.zero hits
+      in
+      { cand; hits; atp = Evalx.atp counts })
+    cands
+
+let eval_nc consist db ?learned cands samples =
+  let samples_arr = Array.of_list samples in
+  let members = prepare consist db ?learned cands samples_arr in
+  eval_prepared samples_arr members
+
+let min_member_hints = 3
+let ppv_tolerance = 0.10
+
+let grow samples_arr ranked seed =
+  let seed_nc = eval_prepared samples_arr [ seed ] in
+  let seed_ppv = Evalx.ppv seed_nc.counts in
+  let rec loop members nc =
+    let current_atp = Evalx.atp nc.counts in
+    let try_add m =
+      if List.memq m members then None
+      else begin
+        let members' = members @ [ m ] in
+        let nc' = eval_prepared samples_arr members' in
+        let ok =
+          Evalx.atp nc'.counts > current_atp
+          && List.for_all
+               (fun u -> u >= min_member_hints)
+               (member_unique_hints samples_arr members')
+          && Evalx.ppv nc'.counts >= seed_ppv -. ppv_tolerance
+        in
+        if ok then Some (members', nc') else None
+      end
+    in
+    let best =
+      List.fold_left
+        (fun acc m ->
+          match try_add m with
+          | None -> acc
+          | Some (_, nc') as ext -> (
+              match acc with
+              | Some (_, best_nc) when Evalx.atp best_nc.counts >= Evalx.atp nc'.counts ->
+                  acc
+              | _ -> ext))
+        None ranked
+    in
+    match best with
+    | Some (members', nc') -> loop members' nc'
+    | None -> nc
+  in
+  loop [ seed ] seed_nc
+
+let build consist db ?learned cands samples =
+  let samples_arr = Array.of_list samples in
+  let prepared = prepare consist db ?learned cands samples_arr in
+  let with_matches =
+    List.filter (fun m -> Array.exists matched m.hits) prepared
+  in
+  match with_matches with
+  | [] -> None
+  | _ ->
+      let ranked =
+        List.sort (fun a b -> compare b.atp a.atp) with_matches
+      in
+      let seeds = List.filteri (fun i _ -> i < seed_count) ranked in
+      let ncs = List.map (grow samples_arr ranked) seeds in
+      let by_atp =
+        List.sort
+          (fun a b -> compare (Evalx.atp b.counts) (Evalx.atp a.counts))
+          ncs
+      in
+      (match by_atp with
+      | [] -> None
+      | best :: _ ->
+          (* prefer fewer regexes when within 3 TPs of the best *)
+          let contenders =
+            List.filter
+              (fun nc -> nc.counts.Evalx.tp >= best.counts.Evalx.tp - 3)
+              by_atp
+          in
+          let preferred =
+            List.fold_left
+              (fun acc nc ->
+                match acc with
+                | None -> Some nc
+                | Some cur ->
+                    if List.length nc.cands < List.length cur.cands then Some nc
+                    else acc)
+              None contenders
+          in
+          (match preferred with Some nc -> Some nc | None -> Some best))
+
+let classify nc =
+  let ppv = Evalx.ppv nc.counts in
+  if nc.unique_hints >= 3 && ppv >= 0.9 then Good
+  else if nc.unique_hints >= 3 && ppv >= 0.8 then Promising
+  else Poor
+
+let usable nc = match classify nc with Good | Promising -> true | Poor -> false

@@ -1,0 +1,116 @@
+module Db = Hoiho_geodb.Db
+module City = Hoiho_geodb.City
+module Dataset = Hoiho_itdk.Dataset
+module Router = Hoiho_itdk.Router
+
+type suffix_result = {
+  suffix : string;
+  n_routers : int;
+  n_samples : int;
+  n_tagged : int;
+  n_tagged_routers : int;
+  nc : Ncsel.t option;
+  learned : Learned.t;
+  classification : Ncsel.classification option;
+}
+
+type t = {
+  dataset : Dataset.t;
+  consist : Consist.t;
+  db : Db.t;
+  results : suffix_result list;
+}
+
+let run_suffix consist db ?(learn_geohints = true) ~suffix routers =
+  let samples = Apparent.build_samples consist db ~suffix routers in
+  let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
+  let tagged_routers =
+    List.sort_uniq compare
+      (List.map (fun (s : Apparent.sample) -> s.Apparent.router.Router.id) tagged)
+  in
+  let base =
+    {
+      suffix;
+      n_routers = List.length routers;
+      n_samples = List.length samples;
+      n_tagged = List.length tagged;
+      n_tagged_routers = List.length tagged_routers;
+      nc = None;
+      learned = Learned.empty ();
+      classification = None;
+    }
+  in
+  if tagged = [] then base
+  else begin
+    let cands = Regen.candidates ~suffix tagged in
+    match Ncsel.build consist db cands samples with
+    | None -> base
+    | Some nc0 ->
+        let learned =
+          if learn_geohints then Learn.learn consist db nc0 else Learned.empty ()
+        in
+        let nc =
+          if Learned.is_empty learned then nc0
+          else
+            match Ncsel.build consist db ~learned cands samples with
+            | Some nc -> nc
+            | None -> nc0
+        in
+        { base with nc = Some nc; learned; classification = Some (Ncsel.classify nc) }
+  end
+
+let run ?db ?(learn_geohints = true) ?(min_samples = 1) dataset =
+  let db = match db with Some db -> db | None -> Db.default () in
+  let consist = Consist.create dataset in
+  let groups = Dataset.by_suffix dataset in
+  let results =
+    List.map
+      (fun (suffix, routers) ->
+        let result = run_suffix consist db ~learn_geohints ~suffix routers in
+        if result.n_tagged < min_samples then
+          { result with nc = None; classification = None }
+        else result)
+      groups
+  in
+  { dataset; consist; db; results }
+
+let usable r =
+  match r.classification with
+  | Some Ncsel.Good | Some Ncsel.Promising -> true
+  | _ -> false
+
+let find t suffix = List.find_opt (fun r -> r.suffix = suffix) t.results
+
+let geolocate t hostname =
+  match Hoiho_psl.Psl.registered_suffix hostname with
+  | None -> None
+  | Some suffix -> (
+      match find t suffix with
+      | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
+          let rec first = function
+            | [] -> None
+            | (cand : Cand.t) :: rest -> (
+                match Hoiho_rx.Engine.exec cand.Cand.regex hostname with
+                | None -> first rest
+                | Some groups -> (
+                    match Plan.decode cand.Cand.plan groups with
+                    | None -> first rest
+                    | Some ex -> (
+                        match Evalx.resolve t.db ~learned ex with
+                        | best :: _ -> Some best
+                        | [] -> None)))
+          in
+          first nc.Ncsel.cands
+      | _ -> None)
+
+let geolocated_routers _t r =
+  match r.nc with
+  | None -> 0
+  | Some nc ->
+      List.filter_map
+        (fun (h : Evalx.hit) ->
+          match h.Evalx.outcome with
+          | Evalx.TP -> Some h.Evalx.sample.Apparent.router.Router.id
+          | _ -> None)
+        nc.Ncsel.hits
+      |> List.sort_uniq compare |> List.length

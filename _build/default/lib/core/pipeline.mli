@@ -1,0 +1,56 @@
+(** End-to-end orchestration of the five-stage method (figure 4) over a
+    router-level dataset: group routers by domain suffix, tag apparent
+    geohints, generate and evaluate regexes, learn operator geohints,
+    re-select, and classify the per-suffix naming convention. *)
+
+type suffix_result = {
+  suffix : string;
+  n_routers : int;
+  n_samples : int;  (** hostnames under this suffix *)
+  n_tagged : int;  (** hostnames with an apparent geohint *)
+  n_tagged_routers : int;
+  nc : Ncsel.t option;  (** best NC after learned-geohint refinement *)
+  learned : Learned.t;
+  classification : Ncsel.classification option;
+}
+
+type t = {
+  dataset : Hoiho_itdk.Dataset.t;
+  consist : Consist.t;
+  db : Hoiho_geodb.Db.t;
+  results : suffix_result list;
+}
+
+val run :
+  ?db:Hoiho_geodb.Db.t ->
+  ?learn_geohints:bool ->
+  ?min_samples:int ->
+  Hoiho_itdk.Dataset.t ->
+  t
+(** [learn_geohints:false] disables stage 4 (used by the ablation
+    experiment). [min_samples] (default 1) skips suffixes with fewer
+    tagged hostnames. *)
+
+val run_suffix :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  ?learn_geohints:bool ->
+  suffix:string ->
+  Hoiho_itdk.Router.t list ->
+  suffix_result
+(** The per-suffix pipeline, exposed for examples and tests. *)
+
+val usable : suffix_result -> bool
+(** Classified good or promising. *)
+
+val find : t -> string -> suffix_result option
+
+val geolocate : t -> string -> Hoiho_geodb.City.t option
+(** Apply the learned conventions to one hostname: locate its suffix's
+    usable NC, run its regexes, and decode the extraction through the
+    learned overlay and reference dictionary. The result is the
+    convention's *claim*; no RTT check is applied (regexes are usable
+    offline — the paper's motivation for learning regexes at all). *)
+
+val geolocated_routers : t -> suffix_result -> int
+(** Routers of a suffix with at least one TP hostname under the NC. *)

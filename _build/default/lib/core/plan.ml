@@ -1,0 +1,74 @@
+type hint_type = Iata | Icao | Locode | Clli | CityName | FacilityAddr
+
+type elem = Hint of hint_type | ClliA | ClliB | Cc | State
+
+type t = elem list
+
+type extraction = {
+  hint : string;
+  hint_type : hint_type;
+  cc : string option;
+  state : string option;
+}
+
+let hint_type_of plan =
+  let rec go = function
+    | [] -> None
+    | Hint ht :: _ -> Some ht
+    | ClliA :: _ -> Some Clli
+    | (ClliB | Cc | State) :: rest -> go rest
+  in
+  go plan
+
+let decode plan groups =
+  if List.length plan <> Array.length groups then None
+  else begin
+    let hint = Buffer.create 8 in
+    let hint_type = ref None in
+    let cc = ref None in
+    let state = ref None in
+    let ok = ref true in
+    List.iteri
+      (fun i elem ->
+        match (elem, groups.(i)) with
+        | _, None -> ok := false
+        | Hint ht, Some s ->
+            Buffer.add_string hint s;
+            hint_type := Some ht
+        | ClliA, Some s ->
+            Buffer.add_string hint s;
+            hint_type := Some Clli
+        | ClliB, Some s -> Buffer.add_string hint s
+        | Cc, Some s -> cc := Some s
+        | State, Some s -> state := Some s)
+      plan;
+    match (!ok, !hint_type) with
+    | true, Some ht ->
+        Some { hint = Buffer.contents hint; hint_type = ht; cc = !cc; state = !state }
+    | _ -> None
+  end
+
+let capture_len = function
+  | Iata -> Some 3
+  | Icao -> Some 4
+  | Locode -> Some 5
+  | Clli -> Some 6
+  | CityName | FacilityAddr -> None
+
+let hint_type_name = function
+  | Iata -> "IATA"
+  | Icao -> "ICAO"
+  | Locode -> "LOCODE"
+  | Clli -> "CLLI"
+  | CityName -> "City"
+  | FacilityAddr -> "Facility"
+
+let elem_name = function
+  | Hint ht -> hint_type_name ht
+  | ClliA -> "CLLI[0:4]"
+  | ClliB -> "CLLI[4:6]"
+  | Cc -> "CC"
+  | State -> "ST"
+
+let pp fmt plan =
+  Format.pp_print_string fmt (String.concat ", " (List.map elem_name plan))

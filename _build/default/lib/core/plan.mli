@@ -1,0 +1,41 @@
+(** Decode plans: what each capture group of a learned regex means.
+
+    Every naming-convention regex is annotated with a plan so that an
+    extraction can be interpreted (figure 13's "PLAN" column): which
+    dictionary decodes the geohint capture, and which captures carry
+    country or state codes. *)
+
+type hint_type = Iata | Icao | Locode | Clli | CityName | FacilityAddr
+
+type elem =
+  | Hint of hint_type  (** the geohint capture *)
+  | ClliA  (** first four letters of a split CLLI prefix (figure 6e) *)
+  | ClliB  (** last two letters of a split CLLI prefix *)
+  | Cc  (** country-code capture *)
+  | State  (** state-code capture *)
+
+type t = elem list
+(** One element per capture group, in group order. A valid plan contains
+    exactly one geohint: either one [Hint _] or the pair [ClliA]+[ClliB]. *)
+
+type extraction = {
+  hint : string;  (** geohint string; split CLLI parts concatenated *)
+  hint_type : hint_type;
+  cc : string option;
+  state : string option;
+}
+
+val hint_type_of : t -> hint_type option
+(** The geohint type the plan decodes ([Clli] for split plans). *)
+
+val decode : t -> string option array -> extraction option
+(** [decode plan groups] interprets the capture groups of a successful
+    match. [None] if a required capture did not participate. *)
+
+val capture_len : hint_type -> int option
+(** Fixed capture width per type: 3 for IATA, 4 for ICAO, 5 for LOCODE,
+    6 for CLLI; [None] for variable-width types. *)
+
+val hint_type_name : hint_type -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Stage 3 regex generation (§5.3, appendix A), phases 1-3.
+
+    Phase 1 builds base regexes from each tagged hostname: the label
+    holding the geohint becomes a chunk-accurate pattern with the hint
+    captured, other labels become [^\.]+ fillers, and a variant
+    collapses the labels before the first capture into a single .+.
+    Phase 2 merges regexes that differ only by a digit run, replacing
+    \d+ with \d*. Phase 3 specializes fillers to the character-class
+    sequences (or literal) they actually matched. Phase 4 — assembling
+    regexes into naming conventions — lives in {!Ncsel}. *)
+
+val phase1 : suffix:string -> Apparent.sample list -> Cand.t list
+
+val phase2 : Cand.t list -> Cand.t list
+(** Newly created merged candidates (not including the inputs). *)
+
+val phase3 : Apparent.sample list -> Cand.t list -> Cand.t list
+(** Newly created specialized candidates (not including the inputs). *)
+
+val candidates : suffix:string -> Apparent.sample list -> Cand.t list
+(** All phases, deduplicated: phase1 ∪ phase2 ∪ phase3 output. *)
+
+val max_candidates : int
+(** Safety cap on the candidate pool per suffix. *)

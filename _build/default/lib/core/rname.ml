@@ -1,0 +1,132 @@
+module Ast = Hoiho_rx.Ast
+module Engine = Hoiho_rx.Engine
+module Strutil = Hoiho_util.Strutil
+module Router = Hoiho_itdk.Router
+module Psl = Hoiho_psl.Psl
+
+type counts = { tp : int; fp : int; fn : int }
+
+type t = {
+  regex : Engine.t;
+  source : string;
+  counts : counts;
+  n_labels : int;
+}
+
+let atp c = c.tp - (c.fp + c.fn)
+let ppv c = if c.tp + c.fp = 0 then 0.0 else float_of_int c.tp /. float_of_int (c.tp + c.fp)
+
+let prefix_labels suffix hostname =
+  match Strutil.drop_suffix ~suffix hostname with
+  | None | Some "" -> None
+  | Some prefix -> Some (String.split_on_char '.' prefix)
+
+(* how many trailing labels this router's hostnames share *)
+let common_trailing labelss =
+  match labelss with
+  | [] -> 0
+  | first :: rest ->
+      let rev = List.rev first in
+      let rev_rest = List.map List.rev rest in
+      let rec count k =
+        if k >= List.length rev then k
+        else if
+          List.for_all
+            (fun other ->
+              k < List.length other && List.nth other k = List.nth rev k)
+            rev_rest
+        then count (k + 1)
+        else k
+      in
+      (* never absorb a hostname entirely into the name *)
+      let max_k =
+        List.fold_left
+          (fun m l -> min m (List.length l - 1))
+          (List.length rev - 1) rev_rest
+      in
+      min (count 0) (max 0 max_k)
+
+(* ^.+\.((?:[^\.]+\.){k-1}[^\.]+)\.suffix$ *)
+let regex_for ~suffix k =
+  let fill = Ast.Rep (Ast.Cls (Ast.not_char '.'), 1, None, Ast.Greedy) in
+  let rec name_labels i = if i = 0 then [] else if i = 1 then [ fill ] else (fill :: Ast.Lit '.' :: name_labels (i - 1)) in
+  let body =
+    [ Ast.Bol; Ast.Rep (Ast.Any, 1, None, Ast.Greedy); Ast.Lit '.';
+      Ast.Grp (name_labels k) ]
+    @ List.init (String.length ("." ^ suffix)) (fun i -> Ast.Lit ("." ^ suffix).[i])
+    @ [ Ast.Eol ]
+  in
+  Engine.compile body
+
+let extract_with regex hostname =
+  match Engine.exec regex hostname with
+  | Some [| Some name |] -> Some name
+  | _ -> None
+
+let eval regex routers ~suffix =
+  (* per-router extractions *)
+  let per_router =
+    List.filter_map
+      (fun (r : Router.t) ->
+        let hostnames =
+          List.filter (fun h -> Psl.registered_suffix h = Some suffix) r.Router.hostnames
+        in
+        if hostnames = [] then None
+        else Some (r, List.map (extract_with regex) hostnames))
+      routers
+  in
+  (* name -> how many routers extract it (for uniqueness) *)
+  let claims = Hashtbl.create 64 in
+  List.iter
+    (fun (_, extractions) ->
+      List.sort_uniq compare (List.filter_map Fun.id extractions)
+      |> List.iter (fun name ->
+             Hashtbl.replace claims name
+               (1 + Option.value (Hashtbl.find_opt claims name) ~default:0)))
+    per_router;
+  List.fold_left
+    (fun c ((_ : Router.t), extractions) ->
+      if List.length extractions < 2 then c
+      else
+        match List.sort_uniq compare extractions with
+        | [ Some name ] ->
+            if Option.value (Hashtbl.find_opt claims name) ~default:0 > 1 then
+              { c with fp = c.fp + 1 }
+            else { c with tp = c.tp + 1 }
+        | [ None ] -> { c with fn = c.fn + 1 }
+        | _ -> { c with fp = c.fp + 1 })
+    { tp = 0; fp = 0; fn = 0 }
+    per_router
+
+let learn ~suffix routers =
+  let multi =
+    List.filter_map
+      (fun (r : Router.t) ->
+        let labelss =
+          List.filter_map (prefix_labels suffix) r.Router.hostnames
+        in
+        if List.length labelss >= 2 then Some (common_trailing labelss) else None)
+      routers
+  in
+  let ks = List.sort_uniq compare (List.filter (fun k -> k > 0) multi) in
+  if multi = [] then None
+  else begin
+    let cands =
+      List.map
+        (fun k ->
+          let regex = regex_for ~suffix k in
+          let counts = eval regex routers ~suffix in
+          { regex; source = Engine.source regex; counts; n_labels = k })
+        ks
+    in
+    List.fold_left
+      (fun best cand ->
+        match best with
+        | Some b when atp b.counts >= atp cand.counts -> Some b
+        | _ -> Some cand)
+      None cands
+  end
+
+let usable t = t.counts.tp >= 3 && ppv t.counts >= 0.8
+
+let extract t hostname = extract_with t.regex hostname

@@ -1,0 +1,49 @@
+module Router = Hoiho_itdk.Router
+
+type flag = {
+  hostname : string;
+  router : Router.t;
+  extraction : Plan.extraction;
+  believed : Hoiho_geodb.City.t option;
+}
+
+let detect (nc : Ncsel.t) =
+  (* group the NC's hits by router *)
+  let by_router : (int, Evalx.hit list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (h : Evalx.hit) ->
+      let id = h.Evalx.sample.Apparent.router.Router.id in
+      Hashtbl.replace by_router id
+        (h :: Option.value (Hashtbl.find_opt by_router id) ~default:[]))
+    nc.Ncsel.hits;
+  Hashtbl.fold
+    (fun _ hits acc ->
+      let tps = List.filter (fun (h : Evalx.hit) -> h.Evalx.outcome = Evalx.TP) hits in
+      let fps = List.filter (fun (h : Evalx.hit) -> h.Evalx.outcome = Evalx.FP) hits in
+      if tps = [] || fps = [] then acc
+      else begin
+        let believed =
+          match tps with
+          | { Evalx.location = Some city; _ } :: _ -> Some city
+          | _ -> None
+        in
+        List.fold_left
+          (fun acc (h : Evalx.hit) ->
+            match h.Evalx.extraction with
+            | Some extraction ->
+                {
+                  hostname = h.Evalx.sample.Apparent.hostname;
+                  router = h.Evalx.sample.Apparent.router;
+                  extraction;
+                  believed;
+                }
+                :: acc
+            | None -> acc)
+          acc fps
+      end)
+    by_router []
+
+type accuracy = { flagged : int; true_stale : int; actual_stale : int }
+
+let precision a = if a.flagged = 0 then 0.0 else float_of_int a.true_stale /. float_of_int a.flagged
+let recall a = if a.actual_stale = 0 then 0.0 else float_of_int a.true_stale /. float_of_int a.actual_stale

@@ -1,0 +1,33 @@
+(** Stale-hostname detection (§7; Zhang et al. 2006).
+
+    A hostname can outlive the assignment that named it: figure 3a shows
+    a router whose interfaces mostly say "ash1" (Ashburn) while one says
+    "lvs1" (Las Vegas). Once a usable naming convention exists, such
+    staleness is detectable: the router has extractions that are
+    RTT-consistent alongside extractions that are not. This module flags
+    the inconsistent ones so downstream users can discard or down-weight
+    them, mitigating the distortion Zhang et al. measured. *)
+
+type flag = {
+  hostname : string;
+  router : Hoiho_itdk.Router.t;
+  extraction : Plan.extraction;
+  believed : Hoiho_geodb.City.t option;
+      (** where the router's consistent hostnames place it *)
+}
+
+val detect : Ncsel.t -> flag list
+(** Flag FP hostnames of routers that also have TP hostnames under the
+    same naming convention. Routers whose extractions are uniformly
+    inconsistent are not flagged — with no trusted sibling there is no
+    evidence of staleness rather than, say, a provider-edge name
+    (figure 3b). *)
+
+type accuracy = { flagged : int; true_stale : int; actual_stale : int }
+(** Precision/recall inputs against generator ground truth:
+    [flagged] hostnames reported, of which [true_stale] really were
+    stale, out of [actual_stale] stale hostnames present in routers
+    covered by the NC. *)
+
+val precision : accuracy -> float
+val recall : accuracy -> float

@@ -1,0 +1,26 @@
+(** Automatic detection of vantage points with spoofed responses.
+
+    §5.1.4: seven Ark VPs sat behind access routers that spoofed TCP
+    resets, reporting 1-2 ms RTTs to every target; the authors discarded
+    them by hand and suggested, as future work, "identifying highly
+    connected components of VPs whose RTT-feasible locations are
+    consistent, and discarding the remainder". This module implements
+    that idea.
+
+    Two honest VPs' RTT discs for the same router always intersect; a
+    spoofer's tiny disc around itself is disjoint from the discs of
+    honest far-away VPs. Each VP is scored by how often its disc
+    intersects other VPs' discs across sampled routers; VPs
+    incompatible with the majority are flagged. *)
+
+val compatibility : Hoiho_itdk.Dataset.t -> ?sample:int -> int -> float
+(** [compatibility ds vp_id] in \[0,1\]: the mean, over up to [sample]
+    (default 500) routers this VP measured, of the fraction of other
+    VPs whose RTT disc intersects this VP's. *)
+
+val detect : ?threshold:float -> ?sample:int -> Hoiho_itdk.Dataset.t -> int list
+(** VP ids whose compatibility falls below [threshold] (default 0.8). *)
+
+val strip : Hoiho_itdk.Dataset.t -> int list -> Hoiho_itdk.Dataset.t
+(** Remove the given VPs' RTT samples from every router (the VPs remain
+    listed; their measurements are simply discarded, as the paper did). *)

@@ -1,0 +1,1 @@
+lib/geo/lightrtt.mli: Coord

@@ -1,0 +1,11 @@
+(* c = 299792.458 km/s; in fiber the group velocity is ~2/3 c. One-way:
+   199861.6 km/s ~= 199.86 km/ms. We use the conventional round figure of
+   ~100 km of distance per millisecond of RTT (there and back). *)
+let fiber_km_per_ms = 299792.458 /. 1000.0 *. (2.0 /. 3.0)
+
+let min_rtt_ms a b = 2.0 *. Coord.distance_km a b /. fiber_km_per_ms
+
+let max_distance_km ~rtt_ms = rtt_ms *. fiber_km_per_ms /. 2.0
+
+let consistent ?(slack_ms = 0.0) ~vp ~candidate rtt_ms =
+  rtt_ms +. slack_ms >= min_rtt_ms vp candidate

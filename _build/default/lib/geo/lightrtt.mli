@@ -1,0 +1,22 @@
+(** Speed-of-light RTT constraints.
+
+    The method's core feasibility test (§5.2): a measured round-trip time
+    to a router is consistent with a candidate location only if it is no
+    smaller than the theoretical best-case RTT between the vantage point
+    and that location — light in fiber travels at roughly 2/3 c, and the
+    signal must make the trip twice. *)
+
+val fiber_km_per_ms : float
+(** One-way propagation distance per millisecond in fiber (~100 km/ms). *)
+
+val min_rtt_ms : Coord.t -> Coord.t -> float
+(** Theoretical best-case RTT between two points, in milliseconds. *)
+
+val max_distance_km : rtt_ms:float -> float
+(** Radius of the disc an RTT constrains a target to: the farthest a
+    responder can be from the vantage point given the measured RTT. *)
+
+val consistent : ?slack_ms:float -> vp:Coord.t -> candidate:Coord.t -> float -> bool
+(** [consistent ~vp ~candidate rtt_ms] is true when the measured RTT [rtt_ms] is
+    at least the best-case RTT from [vp] to [candidate]. [slack_ms]
+    (default 0) loosens the test to absorb measurement quantization. *)

@@ -1,0 +1,1 @@
+lib/geodb/city.ml: Format Hoiho_geo List Option Printf String

@@ -1,0 +1,1 @@
+lib/geodb/city.mli: Format Hoiho_geo

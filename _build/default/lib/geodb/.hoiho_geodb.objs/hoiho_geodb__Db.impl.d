@@ -1,0 +1,1 @@
+lib/geodb/db.ml: City Hashtbl List Option World_data

@@ -1,0 +1,1 @@
+lib/geodb/db.mli: City

@@ -1,0 +1,1 @@
+lib/geodb/iso.ml: List Option String

@@ -1,0 +1,1 @@
+lib/geodb/iso.mli:

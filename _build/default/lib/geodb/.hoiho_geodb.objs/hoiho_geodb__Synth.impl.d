@@ -1,0 +1,1 @@
+lib/geodb/synth.ml: Array Buffer City Float Hashtbl Hoiho_geo Hoiho_util List

@@ -1,0 +1,1 @@
+lib/geodb/synth.mli: City Hoiho_util

@@ -1,0 +1,1 @@
+lib/geodb/world_data.ml: City

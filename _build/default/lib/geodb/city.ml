@@ -1,0 +1,67 @@
+type t = {
+  name : string;
+  cc : string;
+  state : string option;
+  coord : Hoiho_geo.Coord.t;
+  population : int;
+  iata : string list;
+  icao : string list;
+  locode : string option;
+  clli : string option;
+  facilities : (string * string) list;
+}
+
+let make ?state ?(pop = 0) ?(iata = []) ?(icao = []) ?locode ?clli ?(fac = [])
+    name cc lat lon =
+  {
+    name;
+    cc;
+    state;
+    coord = Hoiho_geo.Coord.make ~lat ~lon;
+    population = pop;
+    iata;
+    icao;
+    locode;
+    clli;
+    facilities = fac;
+  }
+
+let squashed t =
+  String.concat "" (String.split_on_char ' ' t.name)
+
+let key t =
+  Printf.sprintf "%s|%s|%s" (squashed t) t.cc (Option.value t.state ~default:"")
+
+let clli_region t =
+  match (t.cc, t.state) with
+  | ("us" | "ca"), Some st -> st
+  | "gb", _ -> "en"
+  | cc, _ -> cc
+
+let derived_locode t =
+  match t.iata with
+  | code :: _ -> code
+  | [] ->
+      let s = squashed t in
+      if String.length s >= 3 then String.sub s 0 3 else s
+
+let derived_clli t =
+  let s = squashed t in
+  let four =
+    if String.length s >= 4 then String.sub s 0 4
+    else s ^ String.make (4 - String.length s) 'x'
+  in
+  four ^ clli_region t
+
+let same_place a b = key a = key b
+
+let describe t =
+  let cap s = String.capitalize_ascii s in
+  let name = String.concat " " (List.map cap (String.split_on_char ' ' t.name)) in
+  match t.state with
+  | Some st ->
+      Printf.sprintf "%s, %s, %s" name (String.uppercase_ascii st)
+        (String.uppercase_ascii t.cc)
+  | None -> Printf.sprintf "%s, %s" name (String.uppercase_ascii t.cc)
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

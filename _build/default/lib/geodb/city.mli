@@ -1,0 +1,66 @@
+(** A city/town record — the unit of geolocation in this system.
+
+    One record gathers every code that can denote the city: IATA and ICAO
+    airport codes of airports serving it, its UN/LOCODE location part, its
+    CLLI prefix, and colocation facilities located in it. The reference
+    dictionaries in {!Db} are all derived from these records, mirroring
+    how the paper joins OurAirports, GeoNames, UN/LOCODE, iconectiv and
+    PeeringDB data on city names (§5.1.1). *)
+
+type t = {
+  name : string;  (** lowercase, words separated by single spaces *)
+  cc : string;  (** ISO-3166 alpha-2, lowercase *)
+  state : string option;  (** subdivision code where applicable *)
+  coord : Hoiho_geo.Coord.t;
+  population : int;
+  iata : string list;  (** airport codes serving the city, primary first *)
+  icao : string list;
+  locode : string option;  (** 3-letter location part; full code is cc ^ part *)
+  clli : string option;  (** 6-letter CLLI prefix *)
+  facilities : (string * string) list;
+      (** (facility name token, street-address token), both hostname-safe *)
+}
+
+val make :
+  ?state:string ->
+  ?pop:int ->
+  ?iata:string list ->
+  ?icao:string list ->
+  ?locode:string ->
+  ?clli:string ->
+  ?fac:(string * string) list ->
+  string ->
+  string ->
+  float ->
+  float ->
+  t
+(** [make name cc lat lon] builds a record; optional codes default to
+    derived values when the database is assembled. *)
+
+val squashed : t -> string
+(** City name with spaces removed — the form embedded in hostnames
+    ("new york" becomes "newyork"). *)
+
+val key : t -> string
+(** Unique identity "name|cc|state" used for ground-truth comparison. *)
+
+val clli_region : t -> string
+(** Two-letter region used in the city's CLLI prefix: the state for US
+    and Canadian cities, a home-nation code for the UK, otherwise the
+    country code. *)
+
+val derived_locode : t -> string
+(** Default LOCODE location part: the primary IATA code when one exists,
+    else the first three letters of the squashed name. *)
+
+val derived_clli : t -> string
+(** Default CLLI prefix: first four letters of the squashed name padded
+    with 'x', followed by {!clli_region}. *)
+
+val same_place : t -> t -> bool
+(** Equality on {!key}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints "Ashburn, VA, US" style. *)
+
+val describe : t -> string

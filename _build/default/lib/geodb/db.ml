@@ -1,0 +1,113 @@
+type t = {
+  cities : City.t list;
+  by_iata : (string, City.t list) Hashtbl.t;
+  by_icao : (string, City.t list) Hashtbl.t;
+  by_locode : (string, City.t list) Hashtbl.t;
+  by_clli : (string, City.t list) Hashtbl.t;
+  by_name : (string, City.t list) Hashtbl.t;
+  by_fac : (string, (string * City.t) list) Hashtbl.t;
+  locode_assigned : (string, string) Hashtbl.t; (* city key -> full locode *)
+  clli_assigned : (string, string) Hashtbl.t;
+  by_key : (string, City.t) Hashtbl.t;
+}
+
+let push tbl k v =
+  Hashtbl.replace tbl k (match Hashtbl.find_opt tbl k with None -> [ v ] | Some l -> l @ [ v ])
+
+let of_cities cities =
+  let t =
+    {
+      cities;
+      by_iata = Hashtbl.create 512;
+      by_icao = Hashtbl.create 512;
+      by_locode = Hashtbl.create 512;
+      by_clli = Hashtbl.create 512;
+      by_name = Hashtbl.create 512;
+      by_fac = Hashtbl.create 128;
+      locode_assigned = Hashtbl.create 512;
+      clli_assigned = Hashtbl.create 512;
+      by_key = Hashtbl.create 512;
+    }
+  in
+  List.iter
+    (fun city ->
+      Hashtbl.replace t.by_key (City.key city) city;
+      List.iter (fun code -> push t.by_iata code city) city.City.iata;
+      List.iter (fun code -> push t.by_icao code city) city.City.icao;
+      push t.by_name (City.squashed city) city;
+      List.iter
+        (fun (name, addr) ->
+          push t.by_fac addr (name, city);
+          if name <> addr then push t.by_fac name (name, city))
+        city.City.facilities)
+    cities;
+  (* unique-code tables: explicit codes claim their slot first, then
+     derived codes fill remaining slots by descending population *)
+  let by_pop =
+    List.stable_sort (fun a b -> compare b.City.population a.City.population) cities
+  in
+  let assign tbl assigned code city =
+    if not (Hashtbl.mem tbl code) then begin
+      Hashtbl.replace tbl code [ city ];
+      Hashtbl.replace assigned (City.key city) code
+    end
+  in
+  List.iter
+    (fun city ->
+      match city.City.locode with
+      | Some part -> assign t.by_locode t.locode_assigned (city.City.cc ^ part) city
+      | None -> ())
+    by_pop;
+  List.iter
+    (fun city ->
+      match city.City.clli with
+      | Some prefix -> assign t.by_clli t.clli_assigned prefix city
+      | None -> ())
+    by_pop;
+  List.iter
+    (fun city ->
+      if not (Hashtbl.mem t.locode_assigned (City.key city)) then
+        assign t.by_locode t.locode_assigned
+          (city.City.cc ^ City.derived_locode city)
+          city)
+    by_pop;
+  List.iter
+    (fun city ->
+      if not (Hashtbl.mem t.clli_assigned (City.key city)) then
+        assign t.by_clli t.clli_assigned (City.derived_clli city) city)
+    by_pop;
+  t
+
+let default_db = ref None
+
+let default () =
+  match !default_db with
+  | Some db -> db
+  | None ->
+      let db = of_cities World_data.cities in
+      default_db := Some db;
+      db
+
+let cities t = t.cities
+let size t = List.length t.cities
+
+let find tbl code = Option.value (Hashtbl.find_opt tbl code) ~default:[]
+
+let lookup_iata t code = find t.by_iata code
+let lookup_icao t code = find t.by_icao code
+let lookup_locode t code = find t.by_locode code
+let lookup_clli t code = find t.by_clli code
+let lookup_city_name t name = find t.by_name name
+let lookup_facility t token = find t.by_fac token
+
+let locode_of_city t city = Hashtbl.find_opt t.locode_assigned (City.key city)
+let clli_of_city t city = Hashtbl.find_opt t.clli_assigned (City.key city)
+
+let iata_cities t =
+  Hashtbl.fold
+    (fun code cities acc -> List.map (fun c -> (code, c)) cities @ acc)
+    t.by_iata []
+
+let fold_cities f t init = List.fold_left (fun acc c -> f c acc) init t.cities
+
+let find_city t ~key = Hashtbl.find_opt t.by_key key

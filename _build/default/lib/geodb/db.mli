@@ -1,0 +1,53 @@
+(** The assembled reference location dictionary (§5.1.1).
+
+    Built from {!City.t} records; exposes the per-code lookup tables the
+    geolocation method consults: IATA, ICAO, LOCODE (full 5-letter code),
+    CLLI prefix (6 letters), squashed city name, and facility name /
+    street-address tokens.
+
+    Codes that a record does not specify explicitly are derived with the
+    documented defaults ({!City.derived_locode}, {!City.derived_clli});
+    when two cities derive the same code, the higher-population city
+    keeps it — mirroring the fact that real dictionaries map each code to
+    exactly one location, while city names may be ambiguous. *)
+
+type t
+
+val of_cities : City.t list -> t
+
+val default : unit -> t
+(** The embedded world dataset; memoized. *)
+
+val cities : t -> City.t list
+
+val size : t -> int
+
+val lookup_iata : t -> string -> City.t list
+val lookup_icao : t -> string -> City.t list
+
+val lookup_locode : t -> string -> City.t list
+(** Full 5-letter code, e.g. ["usqas"]. *)
+
+val lookup_clli : t -> string -> City.t list
+(** 6-letter CLLI prefix, e.g. ["asbnva"]. *)
+
+val lookup_city_name : t -> string -> City.t list
+(** Squashed lowercase name, e.g. ["newyork"]. *)
+
+val lookup_facility : t -> string -> (string * City.t) list
+(** Token matched against facility street-address and name tokens;
+    returns (facility name, city) pairs. *)
+
+val locode_of_city : t -> City.t -> string option
+(** The full LOCODE this database assigned to the city. *)
+
+val clli_of_city : t -> City.t -> string option
+
+val iata_cities : t -> (string * City.t) list
+(** All (code, city) pairs in the IATA table — used for nearest-airport
+    analyses (figure 10b). *)
+
+val fold_cities : (City.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val find_city : t -> key:string -> City.t option
+(** Lookup by {!City.key}. *)

@@ -1,0 +1,45 @@
+module Prng = Hoiho_util.Prng
+
+let consonants = [| 'b'; 'c'; 'd'; 'f'; 'g'; 'h'; 'k'; 'l'; 'm'; 'n'; 'p'; 'r'; 's'; 't'; 'v'; 'w' |]
+let vowels = [| 'a'; 'e'; 'i'; 'o'; 'u' |]
+
+let town_name rng =
+  let syllables = Prng.range rng 3 5 in
+  let buf = Buffer.create 12 in
+  for _ = 1 to syllables do
+    Buffer.add_char buf (Prng.pick rng consonants);
+    Buffer.add_char buf (Prng.pick rng vowels)
+  done;
+  Buffer.contents buf
+
+let expand rng n base =
+  let names = Hashtbl.create (List.length base + n) in
+  List.iter (fun c -> Hashtbl.replace names (City.squashed c) ()) base;
+  let anchors = Array.of_list base in
+  let rec fresh_name tries =
+    let name = town_name rng in
+    if Hashtbl.mem names name && tries < 100 then fresh_name (tries + 1)
+    else begin
+      Hashtbl.replace names name ();
+      name
+    end
+  in
+  let towns = ref [] in
+  for _ = 1 to n do
+    let anchor = Prng.pick rng anchors in
+    let name = fresh_name 0 in
+    let lat =
+      Float.max (-89.0)
+        (Float.min 89.0 (anchor.City.coord.Hoiho_geo.Coord.lat +. Prng.gaussian rng ~mean:0.0 ~stddev:10.0))
+    in
+    let lon =
+      let l = anchor.City.coord.Hoiho_geo.Coord.lon +. Prng.gaussian rng ~mean:0.0 ~stddev:10.0 in
+      if l > 180.0 then l -. 360.0 else if l < -180.0 then l +. 360.0 else l
+    in
+    let pop = int_of_float (exp (Prng.float rng 6.0 +. 7.0)) in
+    let town =
+      City.make name anchor.City.cc lat lon ?state:anchor.City.state ~pop
+    in
+    towns := town :: !towns
+  done;
+  base @ List.rev !towns

@@ -1,0 +1,13 @@
+(** Deterministic synthetic expansion of the city dataset.
+
+    For scale experiments we can grow the dictionary with plausible
+    fictitious towns: pronounceable names, coordinates near a real
+    anchor city, log-uniform populations, and derived codes that do not
+    collide with existing entries. The expansion is a pure function of
+    the PRNG seed. *)
+
+val expand : Hoiho_util.Prng.t -> int -> City.t list -> City.t list
+(** [expand rng n base] returns [base] plus [n] synthetic towns. *)
+
+val town_name : Hoiho_util.Prng.t -> string
+(** A pronounceable lowercase name of 5-10 letters. *)

@@ -1,0 +1,868 @@
+(* Embedded reference dataset: ~230 real cities with the codes that serve
+   them. This substitutes for the paper's OurAirports + GeoNames +
+   UN/LOCODE + iconectiv + PeeringDB joins (DESIGN.md §1). Coordinates
+   and populations are approximate; only relative magnitude matters
+   (population breaks ties when ranking learned geohints, §5.4).
+
+   The set deliberately contains every collision class the paper
+   discusses: IATA codes that double as network jargon (gig, eth, cpe),
+   custom-hint collisions (ash=Nashua vs Ashburn; tok; ldn), ambiguous
+   city names (many Washingtons, two Ashburns), CLLI/city-name overlaps
+   (London UK vs London ON), and lossy-abbreviation neighbours
+   (Haarlem / Helmond / Hilversum, Kuala Lumpur / Kuala Selangor). *)
+
+let c = City.make
+
+let cities =
+  [
+    (* --- United States: major hubs --- *)
+    c "new york" "us" 40.71 (-74.01) ~state:"ny" ~pop:8336817
+      ~iata:[ "nyc"; "jfk"; "lga" ] ~icao:[ "kjfk"; "klga" ] ~clli:"nycmny"
+      ~fac:[ ("telehouse", "1118thave"); ("datacenter60h", "60hudson") ];
+    c "newark" "us" 40.74 (-74.17) ~state:"nj" ~pop:311549 ~iata:[ "ewr" ]
+      ~icao:[ "kewr" ] ~clli:"nwrknj" ~fac:[ ("equinix", "165halsey") ];
+    c "washington" "us" 38.91 (-77.04) ~state:"dc" ~pop:705749
+      ~iata:[ "was"; "dca"; "iad" ] ~icao:[ "kdca"; "kiad" ] ~clli:"washdc";
+    c "ashburn" "us" 39.04 (-77.49) ~state:"va" ~pop:43511 ~clli:"asbnva"
+      ~locode:"qas" ~fac:[ ("equinix", "21715filigree") ];
+    c "chicago" "us" 41.88 (-87.63) ~state:"il" ~pop:2693976
+      ~iata:[ "chi"; "ord"; "mdw" ] ~icao:[ "kord"; "kmdw" ] ~clli:"chcgil"
+      ~fac:[ ("equinix", "350cermak") ];
+    c "los angeles" "us" 34.05 (-118.24) ~state:"ca" ~pop:3979576
+      ~iata:[ "lax" ] ~icao:[ "klax" ] ~clli:"lsanca"
+      ~fac:[ ("coresite", "1wilshire") ];
+    c "san francisco" "us" 37.77 (-122.42) ~state:"ca" ~pop:881549
+      ~iata:[ "sfo" ] ~icao:[ "ksfo" ] ~clli:"snfcca"
+      ~fac:[ ("digitalrealty", "365main") ];
+    c "san jose" "us" 37.34 (-121.89) ~state:"ca" ~pop:1021795
+      ~iata:[ "sjc" ] ~icao:[ "ksjc" ] ~clli:"snjsca"
+      ~fac:[ ("equinix", "11greatoaks") ];
+    c "palo alto" "us" 37.44 (-122.14) ~state:"ca" ~pop:65364 ~iata:[ "pao" ]
+      ~fac:[ ("paix", "529bryant") ];
+    c "seattle" "us" 47.61 (-122.33) ~state:"wa" ~pop:753675 ~iata:[ "sea" ]
+      ~icao:[ "ksea" ] ~clli:"sttlwa" ~fac:[ ("westin", "2001sixth") ];
+    c "dallas" "us" 32.78 (-96.80) ~state:"tx" ~pop:1343573
+      ~iata:[ "dfw"; "dal" ] ~icao:[ "kdfw"; "kdal" ] ~clli:"dllstx"
+      ~fac:[ ("equinix", "1950stemmons") ];
+    c "houston" "us" 29.76 (-95.37) ~state:"tx" ~pop:2320268
+      ~iata:[ "iah"; "hou" ] ~icao:[ "kiah" ] ~clli:"hstntx";
+    c "atlanta" "us" 33.75 (-84.39) ~state:"ga" ~pop:506811 ~iata:[ "atl" ]
+      ~icao:[ "katl" ] ~clli:"atlnga" ~fac:[ ("telx", "56marietta") ];
+    c "miami" "us" 25.76 (-80.19) ~state:"fl" ~pop:467963 ~iata:[ "mia" ]
+      ~icao:[ "kmia" ] ~clli:"miamfl" ~fac:[ ("equinix", "50ne9th") ];
+    c "denver" "us" 39.74 (-104.99) ~state:"co" ~pop:727211 ~iata:[ "den" ]
+      ~icao:[ "kden" ] ~clli:"dnvrco";
+    c "boston" "us" 42.36 (-71.06) ~state:"ma" ~pop:692600 ~iata:[ "bos" ]
+      ~icao:[ "kbos" ] ~clli:"bstnma";
+    c "philadelphia" "us" 39.95 (-75.17) ~state:"pa" ~pop:1584064
+      ~iata:[ "phl" ] ~icao:[ "kphl" ] ~clli:"phlapa";
+    c "phoenix" "us" 33.45 (-112.07) ~state:"az" ~pop:1680992 ~iata:[ "phx" ]
+      ~icao:[ "kphx" ] ~clli:"phnxaz";
+    c "las vegas" "us" 36.17 (-115.14) ~state:"nv" ~pop:651319
+      ~iata:[ "las"; "lvs" ] ~icao:[ "klas" ] ~clli:"lsvgnv";
+    c "san diego" "us" 32.72 (-117.16) ~state:"ca" ~pop:1423851
+      ~iata:[ "san" ] ~icao:[ "ksan" ] ~clli:"sndgca";
+    c "portland" "us" 45.52 (-122.68) ~state:"or" ~pop:654741 ~iata:[ "pdx" ]
+      ~icao:[ "kpdx" ] ~clli:"ptldor";
+    c "minneapolis" "us" 44.98 (-93.27) ~state:"mn" ~pop:429606
+      ~iata:[ "msp" ] ~icao:[ "kmsp" ] ~clli:"mplsmn";
+    c "detroit" "us" 42.33 (-83.05) ~state:"mi" ~pop:670031 ~iata:[ "dtw" ]
+      ~icao:[ "kdtw" ] ~clli:"dtrtmi";
+    c "st louis" "us" 38.63 (-90.20) ~state:"mo" ~pop:300576 ~iata:[ "stl" ]
+      ~icao:[ "kstl" ] ~clli:"stlsmo";
+    c "kansas city" "us" 39.10 (-94.58) ~state:"mo" ~pop:495327
+      ~iata:[ "mci" ] ~icao:[ "kmci" ] ~clli:"kscymo";
+    c "salt lake city" "us" 40.76 (-111.89) ~state:"ut" ~pop:200567
+      ~iata:[ "slc" ] ~icao:[ "kslc" ] ~clli:"slkcut";
+    c "austin" "us" 30.27 (-97.74) ~state:"tx" ~pop:978908 ~iata:[ "aus" ]
+      ~icao:[ "kaus" ] ~clli:"astntx";
+    c "san antonio" "us" 29.42 (-98.49) ~state:"tx" ~pop:1547253
+      ~iata:[ "sat" ] ~icao:[ "ksat" ] ~clli:"snantx";
+    c "nashville" "us" 36.16 (-86.78) ~state:"tn" ~pop:670820
+      ~iata:[ "bna" ] ~icao:[ "kbna" ] ~clli:"nsvltn";
+    c "charlotte" "us" 35.23 (-80.84) ~state:"nc" ~pop:885708
+      ~iata:[ "clt" ] ~icao:[ "kclt" ] ~clli:"chrlnc";
+    c "raleigh" "us" 35.78 (-78.64) ~state:"nc" ~pop:474069 ~iata:[ "rdu" ]
+      ~icao:[ "krdu" ] ~clli:"ralgnc";
+    c "pittsburgh" "us" 40.44 (-79.99) ~state:"pa" ~pop:300286
+      ~iata:[ "pit" ] ~icao:[ "kpit" ] ~clli:"ptbgpa";
+    c "cleveland" "us" 41.50 (-81.69) ~state:"oh" ~pop:381009
+      ~iata:[ "cle" ] ~icao:[ "kcle" ] ~clli:"clevoh";
+    c "columbus" "us" 39.96 (-83.00) ~state:"oh" ~pop:898553 ~iata:[ "cmh" ]
+      ~icao:[ "kcmh" ] ~clli:"clmboh";
+    c "cincinnati" "us" 39.10 (-84.51) ~state:"oh" ~pop:303940
+      ~iata:[ "cvg" ] ~icao:[ "kcvg" ] ~clli:"cncnoh";
+    c "indianapolis" "us" 39.77 (-86.16) ~state:"in" ~pop:876384
+      ~iata:[ "ind" ] ~icao:[ "kind" ] ~clli:"iplsin";
+    c "milwaukee" "us" 43.04 (-87.91) ~state:"wi" ~pop:590157
+      ~iata:[ "mke" ] ~icao:[ "kmke" ] ~clli:"mlwkwi";
+    c "baltimore" "us" 39.29 (-76.61) ~state:"md" ~pop:593490
+      ~iata:[ "bwi" ] ~icao:[ "kbwi" ] ~clli:"bltmmd";
+    c "tampa" "us" 27.95 (-82.46) ~state:"fl" ~pop:399700 ~iata:[ "tpa" ]
+      ~icao:[ "ktpa" ] ~clli:"tampfl";
+    c "orlando" "us" 28.54 (-81.38) ~state:"fl" ~pop:287442 ~iata:[ "mco" ]
+      ~icao:[ "kmco" ] ~clli:"orlnfl";
+    c "jacksonville" "us" 30.33 (-81.66) ~state:"fl" ~pop:911507
+      ~iata:[ "jax" ] ~icao:[ "kjax" ] ~clli:"jcvlfl";
+    c "new orleans" "us" 29.95 (-90.07) ~state:"la" ~pop:390144
+      ~iata:[ "msy" ] ~icao:[ "kmsy" ] ~clli:"nworla";
+    c "memphis" "us" 35.15 (-90.05) ~state:"tn" ~pop:651073 ~iata:[ "mem" ]
+      ~icao:[ "kmem" ] ~clli:"mmphtn";
+    c "oklahoma city" "us" 35.47 (-97.52) ~state:"ok" ~pop:655057
+      ~iata:[ "okc" ] ~icao:[ "kokc" ] ~clli:"okcyok";
+    c "albuquerque" "us" 35.08 (-106.65) ~state:"nm" ~pop:560513
+      ~iata:[ "abq" ] ~icao:[ "kabq" ] ~clli:"albqnm";
+    c "tucson" "us" 32.22 (-110.97) ~state:"az" ~pop:548073 ~iata:[ "tus" ]
+      ~icao:[ "ktus" ] ~clli:"tcsnaz";
+    c "sacramento" "us" 38.58 (-121.49) ~state:"ca" ~pop:513624
+      ~iata:[ "smf" ] ~icao:[ "ksmf" ] ~clli:"scrmca";
+    c "fresno" "us" 36.75 (-119.77) ~state:"ca" ~pop:531576 ~iata:[ "fat" ]
+      ~icao:[ "kfat" ] ~clli:"frsnca";
+    c "honolulu" "us" 21.31 (-157.86) ~state:"hi" ~pop:345064
+      ~iata:[ "hnl" ] ~icao:[ "phnl" ] ~clli:"hnluhi";
+    c "anchorage" "us" 61.22 (-149.90) ~state:"ak" ~pop:291247
+      ~iata:[ "anc" ] ~icao:[ "panc" ] ~clli:"anchak";
+    c "buffalo" "us" 42.89 (-78.88) ~state:"ny" ~pop:255284 ~iata:[ "buf" ]
+      ~icao:[ "kbuf" ] ~clli:"bfflny";
+    c "albany" "us" 42.65 (-73.76) ~state:"ny" ~pop:96460 ~iata:[ "alb" ]
+      ~icao:[ "kalb" ] ~clli:"albyny";
+    c "syracuse" "us" 43.05 (-76.15) ~state:"ny" ~pop:142327 ~iata:[ "syr" ]
+      ~icao:[ "ksyr" ] ~clli:"syrcny";
+    c "rochester" "us" 43.16 (-77.61) ~state:"ny" ~pop:205695
+      ~iata:[ "roc" ] ~icao:[ "kroc" ] ~clli:"rchsny";
+    c "richmond" "us" 37.54 (-77.44) ~state:"va" ~pop:230436 ~iata:[ "ric" ]
+      ~icao:[ "kric" ] ~clli:"rcmdva";
+    c "norfolk" "us" 36.85 (-76.29) ~state:"va" ~pop:242742 ~iata:[ "orf" ]
+      ~icao:[ "korf" ] ~clli:"nrflva";
+    c "eugene" "us" 44.05 (-123.09) ~state:"or" ~pop:172622 ~iata:[ "eug" ]
+      ~icao:[ "keug" ] ~clli:"eugnor";
+    c "boise" "us" 43.62 (-116.21) ~state:"id" ~pop:228959 ~iata:[ "boi" ]
+      ~icao:[ "kboi" ] ~clli:"boisid";
+    c "omaha" "us" 41.26 (-95.93) ~state:"ne" ~pop:478192 ~iata:[ "oma" ]
+      ~icao:[ "koma" ] ~clli:"omahne";
+    c "des moines" "us" 41.59 (-93.62) ~state:"ia" ~pop:214237
+      ~iata:[ "dsm" ] ~icao:[ "kdsm" ] ~clli:"dsmnia";
+    c "louisville" "us" 38.25 (-85.76) ~state:"ky" ~pop:617638
+      ~iata:[ "sdf" ] ~icao:[ "ksdf" ] ~clli:"lsvlky";
+    c "birmingham" "us" 33.52 (-86.80) ~state:"al" ~pop:200733
+      ~iata:[ "bhm" ] ~icao:[ "kbhm" ] ~clli:"bhamal";
+    c "el paso" "us" 31.76 (-106.49) ~state:"tx" ~pop:681728
+      ~iata:[ "elp" ] ~icao:[ "kelp" ] ~clli:"elpstx";
+    c "billings" "us" 45.78 (-108.50) ~state:"mt" ~pop:109577
+      ~iata:[ "bil" ] ~icao:[ "kbil" ] ~clli:"blngmt";
+    c "fort collins" "us" 40.59 (-105.08) ~state:"co" ~pop:170243
+      ~clli:"ftcoco";
+    c "richardson" "us" 32.95 (-96.73) ~state:"tx" ~pop:121323
+      ~clli:"rcsntx";
+    c "brecksville" "us" 41.32 (-81.63) ~state:"oh" ~pop:13635
+      ~clli:"brkvoh";
+    c "college park" "us" 38.98 (-76.94) ~state:"md" ~pop:32303;
+    c "herndon" "us" 38.97 (-77.39) ~state:"va" ~pop:24655 ~clli:"hrndva";
+    c "reston" "us" 38.96 (-77.36) ~state:"va" ~pop:63226 ~clli:"rstnva";
+    c "santa clara" "us" 37.35 (-121.95) ~state:"ca" ~pop:130365
+      ~clli:"sntcca" ~fac:[ ("coresite", "2901coronado") ];
+    c "waco" "us" 31.55 (-97.15) ~state:"tx" ~pop:139236 ~iata:[ "act" ]
+      ~icao:[ "kact" ] ~clli:"wacotx";
+    (* --- US: ambiguity / collision towns --- *)
+    c "nashua" "us" 42.77 (-71.46) ~state:"nh" ~pop:89355 ~iata:[ "ash" ]
+      ~icao:[ "kash" ] ~clli:"nshanh";
+    c "manchester" "us" 42.99 (-71.46) ~state:"nh" ~pop:112673
+      ~iata:[ "mht" ] ~icao:[ "kmht" ] ~clli:"mnchnh";
+    c "ashland" "us" 37.76 (-77.48) ~state:"va" ~pop:7503 ~clli:"ashlva";
+    c "ashland" "us" 39.87 (-75.00) ~state:"nj" ~pop:8202;
+    c "ashburn" "us" 31.71 (-83.65) ~state:"ga" ~pop:4397;
+    c "chico" "us" 39.73 (-121.84) ~state:"ca" ~pop:94776 ~iata:[ "cic" ]
+      ~icao:[ "kcic" ] ~clli:"chcoca";
+    c "torrington" "us" 42.06 (-104.18) ~state:"wy" ~pop:6501
+      ~iata:[ "tor" ];
+    c "washington" "us" 40.17 (-80.25) ~state:"pa" ~pop:13176;
+    c "washington" "us" 38.66 (-87.17) ~state:"in" ~pop:11972;
+    c "washington" "us" 38.56 (-91.01) ~state:"mo" ~pop:14061;
+    c "washington" "us" 35.55 (-77.05) ~state:"nc" ~pop:9744;
+    c "washington" "us" 37.13 (-113.51) ~state:"ut" ~pop:27993;
+    c "arlington" "us" 38.88 (-77.10) ~state:"va" ~pop:236842;
+    c "springfield" "us" 39.80 (-89.64) ~state:"il" ~pop:114394
+      ~iata:[ "spi" ] ~clli:"spfdil";
+    c "springfield" "us" 42.10 (-72.59) ~state:"ma" ~pop:153606
+      ~clli:"spfdma";
+    c "columbia" "us" 34.00 (-81.03) ~state:"sc" ~pop:131674
+      ~iata:[ "cae" ] ~clli:"clmasc";
+    (* --- Canada --- *)
+    c "toronto" "ca" 43.65 (-79.38) ~state:"on" ~pop:2930000
+      ~iata:[ "yto"; "yyz"; "ytz" ] ~icao:[ "cyyz" ] ~clli:"torton"
+      ~fac:[ ("151front", "151front") ];
+    c "vancouver" "ca" 49.28 (-123.12) ~state:"bc" ~pop:631486
+      ~iata:[ "yvr" ] ~icao:[ "cyvr" ] ~clli:"vancbc";
+    c "montreal" "ca" 45.50 (-73.57) ~state:"qc" ~pop:1704694
+      ~iata:[ "yul" ] ~icao:[ "cyul" ] ~clli:"mtrlqc";
+    c "calgary" "ca" 51.05 (-114.07) ~state:"ab" ~pop:1239220
+      ~iata:[ "yyc" ] ~icao:[ "cyyc" ] ~clli:"clgyab";
+    c "edmonton" "ca" 53.55 (-113.49) ~state:"ab" ~pop:932546
+      ~iata:[ "yeg" ] ~icao:[ "cyeg" ] ~clli:"edtnab";
+    c "ottawa" "ca" 45.42 (-75.70) ~state:"on" ~pop:934243 ~iata:[ "yow" ]
+      ~icao:[ "cyow" ] ~clli:"ottwon";
+    c "winnipeg" "ca" 49.90 (-97.14) ~state:"mb" ~pop:705244
+      ~iata:[ "ywg" ] ~icao:[ "cywg" ] ~clli:"wnpgmb";
+    c "halifax" "ca" 44.65 (-63.58) ~state:"ns" ~pop:403131 ~iata:[ "yhz" ]
+      ~icao:[ "cyhz" ] ~clli:"hlfxns";
+    c "quebec city" "ca" 46.81 (-71.21) ~state:"qc" ~pop:531902
+      ~iata:[ "yqb" ] ~icao:[ "cyqb" ] ~clli:"qbecqc";
+    c "london" "ca" 42.98 (-81.25) ~state:"on" ~pop:383822 ~iata:[ "yxu" ]
+      ~icao:[ "cyxu" ] ~clli:"lndnon";
+    c "saskatoon" "ca" 52.13 (-106.67) ~state:"sk" ~pop:273010
+      ~iata:[ "yxe" ] ~clli:"ssktsk";
+    (* --- Europe --- *)
+    c "london" "gb" 51.51 (-0.13) ~pop:8982000
+      ~iata:[ "lon"; "lhr"; "lgw"; "lcy"; "ltn"; "stn" ]
+      ~icao:[ "egll"; "egkk"; "eglc" ] ~clli:"londen"
+      ~fac:[ ("telehouse", "docklands") ];
+    c "manchester" "gb" 53.48 (-2.24) ~pop:547627 ~iata:[ "man" ]
+      ~icao:[ "egcc" ] ~clli:"mnchen";
+    c "birmingham" "gb" 52.48 (-1.90) ~pop:1141816 ~iata:[ "bhx" ]
+      ~icao:[ "egbb" ] ~clli:"bmhmen";
+    c "leeds" "gb" 53.80 (-1.55) ~pop:789194 ~iata:[ "lba" ] ~clli:"leeden";
+    c "edinburgh" "gb" 55.95 (-3.19) ~pop:524930 ~iata:[ "edi" ]
+      ~icao:[ "egph" ] ~clli:"edbgen";
+    c "glasgow" "gb" 55.86 (-4.25) ~pop:633120 ~iata:[ "gla" ]
+      ~icao:[ "egpf" ] ~clli:"glgwen";
+    c "bristol" "gb" 51.45 (-2.59) ~pop:463400 ~iata:[ "brs" ]
+      ~clli:"brsten";
+    c "cambridge" "gb" 52.21 0.12 ~pop:123867 ~iata:[ "cbg" ];
+    c "washington" "gb" 54.90 (-1.52) ~pop:67085;
+    c "slough" "gb" 51.51 (-0.59) ~pop:164000 ~fac:[ ("equinix", "ld4") ];
+    c "edge" "gb" 53.22 (-2.30) ~pop:4500;
+    c "dublin" "ie" 53.35 (-6.26) ~pop:554554 ~iata:[ "dub" ]
+      ~icao:[ "eidw" ] ~fac:[ ("interxion", "dub1") ];
+    c "paris" "fr" 48.86 2.35 ~pop:2148271 ~iata:[ "par"; "cdg"; "ory" ]
+      ~icao:[ "lfpg"; "lfpo" ] ~clli:"parsfr"
+      ~fac:[ ("telehouse", "voltaire") ];
+    c "marseille" "fr" 43.30 5.37 ~pop:861635 ~iata:[ "mrs" ]
+      ~icao:[ "lfml" ];
+    c "lyon" "fr" 45.76 4.84 ~pop:513275 ~iata:[ "lys" ] ~icao:[ "lfll" ];
+    c "toulouse" "fr" 43.60 1.44 ~pop:471941 ~iata:[ "tls" ];
+    c "bordeaux" "fr" 44.84 (-0.58) ~pop:249712 ~iata:[ "bod" ];
+    c "nice" "fr" 43.70 7.27 ~pop:342522 ~iata:[ "nce" ];
+    c "strasbourg" "fr" 48.57 7.75 ~pop:280966 ~iata:[ "sxb" ];
+    c "amsterdam" "nl" 52.37 4.90 ~pop:821752 ~iata:[ "ams" ]
+      ~icao:[ "eham" ] ~clli:"amstnl"
+      ~fac:[ ("nikhef", "sciencepark"); ("equinix", "am3") ];
+    c "rotterdam" "nl" 51.92 4.48 ~pop:623652 ~iata:[ "rtm" ];
+    c "the hague" "nl" 52.08 4.31 ~pop:514861;
+    c "haarlem" "nl" 52.38 4.64 ~pop:161265;
+    c "helmond" "nl" 51.48 5.66 ~pop:92627;
+    c "hilversum" "nl" 52.22 5.17 ~pop:90831;
+    c "eindhoven" "nl" 51.44 5.47 ~pop:234456 ~iata:[ "ein" ];
+    c "groningen" "nl" 53.22 6.57 ~pop:232826 ~iata:[ "grq" ];
+    c "brussels" "be" 50.85 4.35 ~pop:1208542 ~iata:[ "bru" ]
+      ~icao:[ "ebbr" ] ~clli:"brslbe";
+    c "antwerp" "be" 51.22 4.40 ~pop:523248 ~iata:[ "anr" ];
+    c "luxembourg" "lu" 49.61 6.13 ~pop:124509 ~iata:[ "lux" ];
+    c "frankfurt" "de" 50.11 8.68 ~pop:753056 ~iata:[ "fra" ]
+      ~icao:[ "eddf" ] ~clli:"frnkde"
+      ~fac:[ ("equinix", "fr5"); ("interxion", "hanauer") ];
+    c "berlin" "de" 52.52 13.40 ~pop:3644826 ~iata:[ "ber"; "txl" ]
+      ~icao:[ "eddb" ] ~clli:"brlnde";
+    c "munich" "de" 48.14 11.58 ~pop:1471508 ~iata:[ "muc" ]
+      ~icao:[ "eddm" ] ~clli:"mnchde";
+    c "hamburg" "de" 53.55 9.99 ~pop:1841179 ~iata:[ "ham" ]
+      ~icao:[ "eddh" ] ~clli:"hmbgde";
+    c "dusseldorf" "de" 51.23 6.77 ~pop:619294 ~iata:[ "dus" ]
+      ~icao:[ "eddl" ] ~clli:"dsldde";
+    c "stuttgart" "de" 48.78 9.18 ~pop:634830 ~iata:[ "str" ]
+      ~icao:[ "edds" ] ~clli:"sttgde";
+    c "cologne" "de" 50.94 6.96 ~pop:1085664 ~iata:[ "cgn" ]
+      ~icao:[ "eddk" ] ~clli:"clgnde";
+    c "dresden" "de" 51.05 13.74 ~pop:554649 ~iata:[ "drs" ] ~clli:"drsdde";
+    c "leipzig" "de" 51.34 12.37 ~pop:587857 ~iata:[ "lej" ];
+    c "nuremberg" "de" 49.45 11.08 ~pop:518365 ~iata:[ "nue" ];
+    c "hanover" "de" 52.38 9.73 ~pop:538068 ~iata:[ "haj" ];
+    c "zurich" "ch" 47.37 8.54 ~pop:402762 ~iata:[ "zrh" ] ~icao:[ "lszh" ]
+      ~clli:"zrchch" ~fac:[ ("interxion", "zur1") ];
+    c "geneva" "ch" 46.20 6.14 ~pop:201818 ~iata:[ "gva" ] ~icao:[ "lsgg" ];
+    c "basel" "ch" 47.56 7.59 ~pop:177654 ~iata:[ "bsl" ];
+    c "vienna" "at" 48.21 16.37 ~pop:1897491 ~iata:[ "vie" ]
+      ~icao:[ "loww" ] ~clli:"viennat";
+    c "prague" "cz" 50.08 14.44 ~pop:1301132 ~iata:[ "prg" ]
+      ~icao:[ "lkpr" ] ~clli:"pragcz";
+    c "warsaw" "pl" 52.23 21.01 ~pop:1790658 ~iata:[ "waw" ]
+      ~icao:[ "epwa" ] ~clli:"wrswpl";
+    c "krakow" "pl" 50.06 19.94 ~pop:779115 ~iata:[ "krk" ];
+    c "budapest" "hu" 47.50 19.04 ~pop:1752286 ~iata:[ "bud" ]
+      ~icao:[ "lhbp" ];
+    c "bucharest" "ro" 44.43 26.10 ~pop:1883425 ~iata:[ "buh"; "otp" ]
+      ~icao:[ "lrop" ];
+    c "sofia" "bg" 42.70 23.32 ~pop:1241675 ~iata:[ "sof" ];
+    c "belgrade" "rs" 44.79 20.45 ~pop:1166763 ~iata:[ "beg" ];
+    c "zagreb" "hr" 45.82 15.98 ~pop:790017 ~iata:[ "zag" ];
+    c "ljubljana" "si" 46.06 14.51 ~pop:279631 ~iata:[ "lju" ];
+    c "bratislava" "sk" 48.15 17.11 ~pop:432864 ~iata:[ "bts" ];
+    c "athens" "gr" 37.98 23.73 ~pop:664046 ~iata:[ "ath" ] ~icao:[ "lgav" ]
+      ~clli:"athngr";
+    c "madrid" "es" 40.42 (-3.70) ~pop:3223334 ~iata:[ "mad" ]
+      ~icao:[ "lemd" ] ~clli:"mdrdes";
+    c "barcelona" "es" 41.39 2.17 ~pop:1620343 ~iata:[ "bcn" ]
+      ~icao:[ "lebl" ];
+    c "valencia" "es" 39.47 (-0.38) ~pop:791413 ~iata:[ "vlc" ];
+    c "lisbon" "pt" 38.72 (-9.14) ~pop:504718 ~iata:[ "lis" ]
+      ~icao:[ "lppt" ];
+    c "porto" "pt" 41.15 (-8.61) ~pop:237591 ~iata:[ "opo" ];
+    c "rome" "it" 41.90 12.50 ~pop:2872800 ~iata:[ "rom"; "fco" ]
+      ~icao:[ "lirf" ] ~clli:"romeit";
+    c "milan" "it" 45.46 9.19 ~pop:1396059 ~iata:[ "mil"; "mxp"; "lin" ]
+      ~icao:[ "limc"; "liml" ] ~clli:"milnit"
+      ~fac:[ ("mix", "caldera") ];
+    c "turin" "it" 45.07 7.69 ~pop:870952 ~iata:[ "trn" ];
+    c "naples" "it" 40.85 14.27 ~pop:959470 ~iata:[ "nap" ];
+    c "palermo" "it" 38.12 13.36 ~pop:663401 ~iata:[ "pmo" ];
+    c "bologna" "it" 44.49 11.34 ~pop:388367 ~iata:[ "blq" ];
+    c "montesilvano marina" "it" 42.51 14.15 ~pop:45991;
+    c "stockholm" "se" 59.33 18.07 ~pop:975551 ~iata:[ "sto"; "arn" ]
+      ~icao:[ "essa" ] ~clli:"sthmse";
+    c "gothenburg" "se" 57.71 11.97 ~pop:583056 ~iata:[ "got" ];
+    c "oslo" "no" 59.91 10.75 ~pop:693494 ~iata:[ "osl" ] ~icao:[ "engm" ];
+    c "copenhagen" "dk" 55.68 12.57 ~pop:794128 ~iata:[ "cph" ]
+      ~icao:[ "ekch" ];
+    c "helsinki" "fi" 60.17 24.94 ~pop:655281 ~iata:[ "hel" ]
+      ~icao:[ "efhk" ];
+    c "reykjavik" "is" 64.15 (-21.94) ~pop:131136 ~iata:[ "rkv"; "kef" ];
+    c "tallinn" "ee" 59.44 24.75 ~pop:437619 ~iata:[ "tll" ];
+    c "riga" "lv" 56.95 24.11 ~pop:632614 ~iata:[ "rix" ];
+    c "vilnius" "lt" 54.69 25.28 ~pop:588412 ~iata:[ "vno" ];
+    c "kyiv" "ua" 50.45 30.52 ~pop:2967360 ~iata:[ "iev"; "kbp" ];
+    c "moscow" "ru" 55.76 37.62 ~pop:12506468 ~iata:[ "mow"; "svo"; "dme" ]
+      ~icao:[ "uuee" ];
+    c "st petersburg" "ru" 59.93 30.34 ~pop:5351935 ~iata:[ "led" ];
+    c "istanbul" "tr" 41.01 28.98 ~pop:15462452 ~iata:[ "ist"; "saw" ]
+      ~icao:[ "ltfm" ];
+    c "ankara" "tr" 39.93 32.86 ~pop:5503985 ~iata:[ "esb" ];
+    (* --- Middle East & Africa --- *)
+    c "tel aviv" "il" 32.09 34.78 ~pop:460613 ~iata:[ "tlv" ]
+      ~icao:[ "llbg" ];
+    c "eilat" "il" 29.56 34.95 ~pop:52299 ~iata:[ "eth" ];
+    c "dubai" "ae" 25.20 55.27 ~pop:3331420 ~iata:[ "dxb" ]
+      ~icao:[ "omdb" ];
+    c "manama" "bh" 26.23 50.59 ~pop:157474 ~iata:[ "bah" ];
+    c "riyadh" "sa" 24.71 46.68 ~pop:7676654 ~iata:[ "ruh" ];
+    c "cairo" "eg" 30.04 31.24 ~pop:9539673 ~iata:[ "cai" ]
+      ~icao:[ "heca" ];
+    c "casablanca" "ma" 33.57 (-7.59) ~pop:3359818 ~iata:[ "cmn"; "cas" ];
+    c "lagos" "ng" 6.52 3.38 ~pop:14862000 ~iata:[ "los" ];
+    c "nairobi" "ke" (-1.29) 36.82 ~pop:4397073 ~iata:[ "nbo" ];
+    c "johannesburg" "za" (-26.20) 28.05 ~pop:5635127 ~iata:[ "jnb" ]
+      ~icao:[ "faor" ] ~fac:[ ("teraco", "isando") ];
+    c "cape town" "za" (-33.92) 18.42 ~pop:4618000 ~iata:[ "cpt" ]
+      ~icao:[ "fact" ];
+    c "durban" "za" (-29.86) 31.03 ~pop:3442361 ~iata:[ "dur" ];
+    (* --- Asia --- *)
+    c "tokyo" "jp" 35.68 139.69 ~pop:13960000 ~iata:[ "tyo"; "nrt"; "hnd" ]
+      ~icao:[ "rjtt"; "rjaa" ] ~clli:"tokyjp"
+      ~fac:[ ("equinix", "ty4"); ("atbpc", "otemachi") ];
+    c "tokuyama" "jp" 34.05 131.81 ~pop:140000 ~locode:"tky";
+    c "osaka" "jp" 34.69 135.50 ~pop:2691185 ~iata:[ "osa"; "kix"; "itm" ]
+      ~icao:[ "rjbb" ] ~clli:"osakjp";
+    c "nagoya" "jp" 35.18 136.91 ~pop:2295638 ~iata:[ "ngo" ];
+    c "fukuoka" "jp" 33.59 130.40 ~pop:1612392 ~iata:[ "fuk" ];
+    c "sapporo" "jp" 43.06 141.35 ~pop:1952356 ~iata:[ "spk"; "cts" ];
+    c "seoul" "kr" 37.57 126.98 ~pop:9776000 ~iata:[ "sel"; "icn"; "gmp" ]
+      ~icao:[ "rksi" ] ~clli:"seolkr";
+    c "busan" "kr" 35.18 129.08 ~pop:3448737 ~iata:[ "pus" ];
+    c "beijing" "cn" 39.90 116.41 ~pop:21542000 ~iata:[ "bjs"; "pek" ]
+      ~icao:[ "zbaa" ];
+    c "shanghai" "cn" 31.23 121.47 ~pop:24870895 ~iata:[ "sha"; "pvg" ]
+      ~icao:[ "zspd" ];
+    c "shenzhen" "cn" 22.54 114.06 ~pop:12528300 ~iata:[ "szx" ];
+    c "guangzhou" "cn" 23.13 113.26 ~pop:14904400 ~iata:[ "can" ];
+    c "hong kong" "hk" 22.32 114.17 ~pop:7482500 ~iata:[ "hkg" ]
+      ~icao:[ "vhhh" ] ~clli:"hkcnhk"
+      ~fac:[ ("mega-i", "chaiwan") ];
+    c "taipei" "tw" 25.03 121.57 ~pop:2646204 ~iata:[ "tpe"; "tsa" ]
+      ~icao:[ "rctp" ];
+    c "singapore" "sg" 1.35 103.82 ~pop:5685800 ~iata:[ "sin" ]
+      ~icao:[ "wsss" ] ~clli:"singsg"
+      ~fac:[ ("equinix", "sg1") ];
+    c "kuala lumpur" "my" 3.14 101.69 ~pop:1790000 ~iata:[ "kul" ]
+      ~icao:[ "wmkk" ] ~clli:"klprmy";
+    c "kuala selangor" "my" 3.34 101.25 ~pop:225000;
+    c "bangkok" "th" 13.76 100.50 ~pop:10539000 ~iata:[ "bkk"; "dmk" ]
+      ~icao:[ "vtbs" ];
+    c "jakarta" "id" (-6.21) 106.85 ~pop:10562088 ~iata:[ "jkt"; "cgk" ]
+      ~icao:[ "wiii" ];
+    c "manila" "ph" 14.60 120.98 ~pop:1780148 ~iata:[ "mnl" ]
+      ~icao:[ "rpll" ];
+    c "hanoi" "vn" 21.03 105.85 ~pop:8053663 ~iata:[ "han" ];
+    c "ho chi minh city" "vn" 10.82 106.63 ~pop:8993082 ~iata:[ "sgn" ];
+    c "mumbai" "in" 19.08 72.88 ~pop:12442373 ~iata:[ "bom" ]
+      ~icao:[ "vabb" ] ~fac:[ ("gpx", "andheri") ];
+    c "delhi" "in" 28.70 77.10 ~pop:16787941 ~iata:[ "del" ]
+      ~icao:[ "vidp" ];
+    c "chennai" "in" 13.08 80.27 ~pop:7088000 ~iata:[ "maa" ];
+    c "bangalore" "in" 12.97 77.59 ~pop:8443675 ~iata:[ "blr" ];
+    c "hyderabad" "in" 17.39 78.49 ~pop:6809970 ~iata:[ "hyd" ];
+    c "kolkata" "in" 22.57 88.36 ~pop:4496694 ~iata:[ "ccu" ];
+    c "lamidanda" "np" 27.25 86.67 ~pop:4500 ~iata:[ "ldn" ];
+    c "kathmandu" "np" 27.72 85.32 ~pop:975453 ~iata:[ "ktm" ];
+    (* --- Oceania --- *)
+    c "sydney" "au" (-33.87) 151.21 ~state:"nsw" ~pop:5312163
+      ~iata:[ "syd" ] ~icao:[ "yssy" ] ~clli:"sydnau"
+      ~fac:[ ("equinix", "sy3") ];
+    c "melbourne" "au" (-37.81) 144.96 ~state:"vic" ~pop:5078193
+      ~iata:[ "mel" ] ~icao:[ "ymml" ] ~clli:"melbau";
+    c "brisbane" "au" (-27.47) 153.03 ~state:"qld" ~pop:2560720
+      ~iata:[ "bne" ] ~icao:[ "ybbn" ] ~clli:"brisau";
+    c "perth" "au" (-31.95) 115.86 ~state:"wa" ~pop:2059484 ~iata:[ "per" ]
+      ~icao:[ "ypph" ] ~clli:"pertau";
+    c "adelaide" "au" (-34.93) 138.60 ~state:"sa" ~pop:1345777
+      ~iata:[ "adl" ] ~clli:"adelau";
+    c "canberra" "au" (-35.28) 149.13 ~state:"act" ~pop:426704
+      ~iata:[ "cbr" ];
+    c "auckland" "nz" (-36.85) 174.76 ~pop:1657200 ~iata:[ "akl" ]
+      ~icao:[ "nzaa" ];
+    c "wellington" "nz" (-41.29) 174.78 ~pop:212700 ~iata:[ "wlg" ];
+    c "christchurch" "nz" (-43.53) 172.64 ~pop:377200 ~iata:[ "chc" ];
+    c "hamilton" "nz" (-37.79) 175.28 ~pop:176500 ~iata:[ "hlz" ];
+    c "torokina" "pg" (-6.20) 155.06 ~pop:2000 ~iata:[ "tok" ];
+    c "port moresby" "pg" (-9.44) 147.18 ~pop:364145 ~iata:[ "pom" ];
+    (* --- Latin America --- *)
+    c "mexico city" "mx" 19.43 (-99.13) ~pop:9209944 ~iata:[ "mex" ]
+      ~icao:[ "mmmx" ];
+    c "campeche" "mx" 19.83 (-90.53) ~pop:220389 ~iata:[ "cpe" ];
+    c "guadalajara" "mx" 20.66 (-103.35) ~pop:1495182 ~iata:[ "gdl" ];
+    c "monterrey" "mx" 25.69 (-100.32) ~pop:1142194 ~iata:[ "mty" ];
+    c "queretaro" "mx" 20.59 (-100.39) ~pop:878931 ~iata:[ "qro" ];
+    c "panama city" "pa" 8.98 (-79.52) ~pop:880691 ~iata:[ "pty" ];
+    c "san jose" "cr" 9.93 (-84.08) ~pop:342188 ~iata:[ "sjo" ];
+    c "bogota" "co" 4.71 (-74.07) ~pop:7412566 ~iata:[ "bog" ]
+      ~icao:[ "skbo" ];
+    c "medellin" "co" 6.25 (-75.56) ~pop:2529403 ~iata:[ "mde" ];
+    c "quito" "ec" (-0.18) (-78.47) ~pop:2011388 ~iata:[ "uio" ];
+    c "lima" "pe" (-12.05) (-77.04) ~pop:9751717 ~iata:[ "lim" ]
+      ~icao:[ "spjc" ];
+    c "chiclayo" "pe" (-6.77) (-79.84) ~pop:552508 ~iata:[ "cix" ];
+    c "santiago" "cl" (-33.45) (-70.67) ~pop:6257516 ~iata:[ "scl" ]
+      ~icao:[ "scel" ];
+    c "buenos aires" "ar" (-34.60) (-58.38) ~pop:2890151
+      ~iata:[ "bue"; "eze"; "aep" ] ~icao:[ "saez" ];
+    c "montevideo" "uy" (-34.90) (-56.16) ~pop:1319108 ~iata:[ "mvd" ];
+    c "caracas" "ve" 10.48 (-66.90) ~pop:1943901 ~iata:[ "ccs" ];
+    c "sao paulo" "br" (-23.55) (-46.63) ~pop:12252023
+      ~iata:[ "sao"; "gru"; "cgh" ] ~icao:[ "sbgr" ]
+      ~fac:[ ("equinix", "sp2") ];
+    c "rio de janeiro" "br" (-22.91) (-43.17) ~pop:6718903
+      ~iata:[ "rio"; "gig"; "sdu" ] ~icao:[ "sbgl" ];
+    c "brasilia" "br" (-15.79) (-47.88) ~pop:3055149 ~iata:[ "bsb" ];
+    c "fortaleza" "br" (-3.73) (-38.53) ~pop:2686612 ~iata:[ "for" ];
+    c "porto alegre" "br" (-30.03) (-51.22) ~pop:1483771 ~iata:[ "poa" ];
+    c "curitiba" "br" (-25.43) (-49.27) ~pop:1948626 ~iata:[ "cwb" ];
+    c "salvador" "br" (-12.97) (-38.50) ~pop:2886698 ~iata:[ "ssa" ];
+    c "recife" "br" (-8.05) (-34.88) ~pop:1653461 ~iata:[ "rec" ];
+    c "belo horizonte" "br" (-19.92) (-43.94) ~pop:2521564 ~iata:[ "cnf" ];
+    c "manaus" "br" (-3.12) (-60.02) ~pop:2219580 ~iata:[ "mao" ];
+    (* --- United States: secondary markets --- *)
+    c "hartford" "us" 41.76 (-72.67) ~state:"ct" ~pop:122105 ~iata:[ "bdl" ]
+      ~icao:[ "kbdl" ] ~clli:"hrfrct";
+    c "providence" "us" 41.82 (-71.41) ~state:"ri" ~pop:179883
+      ~iata:[ "pvd" ] ~icao:[ "kpvd" ] ~clli:"prvdri";
+    c "portland" "us" 43.66 (-70.26) ~state:"me" ~pop:66215 ~iata:[ "pwm" ]
+      ~icao:[ "kpwm" ] ~clli:"ptldme";
+    c "burlington" "us" 44.48 (-73.21) ~state:"vt" ~pop:42819
+      ~iata:[ "btv" ] ~clli:"brlnvt";
+    c "charleston" "us" 32.78 (-79.93) ~state:"sc" ~pop:137566
+      ~iata:[ "chs" ] ~clli:"chrssc";
+    c "charleston" "us" 38.35 (-81.63) ~state:"wv" ~pop:46536
+      ~iata:[ "crw" ] ~clli:"chrswv";
+    c "savannah" "us" 32.08 (-81.09) ~state:"ga" ~pop:145862
+      ~iata:[ "sav" ];
+    c "knoxville" "us" 35.96 (-83.92) ~state:"tn" ~pop:187500
+      ~iata:[ "tys" ] ~clli:"knvltn";
+    c "chattanooga" "us" 35.05 (-85.31) ~state:"tn" ~pop:181099
+      ~iata:[ "cha" ];
+    c "lexington" "us" 38.04 (-84.50) ~state:"ky" ~pop:323152
+      ~iata:[ "lex" ] ~clli:"lxtnky";
+    c "dayton" "us" 39.76 (-84.19) ~state:"oh" ~pop:140407 ~iata:[ "day" ]
+      ~clli:"daytoh";
+    c "toledo" "us" 41.65 (-83.54) ~state:"oh" ~pop:270871 ~iata:[ "tol" ];
+    c "akron" "us" 41.08 (-81.52) ~state:"oh" ~pop:197597 ~iata:[ "cak" ];
+    c "grand rapids" "us" 42.96 (-85.66) ~state:"mi" ~pop:201013
+      ~iata:[ "grr" ] ~clli:"grrpmi";
+    c "madison" "us" 43.07 (-89.40) ~state:"wi" ~pop:259680 ~iata:[ "msn" ]
+      ~clli:"mdsnwi";
+    c "green bay" "us" 44.51 (-88.01) ~state:"wi" ~pop:104779
+      ~iata:[ "grb" ];
+    c "fargo" "us" 46.88 (-96.79) ~state:"nd" ~pop:124662 ~iata:[ "far" ]
+      ~clli:"fargnd";
+    c "sioux falls" "us" 43.54 (-96.73) ~state:"sd" ~pop:183793
+      ~iata:[ "fsd" ];
+    c "wichita" "us" 37.69 (-97.34) ~state:"ks" ~pop:389938 ~iata:[ "ict" ]
+      ~clli:"wchtks";
+    c "tulsa" "us" 36.15 (-95.99) ~state:"ok" ~pop:401190 ~iata:[ "tul" ]
+      ~clli:"tulsok";
+    c "little rock" "us" 34.75 (-92.29) ~state:"ar" ~pop:197312
+      ~iata:[ "lit" ] ~clli:"ltrkar";
+    c "jackson" "us" 32.30 (-90.18) ~state:"ms" ~pop:160628 ~iata:[ "jan" ];
+    c "baton rouge" "us" 30.45 (-91.15) ~state:"la" ~pop:220236
+      ~iata:[ "btr" ] ~clli:"btrgla";
+    c "shreveport" "us" 32.53 (-93.75) ~state:"la" ~pop:187593
+      ~iata:[ "shv" ];
+    c "mobile" "us" 30.70 (-88.04) ~state:"al" ~pop:187041 ~iata:[ "mob" ];
+    c "huntsville" "us" 34.73 (-86.59) ~state:"al" ~pop:215006
+      ~iata:[ "hsv" ];
+    c "pensacola" "us" 30.42 (-87.22) ~state:"fl" ~pop:54312
+      ~iata:[ "pns" ];
+    c "tallahassee" "us" 30.44 (-84.28) ~state:"fl" ~pop:196169
+      ~iata:[ "tlh" ];
+    c "fort myers" "us" 26.64 (-81.87) ~state:"fl" ~pop:92245
+      ~iata:[ "rsw" ];
+    c "sarasota" "us" 27.34 (-82.53) ~state:"fl" ~pop:58285 ~iata:[ "srq" ];
+    c "amarillo" "us" 35.19 (-101.83) ~state:"tx" ~pop:200393
+      ~iata:[ "ama" ];
+    c "lubbock" "us" 33.58 (-101.86) ~state:"tx" ~pop:258862
+      ~iata:[ "lbb" ];
+    c "corpus christi" "us" 27.80 (-97.40) ~state:"tx" ~pop:326586
+      ~iata:[ "crp" ];
+    c "mcallen" "us" 26.20 (-98.23) ~state:"tx" ~pop:143268 ~iata:[ "mfe" ];
+    c "colorado springs" "us" 38.83 (-104.82) ~state:"co" ~pop:478221
+      ~iata:[ "cos" ] ~clli:"cspgco";
+    c "cheyenne" "us" 41.14 (-104.82) ~state:"wy" ~pop:65132
+      ~iata:[ "cys" ] ~clli:"chynwy";
+    c "missoula" "us" 46.87 (-113.99) ~state:"mt" ~pop:75516
+      ~iata:[ "mso" ];
+    c "spokane" "us" 47.66 (-117.43) ~state:"wa" ~pop:228989
+      ~iata:[ "geg" ] ~clli:"spknwa";
+    c "tacoma" "us" 47.25 (-122.44) ~state:"wa" ~pop:219346;
+    c "bellingham" "us" 48.75 (-122.48) ~state:"wa" ~pop:92314
+      ~iata:[ "bli" ];
+    c "salem" "us" 44.94 (-123.04) ~state:"or" ~pop:177723 ~iata:[ "sle" ];
+    c "bend" "us" 44.06 (-121.31) ~state:"or" ~pop:99178;
+    c "medford" "us" 42.33 (-122.88) ~state:"or" ~pop:85824
+      ~iata:[ "mfr" ];
+    c "reno" "us" 39.53 (-119.81) ~state:"nv" ~pop:264165 ~iata:[ "rno" ]
+      ~clli:"renonv";
+    c "bakersfield" "us" 35.37 (-119.02) ~state:"ca" ~pop:403455
+      ~iata:[ "bfl" ];
+    c "santa barbara" "us" 34.42 (-119.70) ~state:"ca" ~pop:91364
+      ~iata:[ "sba" ];
+    c "monterey" "us" 36.60 (-121.89) ~state:"ca" ~pop:28454
+      ~iata:[ "mry" ];
+    c "santa rosa" "us" 38.44 (-122.71) ~state:"ca" ~pop:178127
+      ~iata:[ "sts" ];
+    c "eureka" "us" 40.80 (-124.16) ~state:"ca" ~pop:26512 ~iata:[ "acv" ];
+    c "flagstaff" "us" 35.20 (-111.65) ~state:"az" ~pop:76831
+      ~iata:[ "flg" ];
+    c "yuma" "us" 32.69 (-114.63) ~state:"az" ~pop:97428 ~iata:[ "yum" ];
+    c "santa fe" "us" 35.69 (-105.94) ~state:"nm" ~pop:84683
+      ~iata:[ "saf" ];
+    c "provo" "us" 40.23 (-111.66) ~state:"ut" ~pop:116618 ~iata:[ "pvu" ];
+    c "ogden" "us" 41.22 (-111.97) ~state:"ut" ~pop:87321 ~iata:[ "ogd" ];
+    c "idaho falls" "us" 43.49 (-112.04) ~state:"id" ~pop:64818
+      ~iata:[ "ida" ];
+    c "lincoln" "us" 40.81 (-96.68) ~state:"ne" ~pop:289102 ~iata:[ "lnk" ]
+      ~clli:"lncnne";
+    c "cedar rapids" "us" 41.98 (-91.67) ~state:"ia" ~pop:133562
+      ~iata:[ "cid" ];
+    c "davenport" "us" 41.52 (-90.58) ~state:"ia" ~pop:101724;
+    c "peoria" "us" 40.69 (-89.59) ~state:"il" ~pop:113150 ~iata:[ "pia" ];
+    c "rockford" "us" 42.27 (-89.09) ~state:"il" ~pop:148655
+      ~iata:[ "rfd" ];
+    c "fort wayne" "us" 41.08 (-85.14) ~state:"in" ~pop:270402
+      ~iata:[ "fwa" ];
+    c "evansville" "us" 37.97 (-87.56) ~state:"in" ~pop:117979
+      ~iata:[ "evv" ];
+    c "erie" "us" 42.13 (-80.09) ~state:"pa" ~pop:94831 ~iata:[ "eri" ];
+    c "allentown" "us" 40.61 (-75.49) ~state:"pa" ~pop:125845
+      ~iata:[ "abe" ];
+    c "harrisburg" "us" 40.27 (-76.88) ~state:"pa" ~pop:49528
+      ~iata:[ "mdt" ] ~clli:"hrbgpa";
+    c "scranton" "us" 41.41 (-75.66) ~state:"pa" ~pop:76328 ~iata:[ "avp" ];
+    c "trenton" "us" 40.22 (-74.76) ~state:"nj" ~pop:83203 ~iata:[ "ttn" ];
+    c "atlantic city" "us" 39.36 (-74.42) ~state:"nj" ~pop:37743
+      ~iata:[ "acy" ];
+    c "wilmington" "us" 39.75 (-75.55) ~state:"de" ~pop:70655
+      ~iata:[ "ilg" ] ~clli:"wlmgde";
+    c "dover" "us" 39.16 (-75.52) ~state:"de" ~pop:38079;
+    c "annapolis" "us" 38.98 (-76.49) ~state:"md" ~pop:39223;
+    c "roanoke" "us" 37.27 (-79.94) ~state:"va" ~pop:100011
+      ~iata:[ "roa" ];
+    c "charlottesville" "us" 38.03 (-78.48) ~state:"va" ~pop:47266
+      ~iata:[ "cho" ];
+    c "greensboro" "us" 36.07 (-79.79) ~state:"nc" ~pop:296710
+      ~iata:[ "gso" ] ~clli:"grbonc";
+    c "asheville" "us" 35.60 (-82.55) ~state:"nc" ~pop:94589
+      ~iata:[ "avl" ];
+    c "columbia" "us" 38.95 (-92.33) ~state:"mo" ~pop:126254
+      ~iata:[ "cou" ];
+    c "springfield" "us" 37.21 (-93.29) ~state:"mo" ~pop:169176
+      ~iata:[ "sgf" ];
+    c "montgomery" "us" 32.37 (-86.30) ~state:"al" ~pop:200022
+      ~iata:[ "mgm" ];
+    c "augusta" "us" 33.47 (-81.97) ~state:"ga" ~pop:202081 ~iata:[ "ags" ];
+    c "macon" "us" 32.84 (-83.63) ~state:"ga" ~pop:153159 ~iata:[ "mcn" ];
+    (* --- Canada: secondary --- *)
+    c "victoria" "ca" 48.43 (-123.37) ~state:"bc" ~pop:92141
+      ~iata:[ "yyj" ] ~clli:"vctrbc";
+    c "kelowna" "ca" 49.89 (-119.50) ~state:"bc" ~pop:132084
+      ~iata:[ "ylw" ];
+    c "regina" "ca" 50.45 (-104.62) ~state:"sk" ~pop:215106
+      ~iata:[ "yqr" ] ~clli:"regnsk";
+    c "hamilton" "ca" 43.26 (-79.87) ~state:"on" ~pop:536917
+      ~iata:[ "yhm" ];
+    c "kitchener" "ca" 43.45 (-80.49) ~state:"on" ~pop:233222
+      ~iata:[ "ykf" ];
+    c "windsor" "ca" 42.30 (-83.02) ~state:"on" ~pop:217188
+      ~iata:[ "yqg" ];
+    c "moncton" "ca" 46.09 (-64.77) ~state:"nb" ~pop:71889 ~iata:[ "yqm" ];
+    c "st johns" "ca" 47.56 (-52.71) ~state:"nl" ~pop:108860
+      ~iata:[ "yyt" ];
+    (* --- Europe: secondary --- *)
+    c "liverpool" "gb" 53.41 (-2.98) ~pop:498042 ~iata:[ "lpl" ]
+      ~clli:"lvplen";
+    c "newcastle" "gb" 54.98 (-1.61) ~pop:300196 ~iata:[ "ncl" ];
+    c "sheffield" "gb" 53.38 (-1.47) ~pop:584853;
+    c "nottingham" "gb" 52.95 (-1.15) ~pop:321500;
+    c "southampton" "gb" 50.90 (-1.40) ~pop:253651 ~iata:[ "sou" ];
+    c "cardiff" "gb" 51.48 (-3.18) ~pop:362756 ~iata:[ "cwl" ];
+    c "belfast" "gb" 54.60 (-5.93) ~pop:343542 ~iata:[ "bfs"; "bhd" ];
+    c "aberdeen" "gb" 57.15 (-2.09) ~pop:198590 ~iata:[ "abz" ];
+    c "cork" "ie" 51.90 (-8.47) ~pop:210000 ~iata:[ "ork" ];
+    c "galway" "ie" 53.27 (-9.06) ~pop:79934;
+    c "lille" "fr" 50.63 3.07 ~pop:232787 ~iata:[ "lil" ];
+    c "nantes" "fr" 47.22 (-1.55) ~pop:309346 ~iata:[ "nte" ];
+    c "rennes" "fr" 48.11 (-1.68) ~pop:216815 ~iata:[ "rns" ];
+    c "montpellier" "fr" 43.61 3.88 ~pop:285121 ~iata:[ "mpl" ];
+    c "grenoble" "fr" 45.19 5.72 ~pop:158454 ~iata:[ "gnb" ];
+    c "dijon" "fr" 47.32 5.04 ~pop:156920 ~iata:[ "dij" ];
+    c "utrecht" "nl" 52.09 5.12 ~pop:357179;
+    c "tilburg" "nl" 51.56 5.09 ~pop:217595;
+    c "nijmegen" "nl" 51.84 5.86 ~pop:176731;
+    c "maastricht" "nl" 50.85 5.69 ~pop:121565 ~iata:[ "mst" ];
+    c "ghent" "be" 51.05 3.73 ~pop:263927;
+    c "liege" "be" 50.63 5.57 ~pop:197355 ~iata:[ "lgg" ];
+    c "charleroi" "be" 50.41 4.44 ~pop:201816 ~iata:[ "crl" ];
+    c "bremen" "de" 53.08 8.81 ~pop:569352 ~iata:[ "bre" ];
+    c "essen" "de" 51.46 7.01 ~pop:583109 ~iata:[ "ess" ];
+    c "dortmund" "de" 51.51 7.47 ~pop:587010 ~iata:[ "dtm" ];
+    c "mannheim" "de" 49.49 8.47 ~pop:309370;
+    c "karlsruhe" "de" 49.01 8.40 ~pop:313092 ~iata:[ "fkb" ];
+    c "bonn" "de" 50.74 7.10 ~pop:327258;
+    c "wiesbaden" "de" 50.08 8.24 ~pop:278342;
+    c "bielefeld" "de" 52.03 8.53 ~pop:333786;
+    c "rostock" "de" 54.09 12.14 ~pop:208886 ~iata:[ "rlg" ];
+    c "kiel" "de" 54.32 10.14 ~pop:247548 ~iata:[ "kel" ];
+    c "magdeburg" "de" 52.13 11.62 ~pop:238697;
+    c "erfurt" "de" 50.98 11.03 ~pop:213699 ~iata:[ "erf" ];
+    c "bern" "ch" 46.95 7.45 ~pop:133883 ~iata:[ "brn" ];
+    c "lausanne" "ch" 46.52 6.63 ~pop:139111;
+    c "lugano" "ch" 46.01 8.96 ~pop:62315 ~iata:[ "lug" ];
+    c "graz" "at" 47.07 15.44 ~pop:289440 ~iata:[ "grz" ];
+    c "linz" "at" 48.31 14.29 ~pop:204846 ~iata:[ "lnz" ];
+    c "innsbruck" "at" 47.27 11.39 ~pop:132493 ~iata:[ "inn" ];
+    c "salzburg" "at" 47.81 13.06 ~pop:155021 ~iata:[ "szg" ];
+    c "brno" "cz" 49.20 16.61 ~pop:379526 ~iata:[ "brq" ];
+    c "ostrava" "cz" 49.84 18.28 ~pop:287968 ~iata:[ "osr" ];
+    c "gdansk" "pl" 54.35 18.65 ~pop:470907 ~iata:[ "gdn" ];
+    c "wroclaw" "pl" 51.11 17.04 ~pop:641607 ~iata:[ "wro" ];
+    c "poznan" "pl" 52.41 16.93 ~pop:534813 ~iata:[ "poz" ];
+    c "katowice" "pl" 50.26 19.02 ~pop:294510 ~iata:[ "ktw" ];
+    c "lodz" "pl" 51.76 19.46 ~pop:679941 ~iata:[ "lcj" ];
+    c "szczecin" "pl" 53.43 14.55 ~pop:403883 ~iata:[ "szz" ];
+    c "debrecen" "hu" 47.53 21.64 ~pop:201981 ~iata:[ "deb" ];
+    c "cluj napoca" "ro" 46.77 23.59 ~pop:324576 ~iata:[ "clj" ];
+    c "timisoara" "ro" 45.76 21.23 ~pop:319279 ~iata:[ "tsr" ];
+    c "iasi" "ro" 47.16 27.59 ~pop:290422 ~iata:[ "ias" ];
+    c "plovdiv" "bg" 42.14 24.75 ~pop:346893 ~iata:[ "pdv" ];
+    c "varna" "bg" 43.21 27.92 ~pop:335177 ~iata:[ "var" ];
+    c "thessaloniki" "gr" 40.64 22.94 ~pop:325182 ~iata:[ "skg" ];
+    c "seville" "es" 37.39 (-5.98) ~pop:688711 ~iata:[ "svq" ];
+    c "bilbao" "es" 43.26 (-2.93) ~pop:345821 ~iata:[ "bio" ];
+    c "zaragoza" "es" 41.65 (-0.89) ~pop:674997 ~iata:[ "zaz" ];
+    c "malaga" "es" 36.72 (-4.42) ~pop:574654 ~iata:[ "agp" ];
+    c "palma" "es" 39.57 2.65 ~pop:416065 ~iata:[ "pmi" ];
+    c "coimbra" "pt" 40.21 (-8.43) ~pop:143396;
+    c "braga" "pt" 41.55 (-8.43) ~pop:192494;
+    c "florence" "it" 43.77 11.26 ~pop:382258 ~iata:[ "flr" ];
+    c "venice" "it" 45.44 12.32 ~pop:261905 ~iata:[ "vce" ];
+    c "genoa" "it" 44.41 8.93 ~pop:583601 ~iata:[ "goa" ];
+    c "verona" "it" 45.44 10.99 ~pop:257275 ~iata:[ "vrn" ];
+    c "bari" "it" 41.13 16.87 ~pop:325052 ~iata:[ "bri" ];
+    c "catania" "it" 37.50 15.09 ~pop:311584 ~iata:[ "cta" ];
+    c "cagliari" "it" 39.22 9.11 ~pop:154460 ~iata:[ "cag" ];
+    c "malmo" "se" 55.60 13.00 ~pop:316588 ~iata:[ "mmx" ];
+    c "uppsala" "se" 59.86 17.64 ~pop:177074;
+    c "bergen" "no" 60.39 5.32 ~pop:283929 ~iata:[ "bgo" ];
+    c "trondheim" "no" 63.43 10.40 ~pop:205163 ~iata:[ "trd" ];
+    c "stavanger" "no" 58.97 5.73 ~pop:144699 ~iata:[ "svg" ];
+    c "aarhus" "dk" 56.16 10.20 ~pop:285273 ~iata:[ "aar" ];
+    c "aalborg" "dk" 57.05 9.92 ~pop:217075 ~iata:[ "aal" ];
+    c "odense" "dk" 55.40 10.40 ~pop:180760 ~iata:[ "ode" ];
+    c "tampere" "fi" 61.50 23.76 ~pop:244029 ~iata:[ "tmp" ];
+    c "oulu" "fi" 65.01 25.47 ~pop:208939 ~iata:[ "oul" ];
+    c "turku" "fi" 60.45 22.27 ~pop:194244 ~iata:[ "tku" ];
+    c "tartu" "ee" 58.38 26.72 ~pop:93865 ~iata:[ "tay" ];
+    c "kaunas" "lt" 54.90 23.89 ~pop:295269 ~iata:[ "kun" ];
+    c "lviv" "ua" 49.84 24.03 ~pop:724713 ~iata:[ "lwo" ];
+    c "odesa" "ua" 46.48 30.73 ~pop:1017699 ~iata:[ "ods" ];
+    c "kharkiv" "ua" 49.99 36.23 ~pop:1443207 ~iata:[ "hrk" ];
+    c "novosibirsk" "ru" 55.01 82.93 ~pop:1625631 ~iata:[ "ovb" ];
+    c "yekaterinburg" "ru" 56.84 60.65 ~pop:1493749 ~iata:[ "svx" ];
+    c "kazan" "ru" 55.80 49.11 ~pop:1257391 ~iata:[ "kzn" ];
+    c "izmir" "tr" 38.42 27.14 ~pop:2937343 ~iata:[ "adb" ];
+    c "antalya" "tr" 36.90 30.70 ~pop:1512539 ~iata:[ "ayt" ];
+    c "bursa" "tr" 40.19 29.06 ~pop:1965000 ~iata:[ "yei" ];
+    (* --- Asia & Middle East: secondary --- *)
+    c "kyoto" "jp" 35.01 135.77 ~pop:1474570;
+    c "kobe" "jp" 34.69 135.20 ~pop:1522944 ~iata:[ "ukb" ];
+    c "yokohama" "jp" 35.44 139.64 ~pop:3757630;
+    c "hiroshima" "jp" 34.39 132.46 ~pop:1199391 ~iata:[ "hij" ];
+    c "sendai" "jp" 38.27 140.87 ~pop:1096704 ~iata:[ "sdj" ];
+    c "naha" "jp" 26.21 127.68 ~pop:317405 ~iata:[ "oka" ];
+    c "incheon" "kr" 37.46 126.71 ~pop:2954955;
+    c "daegu" "kr" 35.87 128.60 ~pop:2461769 ~iata:[ "tae" ];
+    c "daejeon" "kr" 36.35 127.38 ~pop:1475221;
+    c "gwangju" "kr" 35.16 126.85 ~pop:1469214 ~iata:[ "kwj" ];
+    c "tianjin" "cn" 39.34 117.36 ~pop:13866009 ~iata:[ "tsn" ];
+    c "chengdu" "cn" 30.57 104.07 ~pop:16311600 ~iata:[ "ctu" ];
+    c "chongqing" "cn" 29.43 106.91 ~pop:30484300 ~iata:[ "ckg" ];
+    c "wuhan" "cn" 30.59 114.31 ~pop:11081000 ~iata:[ "wuh" ];
+    c "xian" "cn" 34.34 108.94 ~pop:12005600 ~iata:[ "xiy" ];
+    c "hangzhou" "cn" 30.27 120.16 ~pop:10360000 ~iata:[ "hgh" ];
+    c "nanjing" "cn" 32.06 118.80 ~pop:8505500 ~iata:[ "nkg" ];
+    c "xiamen" "cn" 24.48 118.09 ~pop:4290000 ~iata:[ "xmn" ];
+    c "qingdao" "cn" 36.07 120.38 ~pop:9046200 ~iata:[ "tao" ];
+    c "kaohsiung" "tw" 22.62 120.31 ~pop:2773533 ~iata:[ "khh" ];
+    c "taichung" "tw" 24.15 120.67 ~pop:2816667 ~iata:[ "rmq" ];
+    c "cebu" "ph" 10.32 123.89 ~pop:922611 ~iata:[ "ceb" ];
+    c "davao" "ph" 7.07 125.61 ~pop:1632991 ~iata:[ "dvo" ];
+    c "surabaya" "id" (-7.26) 112.75 ~pop:2874314 ~iata:[ "sub" ];
+    c "bandung" "id" (-6.92) 107.61 ~pop:2444160 ~iata:[ "bdo" ];
+    c "medan" "id" 3.59 98.67 ~pop:2210624 ~iata:[ "kno" ];
+    c "penang" "my" 5.41 100.33 ~pop:708127 ~iata:[ "pen" ];
+    c "johor bahru" "my" 1.49 103.74 ~pop:497097 ~iata:[ "jhb" ];
+    c "chiang mai" "th" 18.79 98.98 ~pop:127240 ~iata:[ "cnx" ];
+    c "phuket" "th" 7.88 98.39 ~pop:79308 ~iata:[ "hkt" ];
+    c "da nang" "vn" 16.05 108.22 ~pop:1134310 ~iata:[ "dad" ];
+    c "pune" "in" 18.52 73.86 ~pop:3124458 ~iata:[ "pnq" ];
+    c "ahmedabad" "in" 23.02 72.57 ~pop:5570585 ~iata:[ "amd" ];
+    c "jaipur" "in" 26.91 75.79 ~pop:3046163 ~iata:[ "jai" ];
+    c "kochi" "in" 9.93 76.26 ~pop:677381 ~iata:[ "cok" ];
+    c "lucknow" "in" 26.85 80.95 ~pop:2815601 ~iata:[ "lko" ];
+    c "nagpur" "in" 21.15 79.09 ~pop:2405665 ~iata:[ "nag" ];
+    c "abu dhabi" "ae" 24.45 54.38 ~pop:1482816 ~iata:[ "auh" ];
+    c "sharjah" "ae" 25.35 55.42 ~pop:1274749 ~iata:[ "shj" ];
+    c "jeddah" "sa" 21.49 39.19 ~pop:3976000 ~iata:[ "jed" ];
+    c "dammam" "sa" 26.43 50.10 ~pop:903312 ~iata:[ "dmm" ];
+    c "haifa" "il" 32.79 34.99 ~pop:285316 ~iata:[ "hfa" ];
+    c "jerusalem" "il" 31.77 35.21 ~pop:936425;
+    c "alexandria" "eg" 31.20 29.92 ~pop:5200000 ~iata:[ "hbe" ];
+    c "giza" "eg" 30.01 31.21 ~pop:4367343;
+    c "rabat" "ma" 34.02 (-6.84) ~pop:577827 ~iata:[ "rba" ];
+    c "marrakesh" "ma" 31.63 (-8.01) ~pop:928850 ~iata:[ "rak" ];
+    c "abuja" "ng" 9.07 7.40 ~pop:1235880 ~iata:[ "abv" ];
+    c "ibadan" "ng" 7.38 3.95 ~pop:3565108;
+    c "mombasa" "ke" (-4.04) 39.67 ~pop:1208333 ~iata:[ "mba" ];
+    c "pretoria" "za" (-25.75) 28.19 ~pop:741651;
+    c "port elizabeth" "za" (-33.96) 25.60 ~pop:967677 ~iata:[ "plz" ];
+    c "bloemfontein" "za" (-29.09) 26.16 ~pop:556000 ~iata:[ "bfn" ];
+    (* --- Oceania & Latin America: secondary --- *)
+    c "gold coast" "au" (-28.02) 153.40 ~state:"qld" ~pop:679127
+      ~iata:[ "ool" ];
+    c "newcastle" "au" (-32.93) 151.78 ~state:"nsw" ~pop:322278
+      ~iata:[ "ntl" ];
+    c "hobart" "au" (-42.88) 147.33 ~state:"tas" ~pop:240342
+      ~iata:[ "hba" ];
+    c "darwin" "au" (-12.46) 130.84 ~state:"nt" ~pop:147255
+      ~iata:[ "drw" ];
+    c "cairns" "au" (-16.92) 145.77 ~state:"qld" ~pop:153952
+      ~iata:[ "cns" ];
+    c "townsville" "au" (-19.26) 146.82 ~state:"qld" ~pop:180820
+      ~iata:[ "tsv" ];
+    c "wollongong" "au" (-34.42) 150.89 ~state:"nsw" ~pop:302739;
+    c "geelong" "au" (-38.15) 144.36 ~state:"vic" ~pop:268277;
+    c "dunedin" "nz" (-45.87) 170.50 ~pop:126255 ~iata:[ "dud" ];
+    c "tauranga" "nz" (-37.69) 176.17 ~pop:151300 ~iata:[ "trg" ];
+    c "suva" "fj" (-18.14) 178.44 ~pop:93870 ~iata:[ "suv" ];
+    c "tijuana" "mx" 32.51 (-117.04) ~pop:1810645 ~iata:[ "tij" ];
+    c "cancun" "mx" 21.16 (-86.85) ~pop:888797 ~iata:[ "cun" ];
+    c "merida" "mx" 20.97 (-89.62) ~pop:892363 ~iata:[ "mid" ];
+    c "puebla" "mx" 19.04 (-98.20) ~pop:1576259 ~iata:[ "pbc" ];
+    c "leon" "mx" 21.12 (-101.68) ~pop:1579803 ~iata:[ "bjx" ];
+    c "guatemala city" "gt" 14.63 (-90.51) ~pop:995393 ~iata:[ "gua" ];
+    c "san salvador" "sv" 13.69 (-89.22) ~pop:567698 ~iata:[ "sal" ];
+    c "managua" "ni" 12.11 (-86.24) ~pop:1055247 ~iata:[ "mga" ];
+    c "tegucigalpa" "hn" 14.07 (-87.19) ~pop:1190230 ~iata:[ "tgu" ];
+    c "kingston" "jm" 17.97 (-76.79) ~pop:662426 ~iata:[ "kin" ];
+    c "santo domingo" "do" 18.49 (-69.93) ~pop:1029110 ~iata:[ "sdq" ];
+    c "san juan" "pr" 18.47 (-66.11) ~pop:342259 ~iata:[ "sju" ];
+    c "cali" "co" 3.45 (-76.53) ~pop:2227642 ~iata:[ "clo" ];
+    c "barranquilla" "co" 10.97 (-74.80) ~pop:1206946 ~iata:[ "baq" ];
+    c "guayaquil" "ec" (-2.19) (-79.89) ~pop:2650288 ~iata:[ "gye" ];
+    c "arequipa" "pe" (-16.41) (-71.54) ~pop:1008290 ~iata:[ "aqp" ];
+    c "trujillo" "pe" (-8.11) (-79.03) ~pop:919899 ~iata:[ "tru" ];
+    c "valparaiso" "cl" (-33.05) (-71.62) ~pop:296655;
+    c "concepcion" "cl" (-36.83) (-73.05) ~pop:223574 ~iata:[ "ccp" ];
+    c "cordoba" "ar" (-31.42) (-64.18) ~pop:1391000 ~iata:[ "cor" ];
+    c "rosario" "ar" (-32.94) (-60.65) ~pop:1193605 ~iata:[ "ros" ];
+    c "mendoza" "ar" (-32.89) (-68.83) ~pop:115041 ~iata:[ "mdz" ];
+    c "asuncion" "py" (-25.26) (-57.58) ~pop:525252 ~iata:[ "asu" ];
+    c "la paz" "bo" (-16.50) (-68.15) ~pop:766468 ~iata:[ "lpb" ];
+    (* --- central Asia, Caucasus, south Asia --- *)
+    c "almaty" "kz" 43.24 76.95 ~pop:1977011 ~iata:[ "ala" ];
+    c "astana" "kz" 51.17 71.45 ~pop:1136008 ~iata:[ "nqz" ];
+    c "tashkent" "uz" 41.30 69.24 ~pop:2571668 ~iata:[ "tas" ];
+    c "tbilisi" "ge" 41.72 44.79 ~pop:1118035 ~iata:[ "tbs" ];
+    c "yerevan" "am" 40.18 44.51 ~pop:1075800 ~iata:[ "evn" ];
+    c "baku" "az" 40.41 49.87 ~pop:2293100 ~iata:[ "gyd" ];
+    c "colombo" "lk" 6.93 79.85 ~pop:752993 ~iata:[ "cmb" ];
+    c "dhaka" "bd" 23.81 90.41 ~pop:8906039 ~iata:[ "dac" ];
+    c "chittagong" "bd" 22.36 91.78 ~pop:2592439 ~iata:[ "cgp" ];
+    c "karachi" "pk" 24.86 67.01 ~pop:14910352 ~iata:[ "khi" ];
+    c "lahore" "pk" 31.55 74.34 ~pop:11126285 ~iata:[ "lhe" ];
+    c "islamabad" "pk" 33.68 73.05 ~pop:1014825 ~iata:[ "isb" ];
+    c "yangon" "mm" 16.87 96.20 ~pop:5214000 ~iata:[ "rgn" ];
+    c "phnom penh" "kh" 11.56 104.92 ~pop:2129371 ~iata:[ "pnh" ];
+    c "vientiane" "la" 17.97 102.60 ~pop:820000 ~iata:[ "vte" ];
+    c "ulaanbaatar" "mn" 47.89 106.91 ~pop:1466125 ~iata:[ "uln" ];
+    (* --- Africa --- *)
+    c "addis ababa" "et" 9.03 38.74 ~pop:3352000 ~iata:[ "add" ];
+    c "dar es salaam" "tz" (-6.79) 39.21 ~pop:4364541 ~iata:[ "dar" ];
+    c "kampala" "ug" 0.35 32.58 ~pop:1507080 ~iata:[ "ebb" ];
+    c "accra" "gh" 5.60 (-0.19) ~pop:2291352 ~iata:[ "acc" ];
+    c "abidjan" "ci" 5.36 (-4.01) ~pop:4395243 ~iata:[ "abj" ];
+    c "dakar" "sn" 14.72 (-17.47) ~pop:1146053 ~iata:[ "dss" ];
+    c "douala" "cm" 4.05 9.70 ~pop:2768400 ~iata:[ "dla" ];
+    c "lusaka" "zm" (-15.39) 28.32 ~pop:1747152 ~iata:[ "lun" ];
+    c "harare" "zw" (-17.83) 31.05 ~pop:1485231 ~iata:[ "hre" ];
+    c "gaborone" "bw" (-24.65) 25.91 ~pop:231592 ~iata:[ "gbe" ];
+    c "windhoek" "na" (-22.56) 17.08 ~pop:325858 ~iata:[ "whk" ];
+    c "maputo" "mz" (-25.97) 32.57 ~pop:1101170 ~iata:[ "mpm" ];
+    c "port louis" "mu" (-20.16) 57.50 ~pop:149194 ~iata:[ "mru" ];
+    c "algiers" "dz" 36.75 3.06 ~pop:2364230 ~iata:[ "alg" ];
+    c "tunis" "tn" 36.81 10.18 ~pop:638845 ~iata:[ "tun" ];
+    c "kano" "ng" 12.00 8.52 ~pop:2828861 ~iata:[ "kan" ];
+    c "kisumu" "ke" (-0.09) 34.77 ~pop:409928 ~iata:[ "kis" ];
+    (* --- Middle East & Mediterranean --- *)
+    c "amman" "jo" 31.95 35.93 ~pop:4007526 ~iata:[ "amm" ];
+    c "beirut" "lb" 33.89 35.50 ~pop:361366 ~iata:[ "bey" ];
+    c "kuwait city" "kw" 29.38 47.99 ~pop:637411 ~iata:[ "kwi" ];
+    c "doha" "qa" 25.29 51.53 ~pop:1450000 ~iata:[ "doh" ];
+    c "muscat" "om" 23.59 58.41 ~pop:797000 ~iata:[ "mct" ];
+    c "valletta" "mt" 35.90 14.51 ~pop:394230 ~iata:[ "mla" ];
+    c "nicosia" "cy" 35.19 33.38 ~pop:116392 ~iata:[ "lca" ];
+    c "skopje" "mk" 42.00 21.43 ~pop:506926 ~iata:[ "skp" ];
+    c "tirana" "al" 41.33 19.82 ~pop:418495 ~iata:[ "tia" ];
+    c "sarajevo" "ba" 43.86 18.41 ~pop:275524 ~iata:[ "sjj" ];
+    c "chisinau" "md" 47.01 28.86 ~pop:532513 ~iata:[ "rmo" ];
+    c "minsk" "by" 53.90 27.57 ~pop:1992685 ~iata:[ "msq" ];
+    (* --- more collision-prone town names --- *)
+    c "richmond" "us" 37.94 (-122.35) ~state:"ca" ~pop:110567;
+    c "springfield" "us" 44.05 (-123.02) ~state:"or" ~pop:62979;
+    c "manchester" "us" 41.78 (-72.52) ~state:"ct" ~pop:59713;
+    c "dublin" "us" 37.70 (-121.94) ~state:"ca" ~pop:72589;
+    c "athens" "us" 33.96 (-83.38) ~state:"ga" ~pop:127315 ~iata:[ "ahn" ];
+    c "rome" "us" 34.26 (-85.16) ~state:"ga" ~pop:37713 ~iata:[ "rmg" ];
+    c "paris" "us" 33.66 (-95.56) ~state:"tx" ~pop:24839;
+    c "berlin" "us" 43.97 (-88.94) ~state:"wi" ~pop:5420;
+    c "moscow" "us" 46.73 (-117.00) ~state:"id" ~pop:25435;
+    c "naples" "us" 26.14 (-81.79) ~state:"fl" ~pop:21812 ~iata:[ "apf" ];
+    c "toledo" "es" 39.86 (-4.03) ~pop:84282;
+    c "valencia" "ve" 10.16 (-68.00) ~pop:1385083 ~iata:[ "vln" ];
+    c "cordoba" "es" 37.89 (-4.78) ~pop:325701 ~iata:[ "odb" ];
+  ]

@@ -1,0 +1,1 @@
+lib/itdk/dataset.ml: Array Hashtbl Hoiho_util List Option Printf Router Vp

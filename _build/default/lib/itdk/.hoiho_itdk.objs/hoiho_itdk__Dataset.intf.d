@@ -1,0 +1,1 @@
+lib/itdk/dataset.mli: Router Vp

@@ -1,0 +1,1 @@
+lib/itdk/io.ml: Array Buffer Dataset Filename Fun Hoiho_geo List Option Printf Router String Sys Vp

@@ -1,0 +1,1 @@
+lib/itdk/io.mli: Dataset

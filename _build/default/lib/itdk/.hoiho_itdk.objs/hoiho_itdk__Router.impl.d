@@ -1,0 +1,1 @@
+lib/itdk/router.ml: Hoiho_geo Hoiho_psl List

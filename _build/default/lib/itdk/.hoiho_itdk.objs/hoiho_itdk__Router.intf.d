@@ -1,0 +1,1 @@
+lib/itdk/router.mli: Hoiho_geo

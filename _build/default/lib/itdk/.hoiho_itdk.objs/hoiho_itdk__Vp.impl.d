@@ -1,0 +1,1 @@
+lib/itdk/vp.ml: Format Hoiho_geo

@@ -1,0 +1,1 @@
+lib/itdk/vp.mli: Format Hoiho_geo

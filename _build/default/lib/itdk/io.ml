@@ -1,0 +1,194 @@
+(* Format (one record per line, fields separated by single spaces):
+     itdk <label...>
+     vp <id> <name> <lat> <lon> <city_key>
+     link <id> <id>
+     router <id>
+     asn <asn>
+     host <hostname>
+     ping <vp_id> <rtt_ms>
+     trace <vp_id> <rtt_ms>
+     truth <lat> <lon> <stale:0|1> <city_key>
+     hint <intended_hint>
+     hosthint <hostname> <code|->
+   A hostname never contains spaces; city keys contain '|' but no
+   spaces; labels may contain spaces and run to end of line. *)
+
+module Coord = Hoiho_geo.Coord
+
+let emit put (ds : Dataset.t) =
+  let pr fmt = Printf.ksprintf put fmt in
+  pr "itdk %s\n" ds.Dataset.label;
+  Array.iter
+    (fun (vp : Vp.t) ->
+      pr "vp %d %s %.6f %.6f %s\n" vp.Vp.id vp.Vp.name
+        vp.Vp.coord.Coord.lat vp.Vp.coord.Coord.lon vp.Vp.city_key)
+    ds.Dataset.vps;
+  Array.iter (fun (a, b) -> pr "link %d %d\n" a b) ds.Dataset.links;
+  Array.iter
+    (fun (r : Router.t) ->
+      pr "router %d\n" r.Router.id;
+      (match r.Router.asn with
+      | Some asn -> pr "asn %d\n" asn
+      | None -> ());
+      List.iter (fun h -> pr "host %s\n" h) r.Router.hostnames;
+      List.iter
+        (fun (vp, rtt) -> pr "ping %d %.4f\n" vp rtt)
+        r.Router.ping_rtts;
+      List.iter
+        (fun (vp, rtt) -> pr "trace %d %.4f\n" vp rtt)
+        r.Router.trace_rtts;
+      match r.Router.truth with
+      | None -> ()
+      | Some t ->
+          pr "truth %.6f %.6f %d %s\n" t.Router.coord.Coord.lat
+            t.Router.coord.Coord.lon
+            (if t.Router.stale then 1 else 0)
+            t.Router.city_key;
+          (match t.Router.intended_hint with
+          | Some hint -> pr "hint %s\n" hint
+          | None -> ());
+          List.iter
+            (fun (h, code) ->
+              pr "hosthint %s %s\n" h (Option.value code ~default:"-"))
+            t.Router.hostname_hints)
+    ds.Dataset.routers
+
+let write oc ds = emit (output_string oc) ds
+
+let to_string ds =
+  let buf = Buffer.create 65536 in
+  emit (Buffer.add_string buf) ds;
+  Buffer.contents buf
+
+(* mutable router under construction *)
+type partial = {
+  id : int;
+  mutable hostnames : string list;
+  mutable asn : int option;
+  mutable ping : (int * float) list;
+  mutable trace : (int * float) list;
+  mutable truth : Router.truth option;
+}
+
+let finish p =
+  Router.make p.id ~hostnames:(List.rev p.hostnames) ?asn:p.asn
+    ~ping_rtts:(List.rev p.ping) ~trace_rtts:(List.rev p.trace)
+    ?truth:p.truth
+
+let read ic =
+  let label = ref "dataset" in
+  let vps = ref [] in
+  let links = ref [] in
+  let routers = ref [] in
+  let current : partial option ref = ref None in
+  let flush () =
+    match !current with
+    | Some p ->
+        routers := finish p :: !routers;
+        current := None
+    | None -> ()
+  in
+  let lineno = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Itdk.Io.read: line %d: %s" !lineno msg) in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if line <> "" then begin
+         let fields = String.split_on_char ' ' line in
+         match fields with
+         | "itdk" :: rest -> label := String.concat " " rest
+         | [ "vp"; id; name; lat; lon; city_key ] ->
+             vps :=
+               Vp.make ~id:(int_of_string id) ~name ~city_key
+                 ~coord:
+                   (Coord.make ~lat:(float_of_string lat) ~lon:(float_of_string lon))
+               :: !vps
+         | [ "link"; a; b ] ->
+             links := (int_of_string a, int_of_string b) :: !links
+         | [ "router"; id ] ->
+             flush ();
+             current :=
+               Some
+                 { id = int_of_string id; hostnames = []; asn = None; ping = [];
+                   trace = []; truth = None }
+         | [ "asn"; asn ] -> (
+             match !current with
+             | Some p -> p.asn <- Some (int_of_string asn)
+             | None -> fail "asn outside router")
+         | [ "host"; h ] -> (
+             match !current with
+             | Some p -> p.hostnames <- h :: p.hostnames
+             | None -> fail "host outside router")
+         | [ "ping"; vp; rtt ] -> (
+             match !current with
+             | Some p -> p.ping <- (int_of_string vp, float_of_string rtt) :: p.ping
+             | None -> fail "ping outside router")
+         | [ "trace"; vp; rtt ] -> (
+             match !current with
+             | Some p -> p.trace <- (int_of_string vp, float_of_string rtt) :: p.trace
+             | None -> fail "trace outside router")
+         | [ "truth"; lat; lon; stale; city_key ] -> (
+             match !current with
+             | Some p ->
+                 p.truth <-
+                   Some
+                     {
+                       Router.city_key;
+                       coord =
+                         Coord.make ~lat:(float_of_string lat) ~lon:(float_of_string lon);
+                       intended_hint = None;
+                       stale = stale = "1";
+                       hostname_hints = [];
+                     }
+             | None -> fail "truth outside router")
+         | [ "hint"; hint ] -> (
+             match !current with
+             | Some ({ truth = Some t; _ } as p) ->
+                 p.truth <- Some { t with Router.intended_hint = Some hint }
+             | _ -> fail "hint outside truth")
+         | [ "hosthint"; h; code ] -> (
+             match !current with
+             | Some ({ truth = Some t; _ } as p) ->
+                 let code = if code = "-" then None else Some code in
+                 p.truth <-
+                   Some
+                     {
+                       t with
+                       Router.hostname_hints = t.Router.hostname_hints @ [ (h, code) ];
+                     }
+             | _ -> fail "hosthint outside truth")
+         | tag :: _ -> fail ("unknown record " ^ tag)
+         | [] -> ()
+       end
+     done
+   with End_of_file -> ());
+  flush ();
+  Dataset.make ~label:!label
+    ~links:(Array.of_list (List.rev !links))
+    ~routers:(Array.of_list (List.rev !routers))
+    ~vps:(Array.of_list (List.rev !vps))
+    ()
+
+(* read from a list of lines; the channel reader delegates here *)
+let of_string s =
+  let tmp = Filename.temp_file "hoiho_itdk" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let ch = open_out tmp in
+      output_string ch s;
+      close_out ch;
+      let ic = open_in tmp in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic))
+
+let save path ds =
+  let oc = open_out path in
+  write oc ds;
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let ds = read ic in
+  close_in ic;
+  ds

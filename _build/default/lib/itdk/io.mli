@@ -1,0 +1,18 @@
+(** Text serialization of datasets, in the spirit of the ITDK release
+    format: a line-oriented, diff-friendly encoding that round-trips
+    everything the learning method consumes (and the generator's ground
+    truth, so experiments can be re-run from a saved file). *)
+
+val write : out_channel -> Dataset.t -> unit
+
+val to_string : Dataset.t -> string
+
+val read : in_channel -> Dataset.t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val of_string : string -> Dataset.t
+
+val save : string -> Dataset.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Dataset.t

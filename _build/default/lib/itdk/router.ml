@@ -1,0 +1,37 @@
+type truth = {
+  city_key : string;
+  coord : Hoiho_geo.Coord.t;
+  intended_hint : string option;
+  stale : bool;
+  hostname_hints : (string * string option) list;
+}
+
+type t = {
+  id : int;
+  hostnames : string list;
+  asn : int option;
+  ping_rtts : (int * float) list;
+  trace_rtts : (int * float) list;
+  truth : truth option;
+}
+
+let make ?(hostnames = []) ?asn ?(ping_rtts = []) ?(trace_rtts = []) ?truth id =
+  { id; hostnames; asn; ping_rtts; trace_rtts; truth }
+
+let has_hostname t = t.hostnames <> []
+let has_rtt t = t.ping_rtts <> [] || t.trace_rtts <> []
+
+let min_pair = function
+  | [] -> None
+  | (v, r) :: rest ->
+      Some
+        (List.fold_left
+           (fun (bv, br) (v', r') -> if r' < br then (v', r') else (bv, br))
+           (v, r) rest)
+
+let min_ping_rtt t = min_pair t.ping_rtts
+let min_trace_rtt t = min_pair t.trace_rtts
+
+let suffixes t =
+  List.filter_map Hoiho_psl.Psl.registered_suffix t.hostnames
+  |> List.sort_uniq compare

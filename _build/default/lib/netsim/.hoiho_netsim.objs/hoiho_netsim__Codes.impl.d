@@ -1,0 +1,1 @@
+lib/netsim/codes.ml: Array Buffer Conv Hoiho_geodb Hoiho_util Printf String

@@ -1,0 +1,1 @@
+lib/netsim/codes.mli: Conv Hoiho_geodb Hoiho_util

@@ -1,0 +1,1 @@
+lib/netsim/conv.ml: Hoiho_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/netsim/conv.mli: Hoiho_util

@@ -1,0 +1,1 @@
+lib/netsim/generate.ml: Array Conv Hashtbl Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_util List Oper Printf Truth

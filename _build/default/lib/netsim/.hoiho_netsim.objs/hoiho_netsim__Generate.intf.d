@@ -1,0 +1,1 @@
+lib/netsim/generate.mli: Hoiho_geodb Hoiho_itdk Hoiho_util Truth

@@ -1,0 +1,1 @@
+lib/netsim/oper.ml: Array Codes Conv Hashtbl Hoiho_geodb Hoiho_util List Printf String

@@ -1,0 +1,1 @@
+lib/netsim/oper.mli: Conv Hoiho_geodb Hoiho_util

@@ -1,0 +1,1 @@
+lib/netsim/truth.ml: Hashtbl Hoiho_geodb List Oper

@@ -1,0 +1,1 @@
+lib/netsim/truth.mli: Hoiho_geodb Oper

@@ -1,0 +1,115 @@
+module Prng = Hoiho_util.Prng
+module Strutil = Hoiho_util.Strutil
+module City = Hoiho_geodb.City
+module Db = Hoiho_geodb.Db
+
+let is_vowel c = c = 'a' || c = 'e' || c = 'i' || c = 'o' || c = 'u'
+
+(* Keep the first letter, prefer consonants left to right, then fill with
+   the earliest remaining letters; emit picked letters in original order.
+   "tokyo" -> "tky", "milan" -> "miln", "ashburn" -> "ash" (prefix). *)
+let squeeze name n =
+  let name = String.concat "" (String.split_on_char ' ' name) in
+  let len = String.length name in
+  if len <= n then name ^ String.make (max 0 (n - len)) 'x'
+  else begin
+    let used = Array.make len false in
+    used.(0) <- true;
+    let count = ref 1 in
+    let mark pred =
+      let i = ref 1 in
+      while !count < n && !i < len do
+        if (not used.(!i)) && pred name.[!i] then begin
+          used.(!i) <- true;
+          incr count
+        end;
+        incr i
+      done
+    in
+    mark (fun c -> not (is_vowel c));
+    mark (fun _ -> true);
+    let out = Buffer.create n in
+    Array.iteri (fun k u -> if u then Buffer.add_char out name.[k]) used;
+    Buffer.contents out
+  end
+
+let abbrev3 name = squeeze name 3
+let abbrev4 name = squeeze name 4
+
+let prefix3 name =
+  let s = String.concat "" (String.split_on_char ' ' name) in
+  if String.length s <= 3 then s ^ String.make (max 0 (3 - String.length s)) 'x'
+  else String.sub s 0 3
+
+let city_abbrev name =
+  match String.split_on_char ' ' name with
+  | [ single ] -> single
+  | first :: rest when String.length first > 0 ->
+      (* "fort collins" -> "ftcollins": first word shrinks to its first
+         and last letters *)
+      let lead =
+        if String.length first <= 2 then first
+        else Printf.sprintf "%c%c" first.[0] first.[String.length first - 1]
+      in
+      lead ^ String.concat "" rest
+  | _ -> String.concat "" (String.split_on_char ' ' name)
+
+(* does the dictionary code read as an abbreviation of the name? *)
+let readable code name =
+  let squashed = String.concat "" (String.split_on_char ' ' name) in
+  String.length code > 0
+  && String.length squashed > 0
+  && code.[0] = squashed.[0]
+  && Strutil.is_subsequence code squashed
+
+let code_for rng db kind ~p_dev city =
+  let name = city.City.name in
+  match kind with
+  | Conv.Iata -> (
+      let custom () =
+        if Prng.bool rng then prefix3 name else abbrev3 name
+      in
+      match city.City.iata with
+      | code :: _ ->
+          (* unreadable codes (yyz, lax) push operators toward mnemonics;
+             some deviate even from readable ones (zur instead of zrh) *)
+          let dev =
+            if readable code name then Prng.float rng 1.0 < p_dev *. 0.3
+            else Prng.float rng 1.0 < p_dev
+          in
+          if dev then
+            let ab = custom () in
+            if ab = code then Some (code, false) else Some (ab, true)
+          else Some (code, false)
+      | [] -> Some (custom (), true))
+  | Conv.Clli -> (
+      match Db.clli_of_city db city with
+      | Some prefix ->
+          if Prng.float rng 1.0 < p_dev then
+            let custom = abbrev4 (City.squashed city) ^ City.clli_region city in
+            if custom = prefix then Some (prefix, false) else Some (custom, true)
+          else Some (prefix, false)
+      | None -> Some (abbrev4 (City.squashed city) ^ City.clli_region city, true))
+  | Conv.Locode -> (
+      match Db.locode_of_city db city with
+      | Some code ->
+          if Prng.float rng 1.0 < p_dev then
+            let custom = city.City.cc ^ abbrev3 (City.squashed city) in
+            if custom = code then Some (code, false) else Some (custom, true)
+          else Some (code, false)
+      | None -> Some (city.City.cc ^ abbrev3 (City.squashed city), true))
+  | Conv.CityName ->
+      let full = City.squashed city in
+      if String.length full > 8 && Prng.float rng 1.0 < p_dev then
+        (* multi-word names compress their first word ("ftcollins");
+           long single words truncate ("amsterdam" -> "amste") *)
+        let abbr =
+          if String.contains city.City.name ' ' then city_abbrev city.City.name
+          else String.sub full 0 (4 + Prng.int rng 2)
+        in
+        if abbr = full then Some (full, false) else Some (abbr, true)
+      else Some (full, false)
+  | Conv.FacilityAddr -> (
+      match city.City.facilities with
+      | (_, addr) :: _ -> Some (addr, false)
+      | [] -> None)

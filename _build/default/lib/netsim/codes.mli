@@ -1,0 +1,36 @@
+(** Geohint code assignment for synthetic operators.
+
+    Given a city and a hint kind, decide what code an operator embeds:
+    either the reference-dictionary code, or — when the city lacks one,
+    or the operator prefers a readable mnemonic (§2, §6.2) — a custom
+    abbreviation derived from the city name. *)
+
+val abbrev3 : string -> string
+(** Readable 3-letter abbreviation of a squashed city name: the first
+    letter followed by subsequent consonants ("tokyo" gives "tky",
+    "ashburn" gives "ash" via the consonant-sparse fallback). *)
+
+val abbrev4 : string -> string
+(** 4-letter abbreviation used for custom CLLI city parts
+    ("milan" gives "miln"). *)
+
+val prefix3 : string -> string
+(** Plain 3-letter prefix abbreviation ("toronto" gives "tor"). *)
+
+val city_abbrev : string -> string
+(** Abbreviation of a (possibly multi-word) city name for city-name
+    conventions: "fort collins" gives "ftcollins". *)
+
+val code_for :
+  Hoiho_util.Prng.t ->
+  Hoiho_geodb.Db.t ->
+  Conv.hint_kind ->
+  p_dev:float ->
+  Hoiho_geodb.City.t ->
+  (string * bool) option
+(** [code_for rng db kind ~p_dev city] returns [(code, custom)]:
+    the embedded code and whether it deviates from the reference
+    dictionary. [p_dev] is the probability of deviating for readability
+    when the dictionary code is not a natural abbreviation of the city
+    name. [None] when no code can be produced (e.g. facility kind in a
+    city without facilities). *)

@@ -1,0 +1,141 @@
+module Prng = Hoiho_util.Prng
+
+type hint_kind = Iata | Clli | Locode | CityName | FacilityAddr
+
+type tok =
+  | Iface
+  | Role of string
+  | RoleBare of string
+  | RoleOf of string list
+  | RoleBareOf of string list
+  | Geo
+  | GeoDig
+  | GeoCompound
+  | GeoSplitClli
+  | Cc
+  | State
+  | Const of string
+  | Junk
+  | Num
+  | AsnTok
+
+type template = tok list list
+
+type t = {
+  hint_kind : hint_kind option;
+  templates : template list;
+  uses_cc : bool;
+  uses_state : bool;
+}
+
+(* "edge" is a real role string (level3 in figure 1) but it collides
+   with the town of Edge, GB (figure 6b); random operators draw from
+   this pool, so it is left out to keep the chance-collision rate at the
+   paper's observed level. The collision class itself stays reachable
+   through the gig/eth/cpe junk tokens. *)
+let role_pool =
+  [|
+    "cr"; "br"; "gw"; "core"; "bb"; "mpr"; "ar"; "pe"; "agg";
+    "rtr"; "bbr"; "dcr"; "tr"; "cs"; "hsa"; "lsr"; "p"; "re";
+  |]
+
+let junk_pool =
+  [|
+    "gig"; "eth"; "cpe"; "dns"; "mail"; "adsl"; "atlas"; "voda"; "telecom";
+    "netsol"; "media"; "globex"; "initech"; "acme"; "level"; "vpn"; "mgmt";
+    "static"; "dyn"; "cust"; "biz"; "colo"; "host"; "node"; "wan"; "lan";
+    "ipv"; "ix"; "peer"; "transit"; "lo"; "srv"; "uplink"; "access";
+    "resnet"; "campus"; "backup"; "infra"; "probe"; "sensor"; "bundle";
+    "trunk"; "spare"; "legacy"; "feeds"; "telco"; "fiberlink"; "darkfib";
+    "wless"; "microw"; "ptp"; "ppp"; "pppoe"; "dhcp"; "nat"; "fw"; "ids";
+    "noc"; "oob"; "oobm"; "console"; "term"; "dist"; "aggr"; "ethtrunk";
+    "portch"; "vrrp"; "hsrp"; "mpls"; "ldp"; "bgp"; "ospf"; "isis";
+  |]
+
+let iface_patterns =
+  [|
+    (fun rng -> Printf.sprintf "xe-%d-%d-%d" (Prng.int rng 4) (Prng.int rng 4) (Prng.int rng 8));
+    (fun rng -> Printf.sprintf "ae%d" (Prng.int rng 40));
+    (fun rng -> Printf.sprintf "ge-%d-%d" (Prng.int rng 4) (Prng.int rng 8));
+    (fun rng -> Printf.sprintf "so-%d-%d-%d" (Prng.int rng 2) (Prng.int rng 4) (Prng.int rng 4));
+    (fun rng -> Printf.sprintf "et-%d-%d" (Prng.int rng 4) (Prng.int rng 8));
+    (fun rng ->
+      Printf.sprintf "hundredgige%d-%d-%d-%d" (Prng.int rng 2) (Prng.int rng 6)
+        (Prng.int rng 2) (Prng.int rng 4));
+    (fun rng -> Printf.sprintf "be%d" (Prng.int rng 200));
+    (fun rng -> Printf.sprintf "100ge%d-%d" (1 + Prng.int rng 12) (1 + Prng.int rng 4));
+    (fun rng -> Printf.sprintf "te%d-%d" (Prng.int rng 4) (1 + Prng.int rng 4));
+    (fun rng -> Printf.sprintf "po%d" (1 + Prng.int rng 30));
+  |]
+
+let render_tok rng tok ~geo ~cc ~state ~asn =
+  match tok with
+  | Iface -> (Prng.pick rng iface_patterns) rng
+  | Role r -> Printf.sprintf "%s%d" r (1 + Prng.int rng 4)
+  | RoleBare r -> r
+  | RoleOf rs -> Printf.sprintf "%s%d" (Prng.pick_list rng rs) (1 + Prng.int rng 4)
+  | RoleBareOf rs -> Prng.pick_list rng rs
+  | Geo -> geo
+  | GeoDig -> Printf.sprintf "%s%d" geo (1 + Prng.int rng 20)
+  | GeoCompound ->
+      (* AT&T-style undelimited compound (figure 12a): city id, digit,
+         then a state/country code, all glued: "chi2ca", "rd3tx" *)
+      Printf.sprintf "%s%d%s" geo (Prng.int rng 10) (Option.value state ~default:cc)
+  | GeoSplitClli ->
+      (* caller passes the 6-letter prefix; we emit "4letters-2letters" *)
+      if String.length geo >= 6 then
+        Printf.sprintf "%s-%s" (String.sub geo 0 4) (String.sub geo 4 2)
+      else geo
+  | Cc -> cc
+  | State -> Option.value state ~default:cc
+  | Const s -> s
+  | Junk -> Prng.pick rng junk_pool
+  | Num -> string_of_int (Prng.int rng 300)
+  | AsnTok -> Printf.sprintf "as%d" asn
+
+let render rng template ~geo ~cc ~state ?(asn = 0) suffix =
+  let labels =
+    List.map
+      (fun label ->
+        String.concat "-"
+          (List.map (fun tok -> render_tok rng tok ~geo ~cc ~state ~asn) label))
+      template
+  in
+  String.concat "." (labels @ [ suffix ])
+
+(* interface-specific tokens vary per hostname; everything else is the
+   router's stable name, shared by all its interfaces (figure 1) *)
+let volatile = function
+  | Iface | Junk | Num -> true
+  | Role _ | RoleBare _ | RoleOf _ | RoleBareOf _ | Geo | GeoDig | GeoCompound
+  | GeoSplitClli | Cc | State | Const _ | AsnTok ->
+      false
+
+let render_router rng template ~geo ~cc ~state ?(asn = 0) ~count suffix =
+  let stable =
+    List.map
+      (List.map (fun tok ->
+           if volatile tok then None
+           else Some (render_tok rng tok ~geo ~cc ~state ~asn)))
+      template
+  in
+  List.init count (fun _ ->
+      let labels =
+        List.map2
+          (fun label pre ->
+            String.concat "-"
+              (List.map2
+                 (fun tok rendered ->
+                   match rendered with
+                   | Some s -> s
+                   | None -> render_tok rng tok ~geo ~cc ~state ~asn)
+                 label pre))
+          template stable
+      in
+      String.concat "." (labels @ [ suffix ]))
+
+let geo_label_kinds template =
+  let has p = List.exists (List.exists p) template in
+  ( has (function Geo | GeoDig | GeoSplitClli -> true | _ -> false),
+    has (function Cc -> true | _ -> false),
+    has (function State -> true | _ -> false) )

@@ -1,0 +1,563 @@
+module Prng = Hoiho_util.Prng
+module City = Hoiho_geodb.City
+module Db = Hoiho_geodb.Db
+module Synth = Hoiho_geodb.Synth
+
+type kind = GeoConsistent | GeoSmall | GeoMixed | NoGeo
+
+type site = {
+  city : City.t;
+  code : string;
+  custom : bool;
+  n_routers : int;
+  tpl : int option; (* force a specific template for this site's hostnames *)
+}
+
+type t = {
+  suffix : string;
+  asn : int;
+  conv : Conv.t;
+  sites : site list;
+  kind : kind;
+  p_customer : float;
+  p_embed : float;
+  p_stale : float;
+  p_responsive : float;
+  hostnames_per_router : int * int;
+}
+
+let codebook t =
+  List.filter_map
+    (fun s -> if s.code = "" then None else Some (s.code, City.key s.city))
+    t.sites
+
+let customs t =
+  List.filter_map
+    (fun s -> if s.custom && s.code <> "" then Some (s.code, City.key s.city) else None)
+    t.sites
+
+(* --- helpers --- *)
+
+let tlds =
+  [| ".net"; ".com"; ".net"; ".com"; ".net.au"; ".co.uk"; ".de"; ".fr";
+     ".it"; ".jp"; ".net.br"; ".pl"; ".cz"; ".ch"; ".at"; ".se"; ".org";
+     ".nl"; ".es"; ".co.nz" |]
+
+let brand_words =
+  [| "tel"; "net"; "com"; "link"; "fiber"; "wave"; "path"; "core"; "ix";
+     "band"; "line"; "grid"; "span"; "loop"; "beam" |]
+
+let random_suffix rng =
+  Synth.town_name rng ^ Prng.pick rng brand_words ^ Prng.pick rng tlds
+
+let pick_cities rng db n pred =
+  let eligible = List.filter pred (Db.cities db) in
+  let weighted =
+    Array.of_list
+      (List.map (fun c -> (c, sqrt (float_of_int (max 1 c.City.population)))) eligible)
+  in
+  let chosen = Hashtbl.create n in
+  let out = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length chosen < n && !attempts < n * 30 do
+    incr attempts;
+    let city = Prng.weighted rng weighted in
+    let key = City.key city in
+    if not (Hashtbl.mem chosen key) then begin
+      Hashtbl.replace chosen key ();
+      out := city :: !out
+    end
+  done;
+  List.rev !out
+
+let role rng = Prng.pick rng Conv.role_pool
+
+(* template families; [geo_digits] controls whether the geohint token
+   carries trailing digits, which most conventions do *)
+let random_templates rng hint_kind ~uses_cc ~uses_state =
+  let r1 = role rng and r2 = role rng in
+  let geo = if Prng.float rng 1.0 < 0.75 then Conv.GeoDig else Conv.Geo in
+  let tail =
+    (if uses_state then [ [ Conv.State ] ] else [])
+    @ (if uses_cc then [ [ Conv.Cc ] ] else [])
+    @ (if Prng.float rng 1.0 < 0.3 then [ [ Conv.Const (Synth.town_name rng) ] ]
+       else [])
+  in
+  let family = Prng.int rng 5 in
+  let core =
+    match (hint_kind, family) with
+    | Conv.Clli, _ when Prng.float rng 1.0 < 0.2 ->
+        (* windstream-style split CLLI *)
+        [ [ Conv.Iface ]; [ Conv.GeoSplitClli ] ]
+    | _, 0 -> [ [ Conv.Iface ]; [ Conv.Role r1 ]; [ geo ] ]
+    | _, 1 -> [ [ Conv.Iface ]; [ Conv.RoleOf [ r1; r2 ] ]; [ geo ] ]
+    | _, 2 -> [ [ Conv.Junk; Conv.Junk ]; [ Conv.Role r1 ]; [ geo ] ]
+    | _, 3 -> [ [ Conv.Iface ]; [ Conv.Role r1; geo ] ]
+    | _, _ -> [ [ Conv.Iface ]; [ geo ]; [ Conv.RoleBare r1 ] ]
+  in
+  [ core @ tail ]
+
+let nogeo_templates rng =
+  let r1 = role rng and r2 = role rng in
+  let family = Prng.int rng 7 in
+  let t =
+    match family with
+    | 0 -> [ [ Conv.Iface ]; [ Conv.Role r1 ]; [ Conv.Junk ] ]
+    | 1 -> [ [ Conv.Junk ]; [ Conv.Num ]; [ Conv.Role r1 ] ]
+    | 2 -> [ [ Conv.Junk; Conv.Num ]; [ Conv.RoleBare r1 ] ]
+    | 3 -> [ [ Conv.Iface ]; [ Conv.Junk ] ]
+    | 4 -> [ [ Conv.Iface ]; [ Conv.Role r1 ] ]
+    | 5 -> [ [ Conv.Iface ]; [ Conv.RoleBare r1; Conv.Num ]; [ Conv.Role r2 ] ]
+    | _ -> [ [ Conv.Num ]; [ Conv.Role r1 ]; [ Conv.RoleBare r2 ] ]
+  in
+  [ t ]
+
+let hint_kind_weights =
+  [|
+    (Conv.Iata, 0.47); (Conv.CityName, 0.36); (Conv.Clli, 0.12);
+    (Conv.Locode, 0.03); (Conv.FacilityAddr, 0.02);
+  |]
+
+let cc_probability = function
+  | Conv.Iata -> 0.24
+  | Conv.CityName -> 0.03
+  | Conv.Clli -> 0.05
+  | Conv.Locode -> 0.0
+  | Conv.FacilityAddr -> 0.0
+
+let state_probability = function
+  | Conv.Iata -> 0.02
+  | Conv.CityName -> 0.04
+  | Conv.Clli -> 0.02
+  | Conv.Locode -> 0.0
+  | Conv.FacilityAddr -> 0.5
+
+let sites_for ?tpl rng db hint_kind cities ~p_dev =
+  List.filter_map
+    (fun city ->
+      match Codes.code_for rng db hint_kind ~p_dev city with
+      | None -> None
+      | Some (code, custom) ->
+          Some { city; code; custom; n_routers = 2 + Prng.int rng 3; tpl })
+    cities
+
+(* two geohint types under one suffix: template 0 carries kind A sites,
+   template 1 kind B sites *)
+let random_multikind rng db =
+  let kind_a, kind_b =
+    Prng.pick_list rng
+      [ (Conv.Iata, Conv.CityName); (Conv.Clli, Conv.CityName);
+        (Conv.Iata, Conv.Clli) ]
+  in
+  let n_a = Prng.range rng 3 8 and n_b = Prng.range rng 3 8 in
+  let cities_a = pick_cities rng db n_a (fun _ -> true) in
+  let cities_b = pick_cities rng db n_b (fun _ -> true) in
+  let sites =
+    sites_for ~tpl:0 rng db kind_a cities_a ~p_dev:0.1
+    @ sites_for ~tpl:1 rng db kind_b cities_b ~p_dev:0.1
+  in
+  let tpl_a = List.hd (random_templates rng kind_a ~uses_cc:false ~uses_state:false) in
+  let tpl_b = List.hd (random_templates rng kind_b ~uses_cc:false ~uses_state:false) in
+  {
+    suffix = random_suffix rng;
+    asn = 1000 + Prng.int rng 64000;
+    conv =
+      { Conv.hint_kind = Some kind_a; templates = [ tpl_a; tpl_b ];
+        uses_cc = false; uses_state = false };
+    sites;
+    kind = GeoConsistent;
+    p_customer = 0.0;
+    p_embed = 1.0;
+    p_stale = 0.01;
+    p_responsive = 0.85;
+    hostnames_per_router = (1, 3);
+  }
+
+let random_geo rng db ~kind =
+  assert (kind <> NoGeo);
+  let hint_kind = Prng.weighted rng hint_kind_weights in
+  let uses_cc = Prng.float rng 1.0 < cc_probability hint_kind in
+  let uses_state =
+    (not uses_cc) && Prng.float rng 1.0 < state_probability hint_kind
+  in
+  let n_sites =
+    match kind with
+    | GeoConsistent -> Prng.range rng 3 14
+    | GeoSmall -> Prng.range rng 1 2
+    | GeoMixed -> Prng.range rng 4 12
+    | NoGeo -> assert false
+  in
+  let pred =
+    match hint_kind with
+    | Conv.FacilityAddr -> fun c -> c.City.facilities <> []
+    | _ -> fun _ -> true
+  in
+  let cities = pick_cities rng db n_sites pred in
+  let p_dev = if hint_kind = Conv.Iata then 0.35 else 0.12 in
+  let sites = sites_for rng db hint_kind cities ~p_dev in
+  let templates = random_templates rng hint_kind ~uses_cc ~uses_state in
+  (* a minority of operators let hostnames go stale at a visible rate,
+     which lands their NC in the "promising" PPV band (table 3) *)
+  let p_stale =
+    if kind = GeoConsistent && Prng.float rng 1.0 < 0.22 then
+      0.10 +. Prng.float rng 0.10
+    else 0.01
+  in
+  {
+    suffix = random_suffix rng;
+    asn = 1000 + Prng.int rng 64000;
+    conv = { Conv.hint_kind = Some hint_kind; templates; uses_cc; uses_state };
+    sites;
+    kind;
+    p_customer = (if Prng.float rng 1.0 < 0.3 then 0.05 +. Prng.float rng 0.1 else 0.0);
+    p_embed = (match kind with GeoMixed -> 0.4 +. Prng.float rng 0.3 | _ -> 1.0);
+    p_stale;
+    p_responsive = 0.85;
+    hostnames_per_router = (1, 3);
+  }
+
+let random_nogeo rng db =
+  let n_sites = Prng.range rng 2 12 in
+  let cities = pick_cities rng db n_sites (fun _ -> true) in
+  let sites =
+    List.map
+      (fun city ->
+        { city; code = ""; custom = false; n_routers = 1 + Prng.int rng 9; tpl = None })
+      cities
+  in
+  {
+    suffix = random_suffix rng;
+    asn = 1000 + Prng.int rng 64000;
+    conv =
+      { Conv.hint_kind = None; templates = nogeo_templates rng; uses_cc = false;
+        uses_state = false };
+    sites;
+    kind = NoGeo;
+    p_customer = (if Prng.float rng 1.0 < 0.2 then 0.05 +. Prng.float rng 0.1 else 0.0);
+    p_embed = 0.0;
+    p_stale = 0.0;
+    p_responsive = 0.85;
+    hostnames_per_router = (1, 2);
+  }
+
+(* an operator whose geohints are undelimited compounds (figure 12a):
+   the city id glues to a digit and the state code, so neither our
+   method nor DRoP can parse it correctly — but DRoP's loose traceroute
+   constraints let it accept the leading letters as an airport code
+   ("chi2ca" read as Chicago for a router in Chico — Cai 2015) *)
+let random_compound rng db =
+  let n_sites = Prng.range rng 4 10 in
+  (* regional operators: small and mid-size towns whose three-letter ids
+     collide with big-city airport codes ("chi" of Chico, "ric" of
+     Richardson) *)
+  let cities =
+    pick_cities rng db n_sites (fun c ->
+        c.City.state <> None && c.City.population < 500_000)
+  in
+  let sites =
+    List.map
+      (fun city ->
+        {
+          city;
+          code = Codes.prefix3 city.City.name;
+          custom = true;
+          n_routers = 2 + Prng.int rng 3;
+          tpl = None;
+        })
+      cities
+  in
+  let r1 = role rng in
+  {
+    suffix = random_suffix rng;
+    asn = 1000 + Prng.int rng 64000;
+    conv =
+      {
+        Conv.hint_kind = Some Conv.Iata;
+        templates = [ [ [ Conv.GeoCompound; Conv.RoleBare r1; Conv.Num ]; [ Conv.Const "infra" ] ] ];
+        uses_cc = false;
+        uses_state = false;
+      };
+    sites;
+    kind = GeoConsistent;
+    p_customer = 0.0;
+    p_embed = 1.0;
+    p_stale = 0.0;
+    p_responsive = 0.85;
+    hostnames_per_router = (1, 2);
+  }
+
+(* --- fixed validation operators (paper §6, figure 9, table 6) --- *)
+
+let find_city db ?state name cc =
+  let squashed = String.concat "" (String.split_on_char ' ' name) in
+  let all = Db.lookup_city_name db squashed in
+  let matching =
+    List.filter
+      (fun c ->
+        c.City.cc = cc
+        && match state with None -> true | Some st -> c.City.state = Some st)
+      all
+  in
+  match matching with
+  | c :: _ -> c
+  | [] -> invalid_arg (Printf.sprintf "Oper.find_city: %s/%s not in dataset" name cc)
+
+let us_hubs =
+  [ ("new york", "ny"); ("ashburn", "va"); ("chicago", "il");
+    ("dallas", "tx"); ("los angeles", "ca"); ("san jose", "ca");
+    ("seattle", "wa"); ("atlanta", "ga"); ("miami", "fl");
+    ("denver", "co"); ("phoenix", "az"); ("minneapolis", "mn") ]
+
+let asia_hubs =
+  [ ("tokyo", "jp"); ("singapore", "sg"); ("hong kong", "hk");
+    ("seoul", "kr"); ("osaka", "jp"); ("sydney", "au") ]
+
+let eu_city db name =
+  let cc_of = function
+    | "london" -> "gb" | "amsterdam" -> "nl" | "frankfurt" -> "de"
+    | "paris" -> "fr" | "madrid" -> "es" | "milan" -> "it"
+    | "stockholm" -> "se" | "vienna" -> "at" | "warsaw" -> "pl"
+    | "zurich" -> "ch" | "brussels" -> "be" | "prague" -> "cz"
+    | "dublin" -> "ie" | "marseille" -> "fr" | "budapest" -> "hu"
+    | "bucharest" -> "ro" | "athens" -> "gr" | "rome" -> "it"
+    | "lisbon" -> "pt" | "helsinki" -> "fi" | "oslo" -> "no"
+    | "copenhagen" -> "dk" | "kyiv" -> "ua" | "riga" -> "lv"
+    | "sofia" -> "bg" | "belgrade" -> "rs" | "hamburg" -> "de"
+    | "munich" -> "de" | "barcelona" -> "es" | "geneva" -> "ch"
+    | other -> invalid_arg ("Oper.eu_city: " ^ other)
+  in
+  find_city db name (cc_of name)
+
+let site ?(n = 3) ?(custom = false) city code =
+  { city; code; custom; n_routers = n; tpl = None }
+
+(* a site using the city's reference IATA code, or a custom prefix code
+   when it has none *)
+let iata_site rng db ?(n = 0) city =
+  let n = if n = 0 then 2 + Prng.int rng 4 else n in
+  match Codes.code_for rng db Conv.Iata ~p_dev:0.0 city with
+  | Some (code, custom) -> { city; code; custom; n_routers = n; tpl = None }
+  | None -> assert false
+
+let validation rng db =
+  let c = find_city db in
+  let iata ?n city = iata_site rng db ?n city in
+  let us name st = c ~state:st name "us" in
+  let mk suffix ?(asn = 0) kind hint templates ~uses_cc ~uses_state
+      ?(p_customer = 0.0) ?(p_embed = 1.0) ?(p_stale = 0.01)
+      ?(p_responsive = 0.85) sites =
+    {
+      suffix;
+      asn = (if asn = 0 then 64512 + Hashtbl.hash suffix mod 1000 else asn);
+      conv = { Conv.hint_kind = Some hint; templates; uses_cc; uses_state };
+      sites;
+      kind;
+      p_customer;
+      p_embed;
+      p_stale;
+      p_responsive;
+      hostnames_per_router = (1, 3);
+    }
+  in
+  (* --- he.net: IATA with famous custom overrides (figure 8a) --- *)
+  let he =
+    mk "he.net" ~asn:6939 ~p_customer:0.15 GeoConsistent Conv.Iata
+      [ [ [ Conv.Junk; Conv.Junk ]; [ Conv.Iface ]; [ Conv.Role "core" ]; [ Conv.GeoDig ] ];
+        [ [ Conv.Iface ]; [ Conv.Role "core" ]; [ Conv.GeoDig ] ] ]
+      ~uses_cc:false ~uses_state:false
+      ([ site ~n:6 ~custom:true (us "ashburn" "va") "ash";
+         site ~n:4 ~custom:true (c "toronto" "ca") "tor";
+         site ~n:4 ~custom:true (c "tokyo" "jp") "tok";
+         site ~n:3 ~custom:true (c "london" "gb") "ldn" ]
+      @ List.map (fun (n, st) -> iata (us n st))
+          [ ("new york", "ny"); ("chicago", "il"); ("dallas", "tx");
+            ("los angeles", "ca"); ("san jose", "ca"); ("seattle", "wa");
+            ("denver", "co"); ("miami", "fl") ]
+      @ List.map (fun n -> iata (eu_city db n)) [ "frankfurt"; "paris"; "amsterdam"; "stockholm" ])
+  in
+  (* --- gtt.net: plain IATA, role-geo joined by dash (figure 1) --- *)
+  let gtt =
+    mk "gtt.net" ~asn:3257 ~p_customer:0.1 GeoConsistent Conv.Iata
+      [ [ [ Conv.Iface ]; [ Conv.RoleOf [ "cr"; "br" ]; Conv.GeoDig ]; [ Conv.Const "ip4" ] ] ]
+      ~uses_cc:false ~uses_state:false
+      (List.map (fun (n, st) -> iata (us n st)) us_hubs
+      @ List.map (fun n -> iata (eu_city db n))
+          [ "london"; "amsterdam"; "frankfurt"; "paris"; "madrid"; "milan"; "zurich"; "dublin" ])
+  in
+  (* --- zayo.com: IATA + country code (figures 1, 6a) --- *)
+  let zayo =
+    mk "zayo.com" ~asn:6461 GeoConsistent Conv.Iata
+      [ [ [ Conv.Junk; Conv.Junk ]; [ Conv.Role "mpr" ]; [ Conv.GeoDig ]; [ Conv.Cc ];
+          [ Conv.Const "zip" ] ] ]
+      ~uses_cc:true ~uses_state:false
+      ([ site ~n:4 ~custom:true (us "ashburn" "va") "ash";
+         site ~n:3 ~custom:true (c "tokyo" "jp") "tok";
+         site ~n:3 ~custom:true (c "zurich" "ch") "zur";
+         site ~n:3 ~custom:true (c "washington" "us" ~state:"dc") "wdc" ]
+      @ List.map (fun (n, st) -> iata (us n st))
+          [ ("new york", "ny"); ("chicago", "il"); ("denver", "co");
+            ("dallas", "tx"); ("seattle", "wa"); ("los angeles", "ca") ]
+      @ List.map (fun n -> iata (eu_city db n))
+          [ "london"; "amsterdam"; "paris"; "frankfurt"; "brussels"; "stockholm"; "dublin"; "milan" ])
+  in
+  (* --- ntt.net: CLLI prefixes + country code, custom CLLIs (fig 8b) --- *)
+  let clli_site ?(n = 3) ?custom_code city =
+    match custom_code with
+    | Some code -> site ~n ~custom:true city code
+    | None -> (
+        match Db.clli_of_city db city with
+        | Some prefix -> site ~n city prefix
+        | None ->
+            site ~n ~custom:true city
+              (Codes.abbrev4 (City.squashed city) ^ City.clli_region city))
+  in
+  let ntt =
+    mk "ntt.net" ~asn:2914 ~p_customer:0.1 GeoConsistent Conv.Clli
+      [ [ [ Conv.Iface ]; [ Conv.Role "r" ]; [ Conv.GeoDig ]; [ Conv.Cc ];
+          [ Conv.RoleBareOf [ "bb"; "ce"; "ra" ] ] ] ]
+      ~uses_cc:true ~uses_state:false
+      ([ clli_site ~n:4 ~custom_code:"mlanit" (c "milan" "it");
+         clli_site ~n:3 ~custom_code:"mancen" (c "manchester" "gb");
+         clli_site ~n:3 ~custom_code:"kslrml" (c "kuala selangor" "my") ]
+      @ List.map (fun (n, st) -> clli_site ~n:3 (us n st)) us_hubs
+      @ List.map (fun n -> clli_site ~n:2 (eu_city db n))
+          [ "london"; "amsterdam"; "frankfurt"; "paris"; "madrid"; "vienna"; "brussels" ]
+      @ List.map (fun (n, cc) -> clli_site ~n:2 (c n cc)) asia_hubs)
+  in
+  (* --- retn.net: IATA + cc with heavy custom usage across Europe --- *)
+  let retn_cities =
+    List.map (eu_city db)
+      [ "london"; "amsterdam"; "frankfurt"; "paris"; "madrid"; "milan";
+        "stockholm"; "vienna"; "warsaw"; "zurich"; "brussels"; "prague";
+        "bucharest"; "budapest"; "athens"; "rome"; "lisbon"; "helsinki";
+        "oslo"; "copenhagen"; "kyiv"; "riga"; "sofia"; "belgrade";
+        "hamburg"; "munich"; "barcelona"; "geneva" ]
+    @ [ c "moscow" "ru"; c "st petersburg" "ru"; c "istanbul" "tr";
+        c "tallinn" "ee"; c "vilnius" "lt"; c "hong kong" "hk" ]
+  in
+  let retn =
+    mk "retn.net" ~asn:9002 GeoConsistent Conv.Iata
+      [ [ [ Conv.Iface ]; [ Conv.RoleOf [ "rt"; "gw" ] ]; [ Conv.Geo ]; [ Conv.Cc ] ] ]
+      ~uses_cc:true ~uses_state:false
+      (List.map
+         (fun city ->
+           match Codes.code_for rng db Conv.Iata ~p_dev:0.75 city with
+           | Some (code, custom) -> site ~n:(2 + Prng.int rng 3) ~custom city code
+           | None -> assert false)
+         retn_cities)
+  in
+  (* --- seabone.net: custom 3-letter city abbreviations --- *)
+  let seabone_cities =
+    List.map (eu_city db)
+      [ "london"; "amsterdam"; "frankfurt"; "paris"; "madrid"; "milan";
+        "athens"; "rome"; "barcelona"; "vienna"; "marseille" ]
+    @ [ c "new york" "us" ~state:"ny"; c "miami" "us" ~state:"fl";
+        c "sao paulo" "br"; c "singapore" "sg" ]
+  in
+  let seabone =
+    mk "seabone.net" ~asn:6762 GeoConsistent Conv.Iata
+      [ [ [ Conv.Iface ]; [ Conv.Geo; Conv.RoleOf [ "bb"; "pe" ] ] ] ]
+      ~uses_cc:false ~uses_state:false
+      (List.map
+         (fun city ->
+           let code = Codes.prefix3 city.City.name in
+           let custom =
+             not (List.exists (fun i -> i = code) city.City.iata)
+           in
+           site ~n:(2 + Prng.int rng 3) ~custom city code)
+         seabone_cities)
+  in
+  (* --- geant.net: abbreviated city names (R&E network) --- *)
+  let geant =
+    mk "geant.net" ~asn:20965 GeoConsistent Conv.CityName
+      [ [ [ Conv.Iface ]; [ Conv.RoleOf [ "rt"; "mx" ] ]; [ Conv.Geo ];
+          [ Conv.Cc ] ] ]
+      ~uses_cc:true ~uses_state:false
+      (List.map
+         (fun name ->
+           let city = eu_city db name in
+           match Codes.code_for rng db Conv.CityName ~p_dev:0.5 city with
+           | Some (code, custom) -> site ~n:2 ~custom city code
+           | None -> assert false)
+         [ "london"; "amsterdam"; "frankfurt"; "paris"; "madrid"; "milan";
+           "vienna"; "budapest"; "prague"; "bucharest"; "athens"; "dublin";
+           "brussels"; "lisbon" ])
+  in
+  (* --- as8218.eu: city names, small European footprint --- *)
+  let as8218 =
+    mk "as8218.eu" ~asn:8218 GeoConsistent Conv.CityName
+      [ [ [ Conv.Iface ]; [ Conv.Role "th" ]; [ Conv.GeoDig ] ] ]
+      ~uses_cc:false ~uses_state:false
+      (List.map
+         (fun name ->
+           let city = eu_city db name in
+           match Codes.code_for rng db Conv.CityName ~p_dev:0.4 city with
+           | Some (code, custom) -> site ~n:3 ~custom city code
+           | None -> assert false)
+         [ "paris"; "london"; "amsterdam"; "frankfurt"; "marseille";
+           "brussels"; "milan"; "madrid"; "vienna"; "zurich" ])
+  in
+  (* --- aorta.net: IATA, cable operator across Europe --- *)
+  let aorta =
+    mk "aorta.net" ~asn:6830 GeoConsistent Conv.Iata
+      [ [ [ Conv.Junk ]; [ Conv.Iface ]; [ Conv.RoleOf [ "cr"; "ar" ] ];
+          [ Conv.GeoDig ] ] ]
+      ~uses_cc:false ~uses_state:false
+      (List.map
+         (fun name ->
+           let city = eu_city db name in
+           match Codes.code_for rng db Conv.Iata ~p_dev:0.5 city with
+           | Some (code, custom) -> site ~n:(2 + Prng.int rng 3) ~custom city code
+           | None -> assert false)
+         [ "amsterdam"; "vienna"; "zurich"; "dublin"; "budapest"; "warsaw";
+           "prague"; "bucharest" ])
+  in
+  (* --- above.net: IATA but inconsistent convention (many FNs) --- *)
+  let above =
+    mk "above.net" ~asn:6461 GeoMixed Conv.Iata
+      [ [ [ Conv.Iface ]; [ Conv.RoleOf [ "cr"; "er" ] ]; [ Conv.GeoDig ] ];
+        [ [ Conv.Junk ]; [ Conv.RoleOf [ "cr"; "er" ] ]; [ Conv.Num ] ] ]
+      ~uses_cc:false ~uses_state:false ~p_embed:0.55
+      (List.map (fun (n, st) -> iata ~n:3 (us n st))
+         [ ("new york", "ny"); ("san jose", "ca"); ("chicago", "il");
+           ("dallas", "tx"); ("seattle", "wa"); ("los angeles", "ca");
+           ("denver", "co"); ("miami", "fl") ])
+  in
+  (* --- nysernet.net: city names; unresponsive to ping (R&E filtering) --- *)
+  let nysernet =
+    mk "nysernet.net" ~asn:3754 GeoConsistent Conv.CityName
+      [ [ [ Conv.Iface ]; [ Conv.Geo; Conv.RoleOf [ "cr"; "idp" ] ] ] ]
+      ~uses_cc:false ~uses_state:false ~p_responsive:0.0
+      (List.map
+         (fun (name, st) ->
+           let city = us name st in
+           site ~n:3 city (City.squashed city))
+         [ ("new york", "ny"); ("albany", "ny"); ("syracuse", "ny");
+           ("rochester", "ny"); ("buffalo", "ny") ])
+  in
+  (* --- tfbnw.net: IATA backbone + irregularly-named data-center codes
+     in small-population towns. Some codes are ambiguous abbreviations
+     that a learner resolves to the wrong (larger) place, some are not
+     abbreviations at all — reproducing the mostly-wrong tfbnw row of
+     table 6. --- *)
+  let tfbnw =
+    mk "tfbnw.net" ~asn:32934 GeoConsistent Conv.Iata
+      [ [ [ Conv.Iface ]; [ Conv.RoleOf [ "bb"; "ar" ] ]; [ Conv.GeoDig ] ] ]
+      ~uses_cc:false ~uses_state:false
+      (List.map (fun (n, st) -> iata ~n:7 (us n st))
+         [ ("new york", "ny"); ("chicago", "il"); ("dallas", "tx");
+           ("los angeles", "ca"); ("seattle", "wa"); ("atlanta", "ga") ]
+      @ List.map
+          (fun (name, st, code) -> site ~n:3 ~custom:true (us name st) code)
+          [ ("washington", "pa", "was"); ("washington", "mo", "stl");
+            ("washington", "ut", "lvg"); ("springfield", "il", "spr");
+            ("ashland", "va", "ald"); ("brecksville", "oh", "bkv");
+            ("torrington", "wy", "dnv"); ("fort collins", "co", "ftc") ])
+  in
+  [ above; aorta; as8218; geant; gtt; he; ntt; nysernet; retn; seabone;
+    tfbnw; zayo ]
+
+let validation_suffixes =
+  [ "above.net"; "aorta.net"; "as8218.eu"; "geant.net"; "gtt.net"; "he.net";
+    "ntt.net"; "nysernet.net"; "retn.net"; "seabone.net"; "tfbnw.net";
+    "zayo.com" ]

@@ -1,0 +1,71 @@
+(** Synthetic network operators.
+
+    Each operator owns a domain suffix, a naming convention, and a set
+    of deployment sites (city + embedded geohint code + router count).
+    Generators produce both a randomized population of operators with
+    paper-like proportions, and the fixed "validation" operators that
+    mirror the 12 suffixes used in the paper's §6 evaluation. *)
+
+type kind =
+  | GeoConsistent  (** systematically embeds geohints *)
+  | GeoSmall  (** embeds geohints but at <3 distinct locations *)
+  | GeoMixed  (** embeds geohints in only part of the hostnames *)
+  | NoGeo  (** no geohints; tokens may collide with codes by chance *)
+
+type site = {
+  city : Hoiho_geodb.City.t;
+  code : string;  (** embedded geohint; "" when the operator embeds none *)
+  custom : bool;  (** code deviates from the reference dictionary *)
+  n_routers : int;
+  tpl : int option;
+      (** pin this site's hostnames to one of the convention's templates
+          (used by mixed-format operators, where CLLI backbone sites and
+          city-named metro sites coexist under one suffix) *)
+}
+
+type t = {
+  suffix : string;
+  asn : int;  (** the operator's autonomous system number *)
+  conv : Conv.t;
+  sites : site list;
+  kind : kind;
+  p_customer : float;
+      (** probability a router is a customer's device named under this
+          operator's suffix (figure 3b): it carries the customer's ASN
+          and an interconnection-style hostname *)
+  p_embed : float;  (** probability a hostname carries the geo field *)
+  p_stale : float;  (** probability a hostname carries another site's code *)
+  p_responsive : float;  (** probability a router answers ping *)
+  hostnames_per_router : int * int;
+}
+
+val codebook : t -> (string * string) list
+(** (code, city key) for every site with a code. *)
+
+val customs : t -> (string * string) list
+(** The subset of {!codebook} whose codes deviate from the dictionary. *)
+
+val random_geo :
+  Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> kind:kind -> t
+(** A randomized operator of the given kind (must not be [NoGeo]). *)
+
+val random_multikind : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t
+(** An operator that mixes two geohint types across its sites — e.g. an
+    IATA backbone plus city-named metro routers — producing the
+    mixed-type NCs of table 4 (31 of the paper's 795 good NCs). *)
+
+val random_compound : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t
+(** An AT&T-style operator (figure 12a) whose geohints glue a city id,
+    a digit, and a state code into one undelimited token ("rd3tx"):
+    ground truth records the embedded hints, but no regex-based method
+    can delimit them (§7). *)
+
+val random_nogeo : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t
+
+val validation : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t list
+(** The 12 fixed validation operators: above.net, aorta.net, as8218.eu,
+    geant.net, gtt.net, he.net, ntt.net, nysernet.net, retn.net,
+    seabone.net, tfbnw.net, zayo.com — with conventions shaped after the
+    paper's descriptions of those networks. *)
+
+val validation_suffixes : string list

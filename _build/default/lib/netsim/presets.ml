@@ -1,0 +1,95 @@
+let s scale n = max 1 (int_of_float (float_of_int n *. scale))
+
+let ipv4_aug20 ?(scale = 1.0) () =
+  {
+    Generate.label = "Aug '20 IPv4";
+    seed = 20200801;
+    n_geo_consistent = s scale 190;
+    n_geo_small = s scale 85;
+    n_geo_mixed = s scale 15;
+    n_multikind = s scale 10;
+    n_compound = s scale 25;
+    n_nogeo = s scale 950;
+    n_extra_towns = 1400;
+    n_spoofing_vps = 0;
+    include_validation = true;
+    n_vps = 106;
+    hostname_fraction = 0.55;
+    p_responsive_unnamed = 0.82;
+  }
+
+let ipv4_mar21 ?(scale = 1.0) () =
+  {
+    Generate.label = "Mar '21 IPv4";
+    seed = 20210301;
+    n_geo_consistent = s scale 187;
+    n_geo_small = s scale 84;
+    n_geo_mixed = s scale 15;
+    n_multikind = s scale 10;
+    n_compound = s scale 25;
+    n_nogeo = s scale 940;
+    n_extra_towns = 1400;
+    n_spoofing_vps = 0;
+    include_validation = true;
+    n_vps = 100;
+    hostname_fraction = 0.54;
+    p_responsive_unnamed = 0.82;
+  }
+
+let ipv6_nov20 ?(scale = 1.0) () =
+  {
+    Generate.label = "Nov '20 IPv6";
+    seed = 20201101;
+    n_geo_consistent = s scale 52;
+    n_geo_small = s scale 19;
+    n_geo_mixed = s scale 6;
+    n_multikind = s scale 3;
+    n_compound = s scale 4;
+    n_nogeo = s scale 76;
+    n_extra_towns = 500;
+    n_spoofing_vps = 0;
+    include_validation = false;
+    n_vps = 46;
+    hostname_fraction = 0.151;
+    p_responsive_unnamed = 0.46;
+  }
+
+let ipv6_mar21 ?(scale = 1.0) () =
+  {
+    Generate.label = "Mar '21 IPv6";
+    seed = 20210302;
+    n_geo_consistent = s scale 51;
+    n_geo_small = s scale 18;
+    n_geo_mixed = s scale 6;
+    n_multikind = s scale 3;
+    n_compound = s scale 4;
+    n_nogeo = s scale 74;
+    n_extra_towns = 500;
+    n_spoofing_vps = 0;
+    include_validation = false;
+    n_vps = 39;
+    hostname_fraction = 0.16;
+    p_responsive_unnamed = 0.45;
+  }
+
+let tiny ?(seed = 42) () =
+  {
+    Generate.label = "tiny";
+    seed;
+    n_geo_consistent = 6;
+    n_geo_small = 4;
+    n_geo_mixed = 2;
+    n_multikind = 1;
+    n_compound = 1;
+    n_nogeo = 10;
+    n_extra_towns = 0;
+    n_spoofing_vps = 0;
+    include_validation = true;
+    n_vps = 40;
+    hostname_fraction = 0.7;
+    p_responsive_unnamed = 0.8;
+  }
+
+let all ?(scale = 1.0) () =
+  [ ipv4_aug20 ~scale (); ipv4_mar21 ~scale (); ipv6_nov20 ~scale ();
+    ipv6_mar21 ~scale () ]

@@ -1,0 +1,15 @@
+(** Ready-made generator configurations mirroring the four ITDKs of
+    table 1, at roughly 1/100 of the paper's scale. [scale] multiplies
+    operator counts (1.0 = default). *)
+
+val ipv4_aug20 : ?scale:float -> unit -> Generate.config
+val ipv4_mar21 : ?scale:float -> unit -> Generate.config
+val ipv6_nov20 : ?scale:float -> unit -> Generate.config
+val ipv6_mar21 : ?scale:float -> unit -> Generate.config
+
+val tiny : ?seed:int -> unit -> Generate.config
+(** A small configuration for unit tests: validation operators plus a
+    handful of random ones. *)
+
+val all : ?scale:float -> unit -> Generate.config list
+(** The four table-1 configurations in paper order. *)

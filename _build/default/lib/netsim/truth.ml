@@ -1,0 +1,30 @@
+type t = {
+  ops : Oper.t list;
+  by_suffix : (string, Oper.t) Hashtbl.t;
+  db : Hoiho_geodb.Db.t;
+}
+
+let make ~db ops =
+  let by_suffix = Hashtbl.create (List.length ops) in
+  List.iter (fun (op : Oper.t) -> Hashtbl.replace by_suffix op.Oper.suffix op) ops;
+  { ops; by_suffix; db }
+
+let ops t = t.ops
+let db t = t.db
+let find t suffix = Hashtbl.find_opt t.by_suffix suffix
+
+let code_city t ~suffix code =
+  match find t suffix with
+  | None -> None
+  | Some op -> List.assoc_opt code (Oper.codebook op)
+
+let is_custom t ~suffix code =
+  match find t suffix with
+  | None -> false
+  | Some op -> List.mem_assoc code (Oper.customs op)
+
+let geo_suffixes t =
+  List.filter_map
+    (fun (op : Oper.t) ->
+      if op.Oper.kind = Oper.NoGeo then None else Some op.Oper.suffix)
+    t.ops

@@ -1,0 +1,29 @@
+(** Ground-truth bundle retained by the generator.
+
+    Holds the operator population that produced a synthetic dataset, so
+    validation can replay the paper's §6 protocol: which suffixes embed
+    geohints, each operator's codebook (code → city), and which codes
+    are custom. The learning pipeline never sees this. *)
+
+type t
+
+val make : db:Hoiho_geodb.Db.t -> Oper.t list -> t
+
+val ops : t -> Oper.t list
+
+val db : t -> Hoiho_geodb.Db.t
+(** The dictionary the generator drew places from. When the generator
+    expanded the world with synthetic towns, the learning pipeline must
+    consult this dictionary (they are ordinary GeoNames-style places). *)
+
+val find : t -> string -> Oper.t option
+(** Lookup by suffix. *)
+
+val code_city : t -> suffix:string -> string -> string option
+(** [code_city t ~suffix code] is the city key the operator of [suffix]
+    means by [code], if any. *)
+
+val is_custom : t -> suffix:string -> string -> bool
+
+val geo_suffixes : t -> string list
+(** Suffixes whose operator embeds geohints (any geo kind). *)

@@ -1,0 +1,1 @@
+lib/psl/psl.ml: Hashtbl Hoiho_util List

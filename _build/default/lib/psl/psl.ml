@@ -1,0 +1,75 @@
+module Strutil = Hoiho_util.Strutil
+
+(* A representative subset of the Mozilla PSL: the generic TLDs plus the
+   country-code suffixes under which network operators commonly register
+   router hostname domains. *)
+let public_suffixes =
+  [
+    "com"; "net"; "org"; "edu"; "gov"; "mil"; "int"; "info"; "biz";
+    "cloud"; "io"; "co";
+    "at"; "au"; "be"; "br"; "ca"; "ch"; "cl"; "cn"; "cz"; "de"; "dk";
+    "es"; "eu"; "fi"; "fr"; "gr"; "hk"; "hu"; "id"; "ie"; "il"; "in";
+    "is"; "it"; "jp"; "kr"; "lu"; "mx"; "my"; "nl"; "no"; "nz"; "pe";
+    "ph"; "pl"; "pt"; "ro"; "rs"; "ru"; "se"; "sg"; "sk"; "th"; "tr";
+    "tw"; "ua"; "uk"; "us"; "za";
+    "com.au"; "net.au"; "org.au"; "edu.au"; "gov.au";
+    "co.uk"; "net.uk"; "org.uk"; "ac.uk"; "gov.uk";
+    "co.nz"; "net.nz"; "org.nz"; "ac.nz"; "govt.nz";
+    "com.br"; "net.br"; "org.br";
+    "co.jp"; "ne.jp"; "or.jp"; "ad.jp"; "ac.jp";
+    "co.kr"; "ne.kr"; "or.kr";
+    "com.cn"; "net.cn"; "org.cn";
+    "com.hk"; "net.hk";
+    "com.sg"; "net.sg";
+    "com.tw"; "net.tw";
+    "com.mx"; "net.mx";
+    "com.ar"; "net.ar";
+    "com.my"; "net.my";
+    "co.za"; "net.za"; "org.za";
+    "co.in"; "net.in";
+    "co.il"; "net.il"; "org.il";
+    "com.tr"; "net.tr";
+    "com.pl"; "net.pl";
+    "com.ru"; "net.ru";
+    "co.id"; "net.id";
+    "co.th"; "net.th";
+    "com.ph"; "net.ph";
+    "com.pe"; "net.pe";
+    "com.sa"; "net.sa";
+    "ac.at"; "co.at"; "or.at";
+  ]
+
+let suffix_set =
+  let tbl = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) public_suffixes;
+  tbl
+
+let is_public_suffix s = Hashtbl.mem suffix_set (Strutil.lowercase s)
+
+let registered_suffix hostname =
+  let lowered = Strutil.lowercase hostname in
+  let labels = Strutil.split_labels lowered in
+  let n = List.length labels in
+  if Hashtbl.mem suffix_set (Strutil.join "." labels) then None
+  else
+  (* find the longest public suffix that is a proper suffix of the name,
+     then include one more label *)
+  let rec try_at i =
+    (* candidate public suffix = labels[i..] *)
+    if i >= n then None
+    else
+      let cand = Strutil.join "." (List.filteri (fun j _ -> j >= i) labels) in
+      if Hashtbl.mem suffix_set cand then
+        if i = 0 then None (* the name is itself a public suffix *)
+        else Some (Strutil.join "." (List.filteri (fun j _ -> j >= i - 1) labels))
+      else try_at (i + 1)
+  in
+  try_at 1
+
+let prefix_of hostname =
+  match registered_suffix hostname with
+  | None -> None
+  | Some suffix -> (
+      match Strutil.drop_suffix ~suffix (Strutil.lowercase hostname) with
+      | Some "" -> None
+      | other -> other)

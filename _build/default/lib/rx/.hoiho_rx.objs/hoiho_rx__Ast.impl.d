@@ -1,0 +1,1 @@
+lib/rx/ast.ml: Buffer Format List Printf String

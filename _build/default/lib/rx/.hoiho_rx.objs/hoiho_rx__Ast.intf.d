@@ -1,0 +1,1 @@
+lib/rx/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/rx/engine.ml: Array Ast List Parse Printf Result String

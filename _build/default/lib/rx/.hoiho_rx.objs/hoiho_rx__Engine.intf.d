@@ -1,0 +1,1 @@
+lib/rx/engine.mli: Ast

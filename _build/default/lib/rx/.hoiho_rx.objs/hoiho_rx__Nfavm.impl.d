@@ -1,0 +1,1 @@
+lib/rx/nfavm.ml: Array Ast Hashtbl List String

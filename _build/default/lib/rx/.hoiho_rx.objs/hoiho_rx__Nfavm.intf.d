@@ -1,0 +1,1 @@
+lib/rx/nfavm.mli: Ast

@@ -1,0 +1,1 @@
+lib/rx/parse.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rx/parse.mli: Ast

@@ -1,0 +1,147 @@
+type prog =
+  | PLit of char
+  | PCls of Ast.cls
+  | PAny
+  | PBol
+  | PEol
+  | PRep of prog * int * int option * Ast.greed
+  | PGrp of int * prog list
+  | PAlt of prog list list
+
+type t = { prog : prog list; ngroups : int; ast : Ast.t }
+
+let compile ast =
+  let counter = ref 0 in
+  let rec seq nodes = List.map node nodes
+  and node = function
+    | Ast.Lit c -> PLit c
+    | Ast.Cls c -> PCls c
+    | Ast.Any -> PAny
+    | Ast.Bol -> PBol
+    | Ast.Eol -> PEol
+    | Ast.Rep (n, min, max, g) -> PRep (node n, min, max, g)
+    | Ast.Grp inner ->
+        let idx = !counter in
+        incr counter;
+        (* number this group before descending so numbering is
+           left-to-right outside-in, as in conventional engines *)
+        PGrp (idx, seq inner)
+    | Ast.Alt alts -> PAlt (List.map seq alts)
+  in
+  let prog = seq ast in
+  { prog; ngroups = !counter; ast }
+
+let compile_string s = Result.map compile (Parse.parse s)
+
+let compile_exn s =
+  match compile_string s with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Rx.Engine.compile_exn: %s in %S" msg s)
+
+let ast t = t.ast
+let source t = Ast.to_string t.ast
+let group_count t = t.ngroups
+
+(* width-1 atoms admit a simple possessive loop *)
+let rec char_width = function
+  | PLit _ | PCls _ | PAny -> true
+  | PGrp (_, [ p ]) -> char_width p
+  | _ -> false
+
+let matches_char p s pos =
+  pos < String.length s
+  &&
+  match p with
+  | PLit c -> s.[pos] = c
+  | PCls c -> Ast.cls_mem c s.[pos]
+  | PAny -> true
+  | _ -> false
+
+let exec_at t s start =
+  let n = String.length s in
+  let caps = Array.make (2 * t.ngroups) (-1) in
+  let rec mseq items pos k =
+    match items with
+    | [] -> k pos
+    | it :: rest -> mnode it pos (fun pos' -> mseq rest pos' k)
+  and mnode item pos k =
+    match item with
+    | PLit c -> pos < n && s.[pos] = c && k (pos + 1)
+    | PCls cl -> pos < n && Ast.cls_mem cl s.[pos] && k (pos + 1)
+    | PAny -> pos < n && k (pos + 1)
+    | PBol -> pos = 0 && k pos
+    | PEol -> pos = n && k pos
+    | PGrp (i, inner) ->
+        let s0 = caps.(2 * i) and e0 = caps.((2 * i) + 1) in
+        caps.(2 * i) <- pos;
+        let ok =
+          mseq inner pos (fun pos' ->
+              caps.((2 * i) + 1) <- pos';
+              k pos')
+        in
+        if not ok then begin
+          caps.(2 * i) <- s0;
+          caps.((2 * i) + 1) <- e0
+        end;
+        ok
+    | PAlt alts ->
+        let rec try_alts = function
+          | [] -> false
+          | a :: rest -> mseq a pos k || try_alts rest
+        in
+        try_alts alts
+    | PRep (p, min, max, Ast.Possessive) when char_width p ->
+        (* consume maximally with no backtracking *)
+        let rec eat count pos =
+          let more =
+            (match max with Some m -> count < m | None -> true)
+            && matches_char (strip_groups p) s pos
+          in
+          if more then eat (count + 1) (pos + 1) else (count, pos)
+        in
+        let count, pos' = eat 0 pos in
+        count >= min && k pos'
+    | PRep (p, min, max, _) ->
+        let rec go count pos =
+          let try_more () =
+            (match max with Some m -> count < m | None -> true)
+            && mnode p pos (fun pos' ->
+                   (* zero-width inner match would loop forever *)
+                   pos' > pos && go (count + 1) pos')
+          in
+          if count < min then try_more ()
+          else try_more () || k pos
+        in
+        go 0 pos
+  and strip_groups = function PGrp (_, [ p ]) -> strip_groups p | p -> p in
+  if mseq t.prog start (fun _ -> true) then Some caps else None
+
+(* a possessive repetition wrapping a group still records captures via the
+   greedy path; to keep capture semantics simple we only take the
+   possessive fast path when the atom records no groups *)
+let exec t s =
+  let n = String.length s in
+  let anchored = match t.prog with PBol :: _ -> true | _ -> false in
+  let rec try_from start =
+    if start > n then None
+    else
+      match exec_at t s start with
+      | Some caps -> Some caps
+      | None -> if anchored then None else try_from (start + 1)
+  in
+  match try_from 0 with
+  | None -> None
+  | Some caps ->
+      Some
+        (Array.init t.ngroups (fun i ->
+             let st = caps.(2 * i) and en = caps.((2 * i) + 1) in
+             if st < 0 || en < 0 || en < st then None
+             else Some (String.sub s st (en - st))))
+
+let exec_groups t s =
+  match exec t s with
+  | None -> None
+  | Some arr ->
+      Some (Array.to_list arr |> List.filter_map (fun x -> x))
+
+let matches t s = exec t s <> None

@@ -1,0 +1,38 @@
+(** Backtracking matcher with capture groups.
+
+    Matching is exact backtracking over the AST. Possessive quantifiers
+    are honored for single-character atoms (literals, classes, [.]),
+    which is the only way the Hoiho generator emits them; a possessive
+    quantifier over a wider atom degrades to greedy. *)
+
+type t
+(** A compiled regex. *)
+
+val compile : Ast.t -> t
+
+val compile_string : string -> (t, string) result
+(** Parse then compile. *)
+
+val compile_exn : string -> t
+(** Like {!compile_string} but raises [Invalid_argument]. *)
+
+val ast : t -> Ast.t
+(** The AST this regex was compiled from. *)
+
+val source : t -> string
+(** Concrete syntax (via {!Ast.to_string}). *)
+
+val group_count : t -> int
+
+val exec : t -> string -> string option array option
+(** [exec re s] attempts a match. Anchors [^]/[$] bind to the string
+    boundaries; an unanchored pattern may match anywhere. On success the
+    array holds the text of each capture group in left-to-right order
+    (index 0 is group 1); a group inside an unused alternation branch is
+    [None]. *)
+
+val exec_groups : t -> string -> string list option
+(** Like {!exec} but returns only the captured strings of groups that
+    participated, in order. *)
+
+val matches : t -> string -> bool

@@ -1,0 +1,146 @@
+type inst =
+  | IChar of Ast.cls option  (** [None] = any char *)
+  | ILit of char
+  | ISplit of int * int
+  | IJump of int
+  | IBol
+  | IEol
+  | IMatch
+
+type t = { prog : inst array }
+
+let rec node_supported = function
+  | Ast.Lit _ | Ast.Cls _ | Ast.Any | Ast.Bol | Ast.Eol -> true
+  | Ast.Rep (_, _, _, Ast.Possessive) -> false
+  | Ast.Rep (n, _, _, Ast.Greedy) -> node_supported n
+  | Ast.Grp inner -> supported inner
+  | Ast.Alt alts -> List.for_all supported alts
+
+and supported ast = List.for_all node_supported ast
+
+(* emit instructions into a growable array so jump targets can be
+   patched after their destinations are known *)
+let compile ast =
+  if not (supported ast) then
+    invalid_arg "Nfavm.compile: possessive quantifiers are unsupported";
+  let buf = ref (Array.make 64 IMatch) in
+  let len = ref 0 in
+  let emit inst =
+    if !len = Array.length !buf then begin
+      let bigger = Array.make (2 * !len) IMatch in
+      Array.blit !buf 0 bigger 0 !len;
+      buf := bigger
+    end;
+    !buf.(!len) <- inst;
+    incr len;
+    !len - 1
+  in
+  let patch idx inst = !buf.(idx) <- inst in
+  let rec seq nodes = List.iter node nodes
+  and node = function
+    | Ast.Lit c -> ignore (emit (ILit c))
+    | Ast.Cls c -> ignore (emit (IChar (Some c)))
+    | Ast.Any -> ignore (emit (IChar None))
+    | Ast.Bol -> ignore (emit IBol)
+    | Ast.Eol -> ignore (emit IEol)
+    | Ast.Grp inner -> seq inner
+    | Ast.Alt alts -> alt alts
+    | Ast.Rep (n, min, max, _) -> rep n min max
+  and alt = function
+    | [] -> ()
+    | [ single ] -> seq single
+    | first :: rest ->
+        let split = emit (IJump (-1)) (* placeholder, becomes ISplit *) in
+        seq first;
+        let jump_end = emit (IJump (-1)) in
+        let rest_start = !len in
+        patch split (ISplit (split + 1, rest_start));
+        alt rest;
+        patch jump_end (IJump !len)
+  and rep n min max =
+    (* unroll: min mandatory copies, then (max-min) optional copies or a
+       star loop *)
+    for _ = 1 to min do
+      node n
+    done;
+    match max with
+    | Some m ->
+        (* each optional copy: split(next, end-of-all) *)
+        let skips = ref [] in
+        for _ = 1 to m - min do
+          let split = emit (IJump (-1)) in
+          skips := split :: !skips;
+          node n
+        done;
+        let after = !len in
+        List.iter (fun s -> patch s (ISplit (s + 1, after))) !skips
+    | None ->
+        (* star: L: split(L+1, after); body; jump L; after: *)
+        let split = emit (IJump (-1)) in
+        node n;
+        ignore (emit (IJump split));
+        patch split (ISplit (split + 1, !len))
+  in
+  seq ast;
+  ignore (emit IMatch);
+  { prog = Array.sub !buf 0 !len }
+
+let program_size t = Array.length t.prog
+
+(* epsilon-closure insertion of a thread at [pc], honoring assertions *)
+let rec add_thread prog set pos len pc =
+  if pc < Array.length prog && not (Hashtbl.mem set pc) then begin
+    match prog.(pc) with
+    | ISplit (a, b) ->
+        Hashtbl.replace set pc ();
+        add_thread prog set pos len a;
+        add_thread prog set pos len b
+    | IJump a ->
+        Hashtbl.replace set pc ();
+        add_thread prog set pos len a
+    | IBol ->
+        Hashtbl.replace set pc ();
+        if pos = 0 then add_thread prog set pos len (pc + 1)
+    | IEol ->
+        Hashtbl.replace set pc ();
+        if pos = len then add_thread prog set pos len (pc + 1)
+    | ILit _ | IChar _ | IMatch -> Hashtbl.replace set pc ()
+  end
+
+let matches t s =
+  let prog = t.prog in
+  let len = String.length s in
+  let current = Hashtbl.create 64 in
+  let next = Hashtbl.create 64 in
+  let has_match set =
+    Hashtbl.fold
+      (fun pc () acc -> acc || (match prog.(pc) with IMatch -> true | _ -> false))
+      set false
+  in
+  let result = ref false in
+  add_thread prog current 0 len 0;
+  let pos = ref 0 in
+  while (not !result) && !pos <= len do
+    if has_match current then result := true
+    else begin
+      Hashtbl.reset next;
+      if !pos < len then begin
+        let c = s.[!pos] in
+        Hashtbl.iter
+          (fun pc () ->
+            match prog.(pc) with
+            | ILit l when l = c -> add_thread prog next (!pos + 1) len (pc + 1)
+            | IChar None -> add_thread prog next (!pos + 1) len (pc + 1)
+            | IChar (Some cls) when Ast.cls_mem cls c ->
+                add_thread prog next (!pos + 1) len (pc + 1)
+            | _ -> ())
+          current;
+        (* unanchored search: also start a fresh attempt at pos+1 *)
+        add_thread prog next (!pos + 1) len 0
+      end;
+      Hashtbl.reset current;
+      Hashtbl.iter (fun pc () -> Hashtbl.replace current pc ()) next;
+      incr pos
+    end
+  done;
+  !result

@@ -1,0 +1,28 @@
+(** A second, independent matcher: Thompson NFA simulation (Pike-VM
+    style, without captures).
+
+    Exists for differential testing of {!Engine}: the two
+    implementations share nothing beyond the AST, so agreement on
+    random patterns and inputs is strong evidence both are right.
+    Matching is boolean and unanchored (like [Engine.exec] on a pattern
+    without [^]), linear in [length input * program size] — no
+    backtracking blowup.
+
+    Possessive quantifiers cannot be expressed in a plain NFA (they
+    change the language, not just the strategy); {!compile} rejects
+    patterns containing them. *)
+
+type t
+
+val supported : Ast.t -> bool
+(** False when the pattern contains a possessive quantifier. *)
+
+val compile : Ast.t -> t
+(** Raises [Invalid_argument] on unsupported patterns. *)
+
+val matches : t -> string -> bool
+(** Unanchored: true when any substring matches (respecting any [^]/[$]
+    anchors in the pattern). *)
+
+val program_size : t -> int
+(** Number of compiled instructions (for tests). *)

@@ -1,0 +1,14 @@
+(** Parser for the concrete regex dialect.
+
+    Supported syntax: literals; [\\] escapes ([\\.], [\\d], [\\\\], ...);
+    [.] ; [\[...\]] classes with ranges, negation, and [\\d]; [( )] capture
+    groups; [(?: )] non-capturing groups; [|] alternation; anchors [^] and
+    [$]; quantifiers [?], [*], [+], [{n}], [{n,}], [{n,m}]; possessive
+    [*+] and [++]. *)
+
+val parse : string -> (Ast.t, string) result
+(** [parse s] returns the AST, or [Error msg] describing the first
+    syntax error. *)
+
+val parse_exn : string -> Ast.t
+(** Like {!parse} but raises [Invalid_argument] on error. *)

@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* keep 62 bits so the value stays non-negative in a native 63-bit int *)
+  let r = Int64.to_int (Int64.logand (bits64 t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 random bits scaled to [0,1) then to [0,bound) *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let weighted t items =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. Float.max w 0.0) 0.0 items in
+  if total <= 0.0 then invalid_arg "Prng.weighted: no positive weight";
+  let target = float t total in
+  let n = Array.length items in
+  let rec go i acc =
+    if i = n - 1 then fst items.(i)
+    else
+      let acc = acc +. Float.max (snd items.(i)) 0.0 in
+      if target < acc then fst items.(i) else go (i + 1) acc
+  in
+  go 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  assert (k <= Array.length arr);
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.sub copy 0 k
+
+let gaussian t ~mean ~stddev =
+  let u1 = Float.max (float t 1.0) 1e-12 in
+  let u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let exponential t ~mean =
+  let u = Float.max (float t 1.0) 1e-12 in
+  -.mean *. log u

@@ -1,0 +1,55 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of this repository (the synthetic topology
+    generator in particular) draw from this SplitMix64 generator so that
+    every experiment is reproducible from a single integer seed, and so
+    that results do not depend on the state of [Stdlib.Random]. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Two generators created with
+    the same seed produce the same stream. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use to give each sub-component its own stream so that adding draws in
+    one component does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in \[lo, hi\] inclusive. Requires [lo <= hi]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val weighted : t -> ('a * float) array -> 'a
+(** [weighted t items] picks an element with probability proportional to
+    its weight. Requires at least one strictly positive weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] returns [k] distinct elements chosen uniformly
+    without replacement. Requires [k <= Array.length arr]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normal deviate via Box-Muller. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)

@@ -1,0 +1,34 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      List.nth s (rank - 1)
+
+let median xs = percentile 50.0 xs
+
+let cdf_points thresholds xs =
+  let n = List.length xs in
+  List.map
+    (fun t ->
+      let c = List.length (List.filter (fun x -> x <= t) xs) in
+      (t, if n = 0 then 0.0 else float_of_int c /. float_of_int n))
+    thresholds
+
+let fraction pred xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (List.length (List.filter pred xs))
+      /. float_of_int (List.length xs)
+
+let pct num denom =
+  if denom = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int denom

@@ -1,0 +1,21 @@
+(** Small statistics helpers used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in \[0,100\], nearest-rank on the sorted
+    list; 0 on the empty list. *)
+
+val cdf_points : float list -> float list -> (float * float) list
+(** [cdf_points thresholds xs] returns, for each threshold [t], the pair
+    [(t, fraction of xs <= t)]. *)
+
+val fraction : ('a -> bool) -> 'a list -> float
+(** Fraction of elements satisfying the predicate; 0 on the empty list. *)
+
+val pct : int -> int -> float
+(** [pct num denom] is [100 * num / denom] as a float; 0 when [denom = 0]. *)

@@ -1,0 +1,124 @@
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_alpha c || is_digit c
+let lowercase = String.lowercase_ascii
+
+let split_on sep s =
+  String.split_on_char sep s |> List.filter (fun x -> x <> "")
+
+let split_labels s = split_on '.' s
+
+let split_punct s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    if is_alnum s.[i] then Buffer.add_char buf s.[i] else flush ()
+  done;
+  flush ();
+  List.rev !out
+
+let alpha_runs s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    if is_alpha s.[i] then Buffer.add_char buf s.[i] else flush ()
+  done;
+  flush ();
+  List.rev !out
+
+let strip_trailing_digits s =
+  let n = String.length s in
+  let rec last i = if i > 0 && is_digit s.[i - 1] then last (i - 1) else i in
+  String.sub s 0 (last n)
+
+let strip_leading_digits s =
+  let n = String.length s in
+  let rec first i = if i < n && is_digit s.[i] then first (i + 1) else i in
+  let i = first 0 in
+  String.sub s i (n - i)
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  lf <= ls && String.sub s (ls - lf) lf = suffix
+
+let has_prefix ~prefix s =
+  let ls = String.length s and lp = String.length prefix in
+  lp <= ls && String.sub s 0 lp = prefix
+
+let drop_suffix ~suffix s =
+  if not (has_suffix ~suffix s) then None
+  else
+    let keep = String.length s - String.length suffix in
+    let keep = if keep > 0 && s.[keep - 1] = '.' then keep - 1 else keep in
+    Some (String.sub s 0 keep)
+
+let is_subsequence small big =
+  let ls = String.length small and lb = String.length big in
+  let rec go i j =
+    if i = ls then true
+    else if j = lb then false
+    else if small.[i] = big.[j] then go (i + 1) (j + 1)
+    else go i (j + 1)
+  in
+  go 0 0
+
+let longest_common_run a b =
+  let la = String.length a and lb = String.length b in
+  let best = ref 0 in
+  for i = 0 to la - 1 do
+    for j = 0 to lb - 1 do
+      let k = ref 0 in
+      while i + !k < la && j + !k < lb && a.[i + !k] = b.[j + !k] do incr k done;
+      if !k > !best then best := !k
+    done
+  done;
+  !best
+
+let join = String.concat
+
+let chunks_of_classes s =
+  let n = String.length s in
+  let out = ref [] in
+  let buf = Buffer.create 8 in
+  let kind_of c = if is_alpha c then `A else if is_digit c then `D else `O in
+  let cur = ref `None in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let str = Buffer.contents buf in
+      let item =
+        match !cur with
+        | `A -> `Alpha str
+        | `D -> `Digit str
+        | `O -> `Other str
+        | `None -> assert false
+      in
+      out := item :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let k = kind_of s.[i] in
+    (match (!cur, k) with
+    | `None, _ -> cur := (k :> [ `A | `D | `O | `None ])
+    | `A, `A | `D, `D | `O, `O -> ()
+    | _ ->
+        flush ();
+        cur := (k :> [ `A | `D | `O | `None ]));
+    Buffer.add_char buf s.[i]
+  done;
+  flush ();
+  List.rev !out

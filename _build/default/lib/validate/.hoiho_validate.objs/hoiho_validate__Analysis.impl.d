@@ -1,0 +1,1 @@
+lib/validate/analysis.ml: Array Float Hashtbl Hoiho Hoiho_baselines Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_psl Hoiho_util List Option String Validate

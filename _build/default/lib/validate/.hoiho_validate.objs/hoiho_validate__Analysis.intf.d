@@ -1,0 +1,1 @@
+lib/validate/analysis.mli: Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim Validate

@@ -1,0 +1,1 @@
+lib/validate/validate.ml: Array Hoiho Hoiho_baselines Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_netsim Hoiho_psl List Option

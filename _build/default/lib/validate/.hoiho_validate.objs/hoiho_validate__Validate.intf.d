@@ -1,0 +1,1 @@
+lib/validate/validate.mli: Hoiho Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_netsim

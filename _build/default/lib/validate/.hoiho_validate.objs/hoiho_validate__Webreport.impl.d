@@ -1,0 +1,1 @@
+lib/validate/webreport.ml: Buffer Filename Format Hoiho Hoiho_geodb List Printf String Sys

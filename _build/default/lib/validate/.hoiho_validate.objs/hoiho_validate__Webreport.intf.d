@@ -1,0 +1,1 @@
+lib/validate/webreport.mli: Hoiho

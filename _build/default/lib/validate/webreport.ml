@@ -1,0 +1,110 @@
+module Pipeline = Hoiho.Pipeline
+module Ncsel = Hoiho.Ncsel
+module Evalx = Hoiho.Evalx
+module Plan = Hoiho.Plan
+module Cand = Hoiho.Cand
+module Learned = Hoiho.Learned
+module City = Hoiho_geodb.City
+
+let page_filename suffix =
+  String.map (fun c -> if c = '.' then '_' else c) suffix ^ ".md"
+
+let classification_name = function
+  | Some Ncsel.Good -> "good"
+  | Some Ncsel.Promising -> "promising"
+  | Some Ncsel.Poor -> "poor"
+  | None -> "(none)"
+
+let suffix_page (p : Pipeline.t) (r : Pipeline.suffix_result) =
+  ignore p;
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "# %s\n\n" r.Pipeline.suffix;
+  pr "- hostnames: %d (%d with an apparent geohint)\n" r.Pipeline.n_samples
+    r.Pipeline.n_tagged;
+  pr "- routers: %d\n" r.Pipeline.n_routers;
+  pr "- classification: **%s**\n\n" (classification_name r.Pipeline.classification);
+  (match r.Pipeline.nc with
+  | None -> pr "No naming convention was inferred for this suffix.\n"
+  | Some nc ->
+      pr "## Naming convention\n\n";
+      pr "| regex | decodes |\n|---|---|\n";
+      List.iter
+        (fun (c : Cand.t) ->
+          pr "| `%s` | %s |\n" c.Cand.source
+            (Format.asprintf "%a" Plan.pp c.Cand.plan))
+        nc.Ncsel.cands;
+      pr "\nEvaluation against RTT constraints: %d TP, %d FP, %d FN, %d unknown\n"
+        nc.Ncsel.counts.Evalx.tp nc.Ncsel.counts.Evalx.fp nc.Ncsel.counts.Evalx.fn
+        nc.Ncsel.counts.Evalx.unk;
+      pr "(PPV %.1f%%, %d distinct geohints).\n\n"
+        (100.0 *. Evalx.ppv nc.Ncsel.counts)
+        nc.Ncsel.unique_hints;
+      let learned = Learned.entries r.Pipeline.learned in
+      if learned <> [] then begin
+        pr "## Learned geohints\n\n";
+        pr "Codes this operator uses that differ from the reference dictionaries.\n";
+        pr "Please tell us if any of these are wrong!\n\n";
+        pr "| code | we believe it means | routers agreeing | disagreeing |\n";
+        pr "|---|---|---|---|\n";
+        List.iter
+          (fun (e : Learned.entry) ->
+            pr "| `%s` | %s%s | %d | %d |\n" e.Learned.hint
+              (City.describe e.Learned.city)
+              (if e.Learned.collides then " (overrides a dictionary code)" else "")
+              e.Learned.tp e.Learned.fp)
+          (List.sort (fun (a : Learned.entry) b -> compare a.Learned.hint b.Learned.hint)
+             learned)
+      end;
+      pr "\n## Example extractions\n\n";
+      let shown = ref 0 in
+      List.iter
+        (fun (h : Evalx.hit) ->
+          if !shown < 8 then
+            match (h.Evalx.outcome, h.Evalx.extraction, h.Evalx.location) with
+            | Evalx.TP, Some ex, Some city ->
+                incr shown;
+                pr "- `%s` -> `%s` -> %s\n" h.Evalx.sample.Hoiho.Apparent.hostname
+                  ex.Plan.hint (City.describe city)
+            | _ -> ())
+        nc.Ncsel.hits);
+  Buffer.contents buf
+
+let index_page (p : Pipeline.t) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "# Inferred geographic naming conventions\n\n";
+  pr "| suffix | hostnames | tagged | classification | learned codes |\n";
+  pr "|---|---|---|---|---|\n";
+  let interesting =
+    List.filter (fun (r : Pipeline.suffix_result) -> r.Pipeline.n_tagged > 0)
+      p.Pipeline.results
+  in
+  List.iter
+    (fun (r : Pipeline.suffix_result) ->
+      pr "| [%s](%s) | %d | %d | %s | %d |\n" r.Pipeline.suffix
+        (page_filename r.Pipeline.suffix)
+        r.Pipeline.n_samples r.Pipeline.n_tagged
+        (classification_name r.Pipeline.classification)
+        (Learned.size r.Pipeline.learned))
+    (List.sort
+       (fun (a : Pipeline.suffix_result) b -> compare a.Pipeline.suffix b.Pipeline.suffix)
+       interesting);
+  Buffer.contents buf
+
+let write (p : Pipeline.t) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let save name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  save "index.md" (index_page p);
+  List.fold_left
+    (fun n (r : Pipeline.suffix_result) ->
+      if r.Pipeline.nc <> None then begin
+        save (page_filename r.Pipeline.suffix) (suffix_page p r);
+        n + 1
+      end
+      else n)
+    0 p.Pipeline.results

@@ -1,0 +1,25 @@
+(** The public artifact: per-suffix pages of inferred naming conventions.
+
+    The paper releases its regexes on a website whose per-suffix pages
+    "served as a conduit to facilitate ground truth validation from
+    operators" (§8). This module renders the same content as a directory
+    of Markdown pages: an index of all suffixes with their
+    classifications, and a page per suffix showing the convention's
+    regexes and decode plans, evaluation counts, learned custom geohints
+    with their evidence, and example extractions — everything an
+    operator needs to confirm or correct an inference. *)
+
+val suffix_page : Hoiho.Pipeline.t -> Hoiho.Pipeline.suffix_result -> string
+(** Markdown for one suffix. *)
+
+val index_page : Hoiho.Pipeline.t -> string
+(** Markdown index over every suffix with an apparent geohint. *)
+
+val write : Hoiho.Pipeline.t -> dir:string -> int
+(** Write [index.md] plus one page per suffix with a naming convention
+    into [dir] (created if missing); returns the number of suffix pages
+    written. *)
+
+val page_filename : string -> string
+(** Filesystem-safe page name for a suffix ("he.net" becomes
+    "he_net.md"). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Hoiho_geo Hoiho_geodb Hoiho_itdk List Printf String

@@ -1,0 +1,1 @@
+test/test_apparent.ml: Alcotest Helpers Hoiho Hoiho_geodb Hoiho_itdk List

@@ -1,0 +1,1 @@
+test/test_asnconv.ml: Alcotest Helpers Hoiho Hoiho_itdk Hoiho_netsim Hoiho_util List

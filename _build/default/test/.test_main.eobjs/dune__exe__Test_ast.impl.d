@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Helpers Hoiho_rx List Printf

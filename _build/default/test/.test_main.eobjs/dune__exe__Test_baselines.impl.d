@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Helpers Hoiho_baselines Hoiho_geodb Hoiho_itdk List

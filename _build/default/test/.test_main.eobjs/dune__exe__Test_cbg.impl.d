@@ -1,0 +1,1 @@
+test/test_cbg.ml: Alcotest Helpers Hoiho Hoiho_geo Hoiho_geodb Hoiho_itdk Printf

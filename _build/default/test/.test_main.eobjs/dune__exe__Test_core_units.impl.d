@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Helpers Hoiho Hoiho_itdk Hoiho_rx List

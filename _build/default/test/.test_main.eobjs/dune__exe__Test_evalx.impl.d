@@ -1,0 +1,1 @@
+test/test_evalx.ml: Alcotest Helpers Hoiho Hoiho_geodb Hoiho_rx List

@@ -1,0 +1,1 @@
+test/test_geodb.ml: Alcotest Helpers Hoiho_geodb Hoiho_util List String

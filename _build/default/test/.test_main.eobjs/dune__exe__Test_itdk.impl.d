@@ -1,0 +1,1 @@
+test/test_itdk.ml: Alcotest Array Filename Helpers Hoiho_itdk Hoiho_netsim Hoiho_util List Sys

@@ -1,0 +1,1 @@
+test/test_learn.ml: Alcotest Helpers Hoiho Hoiho_geodb List Printf

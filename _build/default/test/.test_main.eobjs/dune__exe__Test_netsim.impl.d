@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Helpers Hoiho_geo Hoiho_geodb Hoiho_itdk Hoiho_netsim Hoiho_psl Hoiho_util List Printf String

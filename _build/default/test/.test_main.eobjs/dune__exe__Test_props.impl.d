@@ -1,0 +1,1 @@
+test/test_props.ml: Array Format Fun Hoiho Hoiho_geo Hoiho_itdk Hoiho_netsim Hoiho_rx Hoiho_util List Printf QCheck QCheck_alcotest String

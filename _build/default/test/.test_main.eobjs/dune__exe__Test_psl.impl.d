@@ -1,0 +1,1 @@
+test/test_psl.ml: Alcotest Helpers Hoiho_psl

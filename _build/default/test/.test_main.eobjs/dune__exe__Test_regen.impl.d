@@ -1,0 +1,1 @@
+test/test_regen.ml: Alcotest Helpers Hoiho Hoiho_rx Hoiho_util List Printf String

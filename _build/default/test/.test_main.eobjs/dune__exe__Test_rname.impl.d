@@ -1,0 +1,1 @@
+test/test_rname.ml: Alcotest Helpers Hoiho Hoiho_itdk Hoiho_netsim List

@@ -1,0 +1,1 @@
+test/test_rx.ml: Alcotest Array Helpers Hoiho_rx List Option String

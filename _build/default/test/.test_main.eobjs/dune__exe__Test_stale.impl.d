@@ -1,0 +1,1 @@
+test/test_stale.ml: Alcotest Helpers Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim Hoiho_validate List Printf

@@ -1,0 +1,1 @@
+test/test_tbg.ml: Alcotest Array Helpers Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim List Printf

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Helpers Hoiho Hoiho_geodb Hoiho_itdk Hoiho_netsim Hoiho_psl Hoiho_validate Lazy List String

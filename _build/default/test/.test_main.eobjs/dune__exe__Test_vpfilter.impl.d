@@ -1,0 +1,1 @@
+test/test_vpfilter.ml: Alcotest Array Helpers Hoiho Hoiho_geo Hoiho_itdk Hoiho_netsim Hoiho_validate List Printf

@@ -1,0 +1,1 @@
+test/test_webreport.ml: Alcotest Array Filename Helpers Hoiho Hoiho_validate Lazy String Sys

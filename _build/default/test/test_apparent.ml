@@ -1,0 +1,165 @@
+module Apparent = Hoiho.Apparent
+module Consist = Hoiho.Consist
+module Plan = Hoiho.Plan
+module City = Hoiho_geodb.City
+
+let tc = Helpers.tc
+let db = Helpers.db
+
+let tag_one ~at hostname =
+  let vps = Helpers.std_vps () in
+  let r = Helpers.router ~id:0 ~at ~vps ~hostnames:[ hostname ] () in
+  let ds = Helpers.dataset [ r ] vps in
+  let consist = Consist.create ds in
+  match Apparent.tag_hostname consist db ~suffix:"example.net" r hostname with
+  | Some sample -> sample
+  | None -> Alcotest.failf "tag_hostname rejected %s" hostname
+
+let find_tag sample hint ht =
+  List.find_opt
+    (fun (t : Apparent.tag) -> t.Apparent.hint = hint && t.Apparent.hint_type = ht)
+    sample.Apparent.tags
+
+let test_iata_tag () =
+  let sample = tag_one ~at:(Helpers.city "london" "gb") "ae1.cr1.lhr15.example.net" in
+  match find_tag sample "lhr" Plan.Iata with
+  | Some tag ->
+      Alcotest.(check bool) "london among locations" true
+        (List.exists (fun c -> c.City.name = "london") tag.Apparent.locations);
+      (match tag.Apparent.spans with
+      | [ sp ] ->
+          Alcotest.(check int) "geo label index" 2 sp.Apparent.label;
+          Alcotest.(check int) "span length" 3 sp.Apparent.len
+      | _ -> Alcotest.fail "expected a single span")
+  | None -> Alcotest.fail "lhr not tagged"
+
+let test_inconsistent_rejected () =
+  (* a router in tokyo cannot plausibly be at heathrow *)
+  let sample = tag_one ~at:(Helpers.city "tokyo" "jp") "ae1.cr1.lhr15.example.net" in
+  Alcotest.(check bool) "lhr rejected" true (find_tag sample "lhr" Plan.Iata = None)
+
+let test_cc_attachment () =
+  let sample =
+    tag_one ~at:(Helpers.city "london" "gb") "ae1.cr1.lhr15.uk.example.net"
+  in
+  match find_tag sample "lhr" Plan.Iata with
+  | Some tag -> (
+      match tag.Apparent.cc with
+      | Some (_, code) -> Alcotest.(check string) "uk attached via GB equiv" "uk" code
+      | None -> Alcotest.fail "cc not attached")
+  | None -> Alcotest.fail "lhr not tagged"
+
+let test_state_attachment () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "ashburn" "us" "va") "ae1.asbnva2.va.example.net"
+  in
+  match find_tag sample "asbnva" Plan.Clli with
+  | Some tag ->
+      Alcotest.(check bool) "state attached" true (tag.Apparent.state <> None)
+  | None -> Alcotest.fail "clli not tagged"
+
+let test_clli_prefix_of_longer () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "newark" "us" "nj") "x0.csi1.nwrknjnb.example.net"
+  in
+  match find_tag sample "nwrknj" Plan.Clli with
+  | Some tag ->
+      Alcotest.(check bool) "newark found" true
+        (List.exists (fun c -> c.City.name = "newark") tag.Apparent.locations)
+  | None -> Alcotest.fail "six-letter prefix of longer token not tagged"
+
+let test_split_clli () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "ashburn" "us" "va") "ae0.asbn1-va.example.net"
+  in
+  match find_tag sample "asbnva" Plan.Clli with
+  | Some tag ->
+      Alcotest.(check int) "two spans" 2 (List.length tag.Apparent.spans)
+  | None -> Alcotest.fail "split CLLI not tagged"
+
+let test_locode_tag () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "ashburn" "us" "va") "ae1.usqas2.example.net"
+  in
+  Alcotest.(check bool) "locode tagged" true (find_tag sample "usqas" Plan.Locode <> None)
+
+let test_city_name_tag () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "ashburn" "us" "va") "ae1.gw1.ashburn2.example.net"
+  in
+  match find_tag sample "ashburn" Plan.CityName with
+  | Some tag ->
+      (* ambiguous name: both ashburns survive unless RTT rules one out;
+         Ashburn GA is ~800 km away so the DC-area VP rejects it *)
+      Alcotest.(check int) "one consistent location" 1 (List.length tag.Apparent.locations)
+  | None -> Alcotest.fail "city name not tagged"
+
+let test_facility_tag () =
+  let sample =
+    tag_one ~at:(Helpers.city_st "palo alto" "us" "ca") "po1.529bryant.example.net"
+  in
+  Alcotest.(check bool) "facility tagged" true
+    (find_tag sample "529bryant" Plan.FacilityAddr <> None)
+
+let test_chance_collisions_rejected () =
+  (* gig/eth are IATA codes for Rio and Eilat; a Frankfurt router's RTTs
+     exclude both (§4 challenge 5) *)
+  let sample =
+    tag_one ~at:(Helpers.city "frankfurt" "de") "gig-eth.cr1.fra2.example.net"
+  in
+  Alcotest.(check bool) "gig rejected" true (find_tag sample "gig" Plan.Iata = None);
+  Alcotest.(check bool) "eth rejected" true (find_tag sample "eth" Plan.Iata = None);
+  Alcotest.(check bool) "fra kept" true (find_tag sample "fra" Plan.Iata <> None)
+
+let test_no_rtt_router_tags_everything () =
+  (* with no RTT constraint every dictionary hit is apparent; the paper
+     filters these later through NC evaluation *)
+  let vps = Helpers.std_vps () in
+  let r = Hoiho_itdk.Router.make 0 ~hostnames:[ "ae1.lhr1.example.net" ] in
+  let ds = Helpers.dataset [ r ] vps in
+  let consist = Consist.create ds in
+  match Apparent.tag_hostname consist db ~suffix:"example.net" r "ae1.lhr1.example.net" with
+  | Some sample ->
+      Alcotest.(check bool) "lhr tagged without RTT" true
+        (find_tag sample "lhr" Plan.Iata <> None)
+  | None -> Alcotest.fail "not tagged"
+
+let test_wrong_suffix_rejected () =
+  let vps = Helpers.std_vps () in
+  let r = Helpers.router ~id:0 ~at:(Helpers.city "london" "gb") ~vps () in
+  let ds = Helpers.dataset [ r ] vps in
+  let consist = Consist.create ds in
+  Alcotest.(check bool) "other suffix" true
+    (Apparent.tag_hostname consist db ~suffix:"example.net" r "ae1.lhr1.other.org" = None);
+  Alcotest.(check bool) "bare suffix" true
+    (Apparent.tag_hostname consist db ~suffix:"example.net" r "example.net" = None)
+
+let test_build_samples () =
+  let ds, routers, _ = Helpers.suffix_fixture [ (Helpers.city "london" "gb", "lhr", 2) ] in
+  let consist = Consist.create ds in
+  let samples = Apparent.build_samples consist db ~suffix:"example.net" routers in
+  Alcotest.(check int) "one sample per hostname" 4 (List.length samples);
+  List.iter
+    (fun (s : Apparent.sample) ->
+      Alcotest.(check bool) "tagged" true (s.Apparent.tags <> []))
+    samples
+
+let suites =
+  [
+    ( "apparent",
+      [
+        tc "iata tag" test_iata_tag;
+        tc "inconsistent rejected" test_inconsistent_rejected;
+        tc "cc attachment (uk=gb)" test_cc_attachment;
+        tc "state attachment" test_state_attachment;
+        tc "clli prefix of longer" test_clli_prefix_of_longer;
+        tc "split clli" test_split_clli;
+        tc "locode" test_locode_tag;
+        tc "city name" test_city_name_tag;
+        tc "facility" test_facility_tag;
+        tc "chance collisions rejected" test_chance_collisions_rejected;
+        tc "no rtt tags everything" test_no_rtt_router_tags_everything;
+        tc "wrong suffix rejected" test_wrong_suffix_rejected;
+        tc "build samples" test_build_samples;
+      ] );
+  ]

@@ -1,0 +1,101 @@
+module Asnconv = Hoiho.Asnconv
+
+let tc = Helpers.tc
+
+let sample hostname router_asn = { Asnconv.hostname; router_asn = Some router_asn }
+
+let training =
+  [
+    sample "as8218-cust.gw1.lhr1.example.net" 8218;
+    sample "as2914-peer.gw2.fra3.example.net" 2914;
+    sample "as6939-colo.gw1.sea2.example.net" 6939;
+    sample "as3257-host.gw3.ord1.example.net" 3257;
+    (* infrastructure hostnames without ASNs *)
+    sample "ae1.cr1.lhr1.example.net" 64512;
+    sample "xe-0-0.cr2.fra1.example.net" 64512;
+  ]
+
+let learn () =
+  match Asnconv.learn ~suffix:"example.net" training with
+  | Some t -> t
+  | None -> Alcotest.fail "no ASN convention learned"
+
+let test_apparent () =
+  Alcotest.(check (option int)) "prefixed" (Some 8218)
+    (Asnconv.apparent (sample "as8218-cust.gw1.lhr1.example.net" 8218));
+  Alcotest.(check (option int)) "bare digits" (Some 8218)
+    (Asnconv.apparent (sample "8218.cust.example.net" 8218));
+  Alcotest.(check (option int)) "wrong digits" None
+    (Asnconv.apparent (sample "as1111-cust.example.net" 8218));
+  Alcotest.(check (option int)) "no asn known" None
+    (Asnconv.apparent { Asnconv.hostname = "as8218.example.net"; router_asn = None })
+
+let test_learns_convention () =
+  let t = learn () in
+  Alcotest.(check int) "four TPs" 4 t.Asnconv.counts.Asnconv.tp;
+  Alcotest.(check int) "no FPs" 0 t.Asnconv.counts.Asnconv.fp;
+  Alcotest.(check int) "four distinct ASNs" 4 t.Asnconv.distinct_asns;
+  Alcotest.(check bool) "usable" true (Asnconv.usable t);
+  Alcotest.(check bool) "captures with as prefix" true
+    (Hoiho_util.Strutil.is_subsequence {|as(\d+)|} t.Asnconv.source)
+
+let test_extract () =
+  let t = learn () in
+  Alcotest.(check (option int)) "extract new hostname" (Some 15169)
+    (Asnconv.extract t "as15169-acme.gw9.ams7.example.net");
+  Alcotest.(check (option int)) "no asn" None
+    (Asnconv.extract t "ae1.cr1.lhr1.example.net")
+
+let test_no_apparent_no_convention () =
+  let samples =
+    [ sample "ae1.cr1.lhr1.example.net" 100; sample "xe-0.cr2.fra1.example.net" 200 ]
+  in
+  Alcotest.(check bool) "nothing to learn" true
+    (Asnconv.learn ~suffix:"example.net" samples = None)
+
+let test_not_usable_below_three_asns () =
+  let samples =
+    [ sample "as100-x.gw1.a1.example.net" 100; sample "as200-y.gw1.b1.example.net" 200 ]
+  in
+  match Asnconv.learn ~suffix:"example.net" samples with
+  | Some t -> Alcotest.(check bool) "two ASNs not usable" false (Asnconv.usable t)
+  | None -> Alcotest.fail "should still learn a regex"
+
+let test_counts_math () =
+  let c = { Asnconv.tp = 5; fp = 1; fn = 2 } in
+  Alcotest.(check int) "atp" 2 (Asnconv.atp c);
+  Alcotest.(check (float 1e-9)) "ppv" (5.0 /. 6.0) (Asnconv.ppv c)
+
+let test_end_to_end_on_generated () =
+  let ds, _ = Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ()) in
+  let groups = Hoiho_itdk.Dataset.by_suffix ds in
+  let usable =
+    List.filter_map
+      (fun (suffix, routers) ->
+        let samples = Asnconv.samples_of_routers routers ~suffix in
+        match Asnconv.learn ~suffix samples with
+        | Some t when Asnconv.usable t -> Some t
+        | _ -> None)
+      groups
+  in
+  Alcotest.(check bool) "learned several usable ASN conventions" true
+    (List.length usable >= 3);
+  List.iter
+    (fun (t : Asnconv.t) ->
+      Alcotest.(check bool) "perfect precision on synthetic data" true
+        (t.Asnconv.counts.Asnconv.fp = 0))
+    usable
+
+let suites =
+  [
+    ( "asnconv",
+      [
+        tc "apparent" test_apparent;
+        tc "learns convention" test_learns_convention;
+        tc "extract" test_extract;
+        tc "no apparent, no convention" test_no_apparent_no_convention;
+        tc "below three asns not usable" test_not_usable_below_three_asns;
+        tc "counts math" test_counts_math;
+        tc "end to end" test_end_to_end_on_generated;
+      ] );
+  ]

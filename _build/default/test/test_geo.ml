@@ -1,0 +1,92 @@
+module Coord = Hoiho_geo.Coord
+module Lightrtt = Hoiho_geo.Lightrtt
+
+let tc = Helpers.tc
+
+let lhr = Coord.make ~lat:51.47 ~lon:(-0.45)
+let jfk = Coord.make ~lat:40.64 ~lon:(-73.78)
+let syd = Coord.make ~lat:(-33.95) ~lon:151.18
+let nrt = Coord.make ~lat:35.76 ~lon:140.39
+
+let test_zero_distance () =
+  Alcotest.(check (float 1e-6)) "same point" 0.0 (Coord.distance_km lhr lhr)
+
+let test_known_distances () =
+  (* published great-circle distances, generous tolerance *)
+  let check name a b expected tol =
+    let d = Coord.distance_km a b in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.0f km (expected ~%.0f)" name d expected)
+      true
+      (abs_float (d -. expected) < tol)
+  in
+  check "LHR-JFK" lhr jfk 5540.0 60.0;
+  check "SYD-NRT" syd nrt 7920.0 120.0;
+  check "LHR-SYD" lhr syd 17020.0 200.0
+
+let test_symmetry () =
+  Alcotest.(check (float 1e-6)) "symmetric" (Coord.distance_km lhr jfk)
+    (Coord.distance_km jfk lhr)
+
+let test_max_half_circumference () =
+  let a = Coord.make ~lat:0.0 ~lon:0.0 and b = Coord.make ~lat:0.0 ~lon:180.0 in
+  let d = Coord.distance_km a b in
+  Alcotest.(check bool) "about half circumference" true
+    (d > 20000.0 && d < 20050.0)
+
+let test_coord_validation () =
+  Alcotest.check_raises "lat > 90" (Invalid_argument "Coord.make: latitude out of range")
+    (fun () -> ignore (Coord.make ~lat:91.0 ~lon:0.0));
+  Alcotest.check_raises "lon > 180" (Invalid_argument "Coord.make: longitude out of range")
+    (fun () -> ignore (Coord.make ~lat:0.0 ~lon:181.0))
+
+let test_fiber_speed () =
+  (* 2/3 of c: just under 200 km per ms one-way *)
+  Alcotest.(check bool) "one-way speed" true
+    (Lightrtt.fiber_km_per_ms > 195.0 && Lightrtt.fiber_km_per_ms < 202.0)
+
+let test_min_rtt_roundtrip_factor () =
+  (* RTT covers the distance twice *)
+  let rtt = Lightrtt.min_rtt_ms lhr jfk in
+  let d = Coord.distance_km lhr jfk in
+  Alcotest.(check (float 1e-6)) "2d/speed" (2.0 *. d /. Lightrtt.fiber_km_per_ms) rtt
+
+let test_paper_rule_of_thumb () =
+  (* the paper equates 16 ms with ~1600 km (~100 km per RTT-ms) *)
+  let d = Lightrtt.max_distance_km ~rtt_ms:16.0 in
+  Alcotest.(check bool) "16ms ~ 1600km" true (d > 1500.0 && d < 1700.0)
+
+let test_consistency () =
+  let rtt = Lightrtt.min_rtt_ms lhr jfk in
+  Alcotest.(check bool) "exact best case is consistent" true
+    (Lightrtt.consistent ~vp:lhr ~candidate:jfk rtt);
+  Alcotest.(check bool) "below best case is not" false
+    (Lightrtt.consistent ~vp:lhr ~candidate:jfk (rtt -. 1.0));
+  Alcotest.(check bool) "slack absorbs small deficit" true
+    (Lightrtt.consistent ~slack_ms:2.0 ~vp:lhr ~candidate:jfk (rtt -. 1.0));
+  Alcotest.(check bool) "zero rtt consistent with own location" true
+    (Lightrtt.consistent ~vp:lhr ~candidate:lhr 0.0)
+
+let test_rtt_monotonic_in_distance () =
+  Alcotest.(check bool) "farther location needs more time" true
+    (Lightrtt.min_rtt_ms lhr syd > Lightrtt.min_rtt_ms lhr jfk)
+
+let suites =
+  [
+    ( "geo.coord",
+      [
+        tc "zero distance" test_zero_distance;
+        tc "known distances" test_known_distances;
+        tc "symmetry" test_symmetry;
+        tc "half circumference" test_max_half_circumference;
+        tc "validation" test_coord_validation;
+      ] );
+    ( "geo.lightrtt",
+      [
+        tc "fiber speed" test_fiber_speed;
+        tc "roundtrip factor" test_min_rtt_roundtrip_factor;
+        tc "paper rule of thumb" test_paper_rule_of_thumb;
+        tc "consistency" test_consistency;
+        tc "monotonic" test_rtt_monotonic_in_distance;
+      ] );
+  ]

@@ -1,0 +1,224 @@
+module Iso = Hoiho_geodb.Iso
+module City = Hoiho_geodb.City
+module Db = Hoiho_geodb.Db
+module Synth = Hoiho_geodb.Synth
+module Prng = Hoiho_util.Prng
+
+let tc = Helpers.tc
+let db = Helpers.db
+
+(* --- Iso --- *)
+
+let test_country_lookup () =
+  Alcotest.(check (option string)) "us" (Some "united states") (Iso.country_name "us");
+  Alcotest.(check (option string)) "gb" (Some "united kingdom") (Iso.country_name "gb");
+  Alcotest.(check (option string)) "uk alias" (Some "united kingdom") (Iso.country_name "uk");
+  Alcotest.(check (option string)) "unknown" None (Iso.country_name "zz")
+
+let test_country_equiv () =
+  Alcotest.(check bool) "uk=gb" true (Iso.country_equiv "uk" "gb");
+  Alcotest.(check bool) "gb=uk" true (Iso.country_equiv "gb" "uk");
+  Alcotest.(check bool) "us=us" true (Iso.country_equiv "us" "us");
+  Alcotest.(check bool) "us<>ca" false (Iso.country_equiv "us" "ca");
+  Alcotest.(check bool) "unknown" false (Iso.country_equiv "zz" "us")
+
+let test_states () =
+  Alcotest.(check (option string)) "va" (Some "virginia") (Iso.state_name ~cc:"us" "va");
+  Alcotest.(check (option string)) "on" (Some "ontario") (Iso.state_name ~cc:"ca" "on");
+  Alcotest.(check (option string)) "qld" (Some "queensland") (Iso.state_name ~cc:"au" "qld");
+  Alcotest.(check (option string)) "en" (Some "england") (Iso.state_name ~cc:"gb" "en");
+  Alcotest.(check (option string)) "no fr states" None (Iso.state_name ~cc:"fr" "id");
+  Alcotest.(check bool) "is_any_state va" true (Iso.is_any_state "va");
+  Alcotest.(check bool) "is_any_state zz" false (Iso.is_any_state "zz")
+
+(* --- City --- *)
+
+let test_squashed_key () =
+  let ny = Helpers.city_st "new york" "us" "ny" in
+  Alcotest.(check string) "squashed" "newyork" (City.squashed ny);
+  Alcotest.(check string) "key" "newyork|us|ny" (City.key ny);
+  Alcotest.(check bool) "same place" true (City.same_place ny ny)
+
+let test_describe () =
+  Alcotest.(check string) "with state" "Ashburn, VA, US"
+    (City.describe (Helpers.city_st "ashburn" "us" "va"));
+  Alcotest.(check string) "without state" "London, GB"
+    (City.describe (Helpers.city "london" "gb"))
+
+let test_clli_region () =
+  Alcotest.(check string) "us state" "va" (City.clli_region (Helpers.city_st "ashburn" "us" "va"));
+  Alcotest.(check string) "gb" "en" (City.clli_region (Helpers.city "london" "gb"));
+  Alcotest.(check string) "nl" "nl" (City.clli_region (Helpers.city "amsterdam" "nl"))
+
+let test_derived_codes () =
+  let ams = Helpers.city "amsterdam" "nl" in
+  Alcotest.(check string) "locode from iata" "ams" (City.derived_locode ams);
+  Alcotest.(check string) "clli" "amstnl" (City.derived_clli ams);
+  let haarlem = Helpers.city "haarlem" "nl" in
+  Alcotest.(check string) "locode from name" "haa" (City.derived_locode haarlem);
+  Alcotest.(check string) "clli from name" "haarnl" (City.derived_clli haarlem)
+
+(* --- Db lookups --- *)
+
+let test_iata_lookup () =
+  (match Db.lookup_iata db "lhr" with
+  | [ c ] -> Alcotest.(check string) "lhr is london" "london" c.City.name
+  | _ -> Alcotest.fail "lhr should map to exactly london");
+  (match Db.lookup_iata db "ash" with
+  | [ c ] -> Alcotest.(check string) "ash is nashua" "nashua" c.City.name
+  | _ -> Alcotest.fail "ash should map to nashua");
+  Alcotest.(check (list string)) "no such code" []
+    (List.map (fun c -> c.City.name) (Db.lookup_iata db "qqq"))
+
+let test_iata_collision_codes_exist () =
+  (* the paper's chance-collision codes are real airports in the dict *)
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " in dictionary") true (Db.lookup_iata db code <> []))
+    [ "gig"; "eth"; "cpe"; "tor"; "tok"; "ldn" ]
+
+let test_city_codes_multiple () =
+  (* london is served by several codes *)
+  let lon = Helpers.city "london" "gb" in
+  Alcotest.(check bool) "several codes" true (List.length lon.City.iata >= 4);
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " resolves to london") true
+        (List.exists (City.same_place lon) (Db.lookup_iata db code)))
+    lon.City.iata
+
+let test_clli_lookup () =
+  (match Db.lookup_clli db "asbnva" with
+  | [ c ] -> Alcotest.(check string) "asbnva" "ashburn" c.City.name
+  | _ -> Alcotest.fail "asbnva should map to ashburn");
+  match Db.lookup_clli db "londen" with
+  | [ c ] -> Alcotest.(check string) "londen" "london" c.City.name
+  | _ -> Alcotest.fail "londen should map to london"
+
+let test_locode_lookup () =
+  (match Db.lookup_locode db "usqas" with
+  | [ c ] -> Alcotest.(check string) "usqas" "ashburn" c.City.name
+  | _ -> Alcotest.fail "usqas should map to ashburn");
+  match Db.lookup_locode db "jptky" with
+  | [ c ] -> Alcotest.(check string) "jptky" "tokuyama" c.City.name
+  | _ -> Alcotest.fail "jptky should map to tokuyama"
+
+let test_city_name_ambiguity () =
+  let washingtons = Db.lookup_city_name db "washington" in
+  Alcotest.(check bool) "several washingtons" true (List.length washingtons >= 5);
+  let ashburns = Db.lookup_city_name db "ashburn" in
+  Alcotest.(check int) "two ashburns" 2 (List.length ashburns)
+
+let test_facility_lookup () =
+  (match Db.lookup_facility db "529bryant" with
+  | [ (_, c) ] -> Alcotest.(check string) "palo alto" "palo alto" c.City.name
+  | _ -> Alcotest.fail "529bryant should map to palo alto");
+  match Db.lookup_facility db "1118thave" with
+  | (_, c) :: _ -> Alcotest.(check string) "new york" "new york" c.City.name
+  | [] -> Alcotest.fail "1118thave should map to new york"
+
+let test_unique_code_tables () =
+  (* each locode / clli prefix maps to exactly one city *)
+  List.iter
+    (fun c ->
+      match Db.locode_of_city db c with
+      | Some code ->
+          Alcotest.(check int) ("locode " ^ code ^ " unique") 1
+            (List.length (Db.lookup_locode db code))
+      | None -> ())
+    (Db.cities db);
+  List.iter
+    (fun c ->
+      match Db.clli_of_city db c with
+      | Some code ->
+          Alcotest.(check int) ("clli " ^ code ^ " unique") 1
+            (List.length (Db.lookup_clli db code))
+      | None -> ())
+    (Db.cities db)
+
+let test_explicit_codes_win () =
+  (* ashburn's explicit locode "qas" must not be displaced by a derived one *)
+  Alcotest.(check (option string)) "ashburn locode" (Some "usqas")
+    (Db.locode_of_city db (Helpers.city_st "ashburn" "us" "va"))
+
+let test_find_city () =
+  let c = Helpers.city_st "ashburn" "us" "va" in
+  (match Db.find_city db ~key:(City.key c) with
+  | Some c' -> Alcotest.check Helpers.check_city "found" c c'
+  | None -> Alcotest.fail "find_city failed");
+  Alcotest.(check bool) "missing key" true (Db.find_city db ~key:"atlantis|xx|" = None)
+
+let test_db_size () =
+  Alcotest.(check bool) "world dataset has 200+ cities" true (Db.size db >= 200)
+
+let test_iata_cities_cover () =
+  let pairs = Db.iata_cities db in
+  Alcotest.(check bool) "many airports" true (List.length pairs > 200);
+  Alcotest.(check bool) "contains lhr" true
+    (List.exists (fun (code, _) -> code = "lhr") pairs)
+
+(* --- Synth --- *)
+
+let test_synth_expansion () =
+  let rng = Prng.create 99 in
+  let expanded = Synth.expand rng 100 (Db.cities db) in
+  Alcotest.(check int) "adds exactly n" (Db.size db + 100) (List.length expanded);
+  (* deterministic *)
+  let rng2 = Prng.create 99 in
+  let expanded2 = Synth.expand rng2 100 (Db.cities db) in
+  Alcotest.(check (list string)) "deterministic"
+    (List.map City.key expanded) (List.map City.key expanded2)
+
+let test_synth_names_pronounceable () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 50 do
+    let name = Synth.town_name rng in
+    Alcotest.(check bool) "length in 6..10" true
+      (String.length name >= 6 && String.length name <= 10);
+    Alcotest.(check bool) "lowercase alpha" true
+      (String.for_all (fun c -> c >= 'a' && c <= 'z') name)
+  done
+
+let test_synth_db_builds () =
+  let rng = Prng.create 5 in
+  let expanded = Synth.expand rng 50 (Db.cities db) in
+  let big = Db.of_cities expanded in
+  Alcotest.(check int) "db size" (List.length expanded) (Db.size big)
+
+let suites =
+  [
+    ( "geodb.iso",
+      [
+        tc "country lookup" test_country_lookup;
+        tc "country equivalence" test_country_equiv;
+        tc "states" test_states;
+      ] );
+    ( "geodb.city",
+      [
+        tc "squashed and key" test_squashed_key;
+        tc "describe" test_describe;
+        tc "clli region" test_clli_region;
+        tc "derived codes" test_derived_codes;
+      ] );
+    ( "geodb.db",
+      [
+        tc "iata lookup" test_iata_lookup;
+        tc "collision codes exist" test_iata_collision_codes_exist;
+        tc "multi-code cities" test_city_codes_multiple;
+        tc "clli lookup" test_clli_lookup;
+        tc "locode lookup" test_locode_lookup;
+        tc "city name ambiguity" test_city_name_ambiguity;
+        tc "facility lookup" test_facility_lookup;
+        tc "unique code tables" test_unique_code_tables;
+        tc "explicit codes win" test_explicit_codes_win;
+        tc "find city" test_find_city;
+        tc "dataset size" test_db_size;
+        tc "iata cities" test_iata_cities_cover;
+      ] );
+    ( "geodb.synth",
+      [
+        tc "expansion" test_synth_expansion;
+        tc "names pronounceable" test_synth_names_pronounceable;
+        tc "expanded db builds" test_synth_db_builds;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+module Router = Hoiho_itdk.Router
+module Vp = Hoiho_itdk.Vp
+module Dataset = Hoiho_itdk.Dataset
+module Io = Hoiho_itdk.Io
+
+let tc = Helpers.tc
+
+let test_min_rtt () =
+  let r = Router.make 1 ~ping_rtts:[ (0, 5.0); (1, 2.0); (2, 9.0) ] in
+  Alcotest.(check (option (pair int (float 1e-9)))) "min ping" (Some (1, 2.0))
+    (Router.min_ping_rtt r);
+  Alcotest.(check (option (pair int (float 1e-9)))) "no trace" None
+    (Router.min_trace_rtt r)
+
+let test_has_flags () =
+  let r = Router.make 2 in
+  Alcotest.(check bool) "no hostname" false (Router.has_hostname r);
+  Alcotest.(check bool) "no rtt" false (Router.has_rtt r);
+  let r2 = Router.make 3 ~hostnames:[ "a.he.net" ] ~trace_rtts:[ (0, 1.0) ] in
+  Alcotest.(check bool) "hostname" true (Router.has_hostname r2);
+  Alcotest.(check bool) "trace counts as rtt" true (Router.has_rtt r2)
+
+let test_suffixes () =
+  let r =
+    Router.make 4
+      ~hostnames:
+        [ "a.b.he.net"; "c.he.net"; "d.zayo.com"; "not-a-hostname"; "x.zzz" ]
+  in
+  Alcotest.(check (list string)) "distinct suffixes" [ "he.net"; "zayo.com" ]
+    (Router.suffixes r)
+
+let make_ds () =
+  let vps = Helpers.std_vps () in
+  let ash = Helpers.city_st "ashburn" "us" "va" in
+  let lon = Helpers.city "london" "gb" in
+  let routers =
+    [
+      Helpers.router ~id:0 ~at:ash ~vps ~hostnames:[ "r1.ash.he.net" ] ();
+      Helpers.router ~id:1 ~at:lon ~vps ~hostnames:[ "r2.lon.he.net"; "x.lon.zayo.com" ] ();
+      Helpers.router ~id:2 ~at:lon ~vps ();
+    ]
+  in
+  Helpers.dataset routers vps
+
+let test_dataset_counts () =
+  let ds = make_ds () in
+  Alcotest.(check int) "routers" 3 (Dataset.n_routers ds);
+  Alcotest.(check int) "named" 2 (Dataset.n_with_hostname ds);
+  Alcotest.(check int) "responsive" 3 (Dataset.n_responsive ds)
+
+let test_by_suffix () =
+  let ds = make_ds () in
+  let groups = Dataset.by_suffix ds in
+  Alcotest.(check int) "two suffixes" 2 (List.length groups);
+  let he = List.assoc "he.net" groups in
+  Alcotest.(check int) "he.net routers" 2 (List.length he);
+  let zayo = List.assoc "zayo.com" groups in
+  Alcotest.(check int) "zayo routers" 1 (List.length zayo)
+
+let test_vp_lookup () =
+  let ds = make_ds () in
+  let vp = Dataset.vp ds 3 in
+  Alcotest.(check int) "vp id" 3 vp.Vp.id;
+  Alcotest.check_raises "unknown vp" Not_found (fun () -> ignore (Dataset.vp ds 99))
+
+let test_summary_mentions_label () =
+  let ds = make_ds () in
+  Alcotest.(check bool) "label in summary" true
+    (Hoiho_util.Strutil.has_prefix ~prefix:"test:" (Dataset.summary ds))
+
+(* --- Io round-trips --- *)
+
+let test_io_roundtrip_handmade () =
+  let ds = make_ds () in
+  let text = Io.to_string ds in
+  let ds2 = Io.of_string text in
+  Alcotest.(check string) "identical serialization" text (Io.to_string ds2)
+
+let test_io_roundtrip_generated () =
+  let ds, _ = Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:5 ()) in
+  let text = Io.to_string ds in
+  let ds2 = Io.of_string text in
+  Alcotest.(check int) "router count" (Dataset.n_routers ds) (Dataset.n_routers ds2);
+  Alcotest.(check int) "vp count"
+    (Array.length ds.Dataset.vps)
+    (Array.length ds2.Dataset.vps);
+  Alcotest.(check string) "full fidelity" text (Io.to_string ds2)
+
+let test_io_preserves_truth () =
+  let ds = make_ds () in
+  let ds2 = Io.of_string (Io.to_string ds) in
+  let r0 = ds2.Dataset.routers.(0) in
+  match r0.Router.truth with
+  | Some t ->
+      Alcotest.(check string) "city key" "ashburn|us|va" t.Router.city_key;
+      Alcotest.(check int) "hostname hints" 1 (List.length t.Router.hostname_hints)
+  | None -> Alcotest.fail "truth lost in round-trip"
+
+let test_io_rejects_garbage () =
+  Alcotest.(check bool) "malformed input raises" true
+    (try
+       ignore (Io.of_string "bogus record here\n");
+       false
+     with Failure _ -> true)
+
+let test_io_file_roundtrip () =
+  let ds = make_ds () in
+  let path = Filename.temp_file "hoiho_test" ".itdk" in
+  Io.save path ds;
+  let ds2 = Io.load path in
+  Sys.remove path;
+  Alcotest.(check string) "file round-trip" (Io.to_string ds) (Io.to_string ds2)
+
+let suites =
+  [
+    ( "itdk",
+      [
+        tc "min rtt" test_min_rtt;
+        tc "has flags" test_has_flags;
+        tc "suffixes" test_suffixes;
+        tc "dataset counts" test_dataset_counts;
+        tc "by_suffix" test_by_suffix;
+        tc "vp lookup" test_vp_lookup;
+        tc "summary" test_summary_mentions_label;
+      ] );
+    ( "itdk.io",
+      [
+        tc "roundtrip handmade" test_io_roundtrip_handmade;
+        tc "roundtrip generated" test_io_roundtrip_generated;
+        tc "preserves truth" test_io_preserves_truth;
+        tc "rejects garbage" test_io_rejects_garbage;
+        tc "file roundtrip" test_io_file_roundtrip;
+      ] );
+  ]

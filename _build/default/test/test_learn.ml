@@ -1,0 +1,203 @@
+module Apparent = Hoiho.Apparent
+module Regen = Hoiho.Regen
+module Ncsel = Hoiho.Ncsel
+module Learn = Hoiho.Learn
+module Learned = Hoiho.Learned
+module Consist = Hoiho.Consist
+module Plan = Hoiho.Plan
+
+let tc = Helpers.tc
+let db = Helpers.db
+
+(* --- abbreviation rules --- *)
+
+let test_abbrev_basic () =
+  let t hint name expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" hint name)
+      expected
+      (Learn.abbrev_matches ~hint ~name)
+  in
+  t "ash" "ashburn" true;
+  t "tky" "tokyo" true;
+  t "mlan" "milan" true;
+  t "lon" "london" true;
+  t "ldn" "london" true;
+  t "tor" "toronto" true;
+  (* first character must anchor *)
+  t "ash" "nashua" false;
+  t "sh" "ashburn" false;
+  (* subsequence in order *)
+  t "tyk" "tokyo" false;
+  t "xyz" "tokyo" false
+
+let test_abbrev_multiword () =
+  let t hint name expected =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~ %s" hint name)
+      expected
+      (Learn.abbrev_matches ~hint ~name)
+  in
+  (* the paper's rule: "nyk" ok for new york, "nwk" not *)
+  t "nyk" "new york" true;
+  t "nwk" "new york" false;
+  t "ftc" "fort collins" true;
+  t "kslr" "kuala selangor" true;
+  t "new" "new york" true;
+  t "nyc" "new york" false (* no c after york's y..k in order? y-o-r-k has no c *)
+
+let test_abbrev_empty_and_degenerate () =
+  Alcotest.(check bool) "empty hint" false (Learn.abbrev_matches ~hint:"" ~name:"london");
+  Alcotest.(check bool) "empty name" false (Learn.abbrev_matches ~hint:"a" ~name:"");
+  Alcotest.(check bool) "identity" true (Learn.abbrev_matches ~hint:"london" ~name:"london")
+
+(* --- eligibility --- *)
+
+let nc_of counts_tp unique =
+  (* a synthetic NC record exercising eligibility thresholds *)
+  {
+    Ncsel.cands = [];
+    counts = { Hoiho.Evalx.tp = counts_tp; fp = 1; fn = 0; unk = 0 };
+    hits = [];
+    unique_hints = unique;
+  }
+
+let test_eligible () =
+  Alcotest.(check bool) "3 hints, high ppv" true (Learn.eligible (nc_of 10 3));
+  Alcotest.(check bool) "2 hints" false (Learn.eligible (nc_of 10 2));
+  Alcotest.(check bool) "low ppv" false (Learn.eligible (nc_of 0 3))
+
+(* --- end-to-end learning --- *)
+
+let build_nc sites =
+  let ds, routers, _ = Helpers.suffix_fixture sites in
+  let consist = Consist.create ds in
+  let samples = Apparent.build_samples consist db ~suffix:"example.net" routers in
+  let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
+  let cands = Regen.candidates ~suffix:"example.net" tagged in
+  match Ncsel.build consist db cands samples with
+  | Some nc -> (consist, samples, cands, nc)
+  | None -> Alcotest.fail "no NC built"
+
+let he_like_sites extra =
+  [
+    (Helpers.city "london" "gb", "lhr", 3);
+    (Helpers.city "frankfurt" "de", "fra", 3);
+    (Helpers.city_st "seattle" "us" "wa", "sea", 3);
+    (Helpers.city_st "chicago" "us" "il", "ord", 3);
+  ]
+  @ extra
+
+let test_learns_repurposed_code () =
+  (* "ash" is Nashua's IATA code, used here for Ashburn (figure 8a) *)
+  let consist, _, _, nc =
+    build_nc (he_like_sites [ (Helpers.city_st "ashburn" "us" "va", "ash", 4) ])
+  in
+  let learned = Learn.learn consist db nc in
+  match Learned.find learned Plan.Iata "ash" with
+  | Some e ->
+      Alcotest.(check string) "ashburn" "ashburn" e.Learned.city.Hoiho_geodb.City.name;
+      Alcotest.(check bool) "collides with dictionary" true e.Learned.collides;
+      Alcotest.(check bool) "enough congruent routers" true (e.Learned.tp >= 3)
+  | None -> Alcotest.fail "ash not learned"
+
+let test_learns_invented_code () =
+  (* "tor" for Toronto: the dictionary places TOR in Torrington, WY *)
+  let consist, _, _, nc =
+    build_nc (he_like_sites [ (Helpers.city_st "toronto" "ca" "on", "tor", 4) ])
+  in
+  let learned = Learn.learn consist db nc in
+  match Learned.find learned Plan.Iata "tor" with
+  | Some e -> Alcotest.(check string) "toronto" "toronto" e.Learned.city.Hoiho_geodb.City.name
+  | None -> Alcotest.fail "tor not learned"
+
+let test_congruence_requirement () =
+  (* only two Ashburn routers and no country code: below the 3-router bar *)
+  let consist, _, _, nc =
+    build_nc (he_like_sites [ (Helpers.city_st "ashburn" "us" "va", "ash", 2) ])
+  in
+  let learned = Learn.learn consist db nc in
+  Alcotest.(check bool) "not learned with 2 routers" true
+    (Learned.find learned Plan.Iata "ash" = None)
+
+let test_not_eligible_no_learning () =
+  (* a single-site NC has one unique hint: stage 4 must not run *)
+  let consist, _, _, nc =
+    build_nc [ (Helpers.city "london" "gb", "lhr", 3) ]
+  in
+  let learned = Learn.learn consist db nc in
+  Alcotest.(check int) "nothing learned" 0 (Learned.size learned)
+
+let test_population_tiebreak () =
+  (* "ash" matches Ashburn VA, Ashland VA, Ashland NJ, Ashburn GA; the
+     facility+population ranking must pick Ashburn VA (figure 8a) *)
+  let consist, _, _, nc =
+    build_nc (he_like_sites [ (Helpers.city_st "ashburn" "us" "va", "ash", 4) ])
+  in
+  let learned = Learn.learn consist db nc in
+  match Learned.find learned Plan.Iata "ash" with
+  | Some e ->
+      Alcotest.(check (option string)) "virginia" (Some "va")
+        e.Learned.city.Hoiho_geodb.City.state
+  | None -> Alcotest.fail "ash not learned"
+
+let test_learns_custom_clli () =
+  (* "mlanit" is not the CLLI prefix of Milan in the dictionary — NTT
+     made it up (figure 8b) *)
+  let clli_sites =
+    [
+      (Helpers.city_st "ashburn" "us" "va", "asbnva", 3);
+      (Helpers.city_st "seattle" "us" "wa", "sttlwa", 3);
+      (Helpers.city_st "chicago" "us" "il", "chcgil", 3);
+      (Helpers.city "milan" "it", "mlanit", 4);
+    ]
+  in
+  let consist, _, _, nc = build_nc clli_sites in
+  let learned = Learn.learn consist db nc in
+  match Learned.find learned Plan.Clli "mlanit" with
+  | Some e ->
+      Alcotest.(check string) "milan" "milan" e.Learned.city.Hoiho_geodb.City.name
+  | None -> Alcotest.fail "mlanit not learned"
+
+let test_learns_custom_locode () =
+  (* "jptky" is Tokuyama in the dictionary; the operator means Tokyo *)
+  let locode_sites =
+    [
+      (Helpers.city "london" "gb", "gblon", 3);
+      (Helpers.city "frankfurt" "de", "defra", 3);
+      (Helpers.city_st "ashburn" "us" "va", "usqas", 3);
+      (Helpers.city "tokyo" "jp", "jptky", 4);
+    ]
+  in
+  let consist, _, _, nc = build_nc locode_sites in
+  let learned = Learn.learn consist db nc in
+  match Learned.find learned Plan.Locode "jptky" with
+  | Some e ->
+      Alcotest.(check string) "tokyo" "tokyo" e.Learned.city.Hoiho_geodb.City.name;
+      Alcotest.(check bool) "collides with tokuyama's code" true e.Learned.collides
+  | None -> Alcotest.fail "jptky not learned"
+
+let test_min_contiguous_constant () =
+  Alcotest.(check int) "paper value" 4 Learn.min_contiguous_for_city_plans
+
+let suites =
+  [
+    ( "learn.abbrev",
+      [
+        tc "basic" test_abbrev_basic;
+        tc "multiword" test_abbrev_multiword;
+        tc "degenerate" test_abbrev_empty_and_degenerate;
+      ] );
+    ( "learn",
+      [
+        tc "eligibility" test_eligible;
+        tc "learns repurposed code" test_learns_repurposed_code;
+        tc "learns invented code" test_learns_invented_code;
+        tc "congruence requirement" test_congruence_requirement;
+        tc "not eligible, no learning" test_not_eligible_no_learning;
+        tc "population tiebreak" test_population_tiebreak;
+        tc "learns custom clli" test_learns_custom_clli;
+        tc "learns custom locode" test_learns_custom_locode;
+        tc "min contiguous constant" test_min_contiguous_constant;
+      ] );
+  ]

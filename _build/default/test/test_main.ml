@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "hoiho"
+    (Test_util.suites @ Test_ast.suites @ Test_rx.suites @ Test_geo.suites @ Test_geodb.suites
+   @ Test_psl.suites @ Test_itdk.suites @ Test_netsim.suites
+   @ Test_core_units.suites @ Test_apparent.suites @ Test_regen.suites @ Test_evalx.suites
+   @ Test_learn.suites @ Test_pipeline.suites @ Test_cbg.suites
+   @ Test_stale.suites @ Test_asnconv.suites @ Test_rname.suites @ Test_tbg.suites @ Test_vpfilter.suites @ Test_baselines.suites
+   @ Test_validate.suites @ Test_webreport.suites @ Test_props.suites)

@@ -1,0 +1,123 @@
+module Pipeline = Hoiho.Pipeline
+module Ncsel = Hoiho.Ncsel
+module Consist = Hoiho.Consist
+module Learned = Hoiho.Learned
+
+let tc = Helpers.tc
+let db = Helpers.db
+
+let run_fixture sites =
+  let ds, routers, _ = Helpers.suffix_fixture sites in
+  let consist = Consist.create ds in
+  Pipeline.run_suffix consist db ~suffix:"example.net" routers
+
+let good_sites =
+  [
+    (Helpers.city "london" "gb", "lhr", 3);
+    (Helpers.city "frankfurt" "de", "fra", 3);
+    (Helpers.city_st "seattle" "us" "wa", "sea", 3);
+    (Helpers.city_st "chicago" "us" "il", "ord", 3);
+  ]
+
+let test_good_classification () =
+  let r = run_fixture good_sites in
+  Alcotest.(check bool) "classified" true (r.Pipeline.classification = Some Ncsel.Good);
+  Alcotest.(check bool) "usable" true (Pipeline.usable r);
+  match r.Pipeline.nc with
+  | Some nc ->
+      Alcotest.(check bool) "unique hints >= 3" true (nc.Ncsel.unique_hints >= 3);
+      Alcotest.(check bool) "high ppv" true (Hoiho.Evalx.ppv nc.Ncsel.counts >= 0.9)
+  | None -> Alcotest.fail "no NC"
+
+let test_poor_single_site () =
+  let r = run_fixture [ (Helpers.city "london" "gb", "lhr", 3) ] in
+  Alcotest.(check bool) "poor (one unique hint)" true
+    (r.Pipeline.classification = Some Ncsel.Poor);
+  Alcotest.(check bool) "not usable" false (Pipeline.usable r)
+
+let test_no_geohints () =
+  let vps = Helpers.std_vps () in
+  let lon = Helpers.city "london" "gb" in
+  let routers =
+    [ Helpers.router ~id:0 ~at:lon ~vps ~hostnames:[ "stcq1.vpnx.example.net" ] () ]
+  in
+  let consist = Consist.create (Helpers.dataset routers vps) in
+  let r = Pipeline.run_suffix consist db ~suffix:"example.net" routers in
+  Alcotest.(check int) "nothing tagged" 0 r.Pipeline.n_tagged;
+  Alcotest.(check bool) "no NC" true (r.Pipeline.nc = None);
+  Alcotest.(check bool) "no classification" true (r.Pipeline.classification = None)
+
+let test_counters () =
+  let r = run_fixture good_sites in
+  Alcotest.(check int) "routers" 12 r.Pipeline.n_routers;
+  Alcotest.(check int) "hostnames (2 per router)" 24 r.Pipeline.n_samples;
+  Alcotest.(check int) "all tagged" 24 r.Pipeline.n_tagged;
+  Alcotest.(check int) "tagged routers" 12 r.Pipeline.n_tagged_routers
+
+let test_full_run_and_geolocate () =
+  let ds, routers, vps = Helpers.suffix_fixture good_sites in
+  ignore routers;
+  ignore vps;
+  let p = Pipeline.run ds in
+  Alcotest.(check int) "one suffix" 1 (List.length p.Pipeline.results);
+  (match Pipeline.geolocate p "te9-9.cr2.lhr7.example.net" with
+  | Some city -> Alcotest.(check string) "london" "london" city.Hoiho_geodb.City.name
+  | None -> Alcotest.fail "geolocate failed");
+  Alcotest.(check bool) "unknown suffix" true
+    (Pipeline.geolocate p "r1.lhr1.unknown.org" = None)
+
+let test_geolocated_routers () =
+  let ds, _, _ = Helpers.suffix_fixture good_sites in
+  let p = Pipeline.run ds in
+  match p.Pipeline.results with
+  | [ r ] ->
+      Alcotest.(check int) "all routers geolocated" 12 (Pipeline.geolocated_routers p r)
+  | _ -> Alcotest.fail "expected one suffix"
+
+let test_learning_toggle () =
+  (* with a custom code, learning on vs off changes the learned table *)
+  let sites = good_sites @ [ (Helpers.city_st "ashburn" "us" "va", "ash", 4) ] in
+  let ds, routers, _ = Helpers.suffix_fixture sites in
+  let consist = Consist.create ds in
+  let on = Pipeline.run_suffix consist db ~suffix:"example.net" routers in
+  let off =
+    Pipeline.run_suffix consist db ~learn_geohints:false ~suffix:"example.net" routers
+  in
+  Alcotest.(check bool) "learning on learns ash" true
+    (Learned.find on.Pipeline.learned Hoiho.Plan.Iata "ash" <> None);
+  Alcotest.(check int) "learning off learns nothing" 0 (Learned.size off.Pipeline.learned);
+  (* and the NC with learning has at least as many TPs *)
+  match (on.Pipeline.nc, off.Pipeline.nc) with
+  | Some nc_on, Some nc_off ->
+      Alcotest.(check bool) "learning does not lose TPs" true
+        (nc_on.Ncsel.counts.Hoiho.Evalx.tp >= nc_off.Ncsel.counts.Hoiho.Evalx.tp)
+  | _ -> Alcotest.fail "expected NCs in both runs"
+
+let test_min_samples_filter () =
+  let ds, _, _ = Helpers.suffix_fixture [ (Helpers.city "london" "gb", "lhr", 1) ] in
+  let p = Pipeline.run ~min_samples:10 ds in
+  match p.Pipeline.results with
+  | [ r ] -> Alcotest.(check bool) "filtered out" true (r.Pipeline.nc = None)
+  | _ -> Alcotest.fail "expected one suffix"
+
+let test_find () =
+  let ds, _, _ = Helpers.suffix_fixture good_sites in
+  let p = Pipeline.run ds in
+  Alcotest.(check bool) "find hit" true (Pipeline.find p "example.net" <> None);
+  Alcotest.(check bool) "find miss" true (Pipeline.find p "other.net" = None)
+
+let suites =
+  [
+    ( "pipeline",
+      [
+        tc "good classification" test_good_classification;
+        tc "poor single site" test_poor_single_site;
+        tc "no geohints" test_no_geohints;
+        tc "counters" test_counters;
+        tc "full run and geolocate" test_full_run_and_geolocate;
+        tc "geolocated routers" test_geolocated_routers;
+        tc "learning toggle" test_learning_toggle;
+        tc "min samples filter" test_min_samples_filter;
+        tc "find" test_find;
+      ] );
+  ]

@@ -1,0 +1,289 @@
+(* Property-based tests (qcheck) on the core data structures and
+   invariants, registered as alcotest cases. *)
+
+module Ast = Hoiho_rx.Ast
+module Parse = Hoiho_rx.Parse
+module Engine = Hoiho_rx.Engine
+module Strutil = Hoiho_util.Strutil
+module Prng = Hoiho_util.Prng
+module Coord = Hoiho_geo.Coord
+module Lightrtt = Hoiho_geo.Lightrtt
+
+let q ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- generators --- *)
+
+let gen_lower = QCheck.Gen.char_range 'a' 'z'
+
+let gen_token =
+  QCheck.Gen.(map (fun l -> String.concat "" (List.map (String.make 1) l))
+                (list_size (int_range 1 8) gen_lower))
+
+let gen_hostname_string =
+  QCheck.Gen.(
+    map
+      (fun (labels, digits) ->
+        String.concat "."
+          (List.map2
+             (fun l d -> if d then l ^ "1" else l)
+             labels
+             (List.filteri (fun i _ -> i < List.length labels) digits)))
+      (pair
+         (list_size (int_range 1 5) gen_token)
+         (list_size (int_range 5 5) bool)))
+
+(* random regex ASTs of bounded size *)
+let gen_cls =
+  QCheck.Gen.oneofl
+    [ Ast.lower; Ast.digit; Ast.not_char '.'; Ast.not_char '-';
+      { Ast.neg = false; ranges = [ ('a', 'z'); ('0', '9') ] } ]
+
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun c -> Ast.Lit c) gen_lower;
+        return (Ast.Lit '.');
+        map (fun c -> Ast.Cls c) gen_cls;
+        return Ast.Any;
+      ])
+
+let gen_node =
+  QCheck.Gen.(
+    gen_atom >>= fun atom ->
+    oneof
+      [
+        return atom;
+        map
+          (fun (min, extra) -> Ast.Rep (atom, min, Some (min + extra), Ast.Greedy))
+          (pair (int_range 0 3) (int_range 0 3));
+        map (fun min -> Ast.Rep (atom, min, None, Ast.Greedy)) (int_range 0 2);
+        return (Ast.Rep (atom, 1, None, Ast.Possessive));
+      ])
+
+let gen_ast =
+  QCheck.Gen.(
+    list_size (int_range 1 6) gen_node >>= fun body ->
+    oneof
+      [
+        return body;
+        return ((Ast.Bol :: body) @ [ Ast.Eol ]);
+        map (fun inner -> [ Ast.Grp inner ] @ body) (list_size (int_range 1 3) gen_node);
+      ])
+
+let arb_ast = QCheck.make ~print:Ast.to_string gen_ast
+
+(* greedy-only variant for differential testing against the NFA engine,
+   which cannot express possessive quantifiers *)
+let rec degreed_node = function
+  | Ast.Rep (n, min, max, _) -> Ast.Rep (degreed_node n, min, max, Ast.Greedy)
+  | Ast.Grp inner -> Ast.Grp (List.map degreed_node inner)
+  | Ast.Alt alts -> Ast.Alt (List.map (List.map degreed_node) alts)
+  | atom -> atom
+
+let gen_greedy_ast = QCheck.Gen.map (List.map degreed_node) gen_ast
+
+let gen_input =
+  QCheck.Gen.(
+    map
+      (fun l -> String.concat "" (List.map (String.make 1) l))
+      (list_size (int_range 0 12)
+         (oneofl [ 'a'; 'b'; 'c'; 'z'; '0'; '1'; '9'; '.'; '-' ])))
+
+let arb_diff =
+  QCheck.make
+    ~print:(fun (ast, s) -> Printf.sprintf "%s on %S" (Ast.to_string ast) s)
+    QCheck.Gen.(pair gen_greedy_ast gen_input)
+
+(* --- rx properties --- *)
+
+let prop_roundtrip ast =
+  let printed = Ast.to_string ast in
+  match Parse.parse printed with
+  | Error msg -> QCheck.Test.fail_reportf "unparseable %S: %s" printed msg
+  | Ok ast2 -> Ast.to_string ast2 = printed
+
+let prop_literal_self_match token =
+  (* an anchored literal matches exactly itself *)
+  let ast = (Ast.Bol :: List.init (String.length token) (fun i -> Ast.Lit token.[i])) @ [ Ast.Eol ] in
+  let t = Engine.compile ast in
+  Engine.matches t token && not (Engine.matches t (token ^ "x"))
+
+let prop_fixed_width_class k =
+  let k = 1 + (abs k mod 6) in
+  let t = Engine.compile [ Ast.Bol; Ast.Rep (Ast.Cls Ast.lower, k, Some k, Ast.Greedy); Ast.Eol ] in
+  Engine.matches t (String.make k 'a')
+  && (not (Engine.matches t (String.make (k + 1) 'a')))
+  && not (Engine.matches t (String.make (max 0 (k - 1)) 'a'))
+
+let prop_possessive_subset s =
+  (* a possessive match implies the greedy variant also matches *)
+  let poss =
+    Engine.compile
+      [ Ast.Bol; Ast.Rep (Ast.Cls Ast.lower, 1, None, Ast.Possessive); Ast.Eol ]
+  in
+  let greedy =
+    Engine.compile [ Ast.Bol; Ast.Rep (Ast.Cls Ast.lower, 1, None, Ast.Greedy); Ast.Eol ]
+  in
+  (not (Engine.matches poss s)) || Engine.matches greedy s
+
+(* the two engines must agree on match existence *)
+let prop_engines_agree (ast, input) =
+  let backtracker = Engine.compile ast in
+  let nfa = Hoiho_rx.Nfavm.compile ast in
+  let a = Engine.matches backtracker input in
+  let b = Hoiho_rx.Nfavm.matches nfa input in
+  if a = b then true
+  else
+    QCheck.Test.fail_reportf "engine=%b nfa=%b for %s on %S" a b
+      (Ast.to_string ast) input
+
+(* --- strutil properties --- *)
+
+let prop_chunks_concat s =
+  let chunks = Strutil.chunks_of_classes s in
+  String.concat ""
+    (List.map (function `Alpha x | `Digit x | `Other x -> x) chunks)
+  = s
+
+let prop_split_punct_alnum s =
+  List.for_all (String.for_all Strutil.is_alnum) (Strutil.split_punct s)
+
+let prop_subsequence_reflexive s = Strutil.is_subsequence s s
+
+let prop_strip_digits_prefix s =
+  let stripped = Strutil.strip_trailing_digits s in
+  Strutil.has_prefix ~prefix:stripped s
+
+(* --- prng properties --- *)
+
+let prop_int_in_bounds (seed, bound) =
+  let bound = 1 + abs bound mod 1000 in
+  let rng = Prng.create seed in
+  let v = Prng.int rng bound in
+  v >= 0 && v < bound
+
+let prop_same_seed_same_draws seed =
+  let a = Prng.create seed and b = Prng.create seed in
+  List.init 20 (fun _ -> Prng.bits64 a) = List.init 20 (fun _ -> Prng.bits64 b)
+
+(* --- geo properties --- *)
+
+let gen_coord =
+  QCheck.Gen.(
+    map2
+      (fun lat lon -> Coord.make ~lat ~lon)
+      (float_range (-89.0) 89.0)
+      (float_range (-179.0) 179.0))
+
+let arb_coord = QCheck.make ~print:(Format.asprintf "%a" Coord.pp) gen_coord
+
+let prop_distance_symmetric (a, b) =
+  abs_float (Coord.distance_km a b -. Coord.distance_km b a) < 1e-6
+
+let prop_distance_bounds (a, b) =
+  let d = Coord.distance_km a b in
+  d >= 0.0 && d <= 20100.0
+
+let prop_rtt_consistent_at_best_case (a, b) =
+  Lightrtt.consistent ~vp:a ~candidate:b (Lightrtt.min_rtt_ms a b)
+
+(* --- learn.abbrev properties --- *)
+
+let prop_prefix_always_matches token =
+  String.length token < 2
+  ||
+  let hint = String.sub token 0 (1 + (String.length token / 2)) in
+  Hoiho.Learn.abbrev_matches ~hint ~name:token
+
+let prop_first_char_anchor (hint, name) =
+  (String.length hint = 0 || String.length name = 0)
+  || hint.[0] = name.[0]
+  || not (Hoiho.Learn.abbrev_matches ~hint ~name)
+
+(* --- netsim invariants over random seeds --- *)
+
+let small_config seed =
+  {
+    Hoiho_netsim.Generate.label = "prop";
+    seed;
+    n_geo_consistent = 2;
+    n_geo_small = 1;
+    n_geo_mixed = 1;
+    n_multikind = 1;
+    n_compound = 1;
+    n_nogeo = 2;
+    n_extra_towns = 30;
+    n_spoofing_vps = 0;
+    include_validation = false;
+    n_vps = 12;
+    hostname_fraction = 0.6;
+    p_responsive_unnamed = 0.8;
+  }
+
+let prop_rtt_soundness seed =
+  let ds, _ = Hoiho_netsim.Generate.generate (small_config seed) in
+  let vp id = Hoiho_itdk.Dataset.vp ds id in
+  Array.for_all
+    (fun (r : Hoiho_itdk.Router.t) ->
+      match r.Hoiho_itdk.Router.truth with
+      | None -> true
+      | Some t ->
+          List.for_all
+            (fun (vp_id, rtt) ->
+              rtt +. 1e-6
+              >= Lightrtt.min_rtt_ms (vp vp_id).Hoiho_itdk.Vp.coord
+                   t.Hoiho_itdk.Router.coord)
+            (r.Hoiho_itdk.Router.ping_rtts @ r.Hoiho_itdk.Router.trace_rtts))
+    ds.Hoiho_itdk.Dataset.routers
+
+let prop_io_roundtrip seed =
+  let ds, _ = Hoiho_netsim.Generate.generate (small_config seed) in
+  let text = Hoiho_itdk.Io.to_string ds in
+  Hoiho_itdk.Io.to_string (Hoiho_itdk.Io.of_string text) = text
+
+let small_int = QCheck.small_int
+let string_arb = QCheck.string
+let lower_token = QCheck.make ~print:Fun.id gen_token
+
+let suites =
+  [
+    ( "props.rx",
+      [
+        q "print/parse roundtrip" arb_ast prop_roundtrip;
+        q "anchored literal self-match" lower_token prop_literal_self_match;
+        q "fixed-width class" small_int prop_fixed_width_class;
+        q "possessive implies greedy" lower_token prop_possessive_subset;
+        q ~count:800 "backtracker and NFA agree" arb_diff prop_engines_agree;
+      ] );
+    ( "props.strutil",
+      [
+        q "chunks concat to input" string_arb prop_chunks_concat;
+        q "split_punct yields alnum" string_arb prop_split_punct_alnum;
+        q "subsequence reflexive" string_arb prop_subsequence_reflexive;
+        q "strip digits is prefix" string_arb prop_strip_digits_prefix;
+      ] );
+    ( "props.prng",
+      [
+        q "int in bounds" QCheck.(pair small_int small_int) prop_int_in_bounds;
+        q "same seed same draws" small_int prop_same_seed_same_draws;
+      ] );
+    ( "props.geo",
+      [
+        q "distance symmetric" (QCheck.pair arb_coord arb_coord) prop_distance_symmetric;
+        q "distance bounds" (QCheck.pair arb_coord arb_coord) prop_distance_bounds;
+        q "best case is consistent" (QCheck.pair arb_coord arb_coord)
+          prop_rtt_consistent_at_best_case;
+      ] );
+    ( "props.learn",
+      [
+        q "prefix abbreviation matches" lower_token prop_prefix_always_matches;
+        q "first char anchors" (QCheck.pair lower_token lower_token) prop_first_char_anchor;
+      ] );
+    ( "props.netsim",
+      [
+        q ~count:8 "rtt soundness" small_int prop_rtt_soundness;
+        q ~count:8 "io roundtrip" small_int prop_io_roundtrip;
+      ] );
+  ]

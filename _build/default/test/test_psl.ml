@@ -1,0 +1,53 @@
+module Psl = Hoiho_psl.Psl
+
+let tc = Helpers.tc
+
+let test_is_public_suffix () =
+  Alcotest.(check bool) "net" true (Psl.is_public_suffix "net");
+  Alcotest.(check bool) "net.au" true (Psl.is_public_suffix "net.au");
+  Alcotest.(check bool) "co.uk" true (Psl.is_public_suffix "co.uk");
+  Alcotest.(check bool) "he.net" false (Psl.is_public_suffix "he.net");
+  Alcotest.(check bool) "case" true (Psl.is_public_suffix "NET")
+
+let check_suffix hostname expected () =
+  Alcotest.(check (option string)) hostname expected (Psl.registered_suffix hostname)
+
+let test_simple = check_suffix "core1.ash1.he.net" (Some "he.net")
+let test_two_label_tld = check_suffix "r1.ccnw.net.au" (Some "ccnw.net.au")
+let test_couk = check_suffix "gw.example.co.uk" (Some "example.co.uk")
+let test_deep = check_suffix "a.b.c.d.zayo.com" (Some "zayo.com")
+let test_exact_registration = check_suffix "he.net" (Some "he.net")
+let test_bare_tld = check_suffix "net" None
+let test_bare_etld2 = check_suffix "net.au" None
+let test_unknown_tld = check_suffix "router.example.zzz" None
+let test_uppercase = check_suffix "CORE1.ASH1.HE.NET" (Some "he.net")
+
+let test_prefix_of () =
+  Alcotest.(check (option string)) "prefix" (Some "core1.ash1")
+    (Psl.prefix_of "core1.ash1.he.net");
+  Alcotest.(check (option string)) "no prefix" None (Psl.prefix_of "he.net");
+  Alcotest.(check (option string)) "unknown" None (Psl.prefix_of "x.zzz")
+
+let test_longest_suffix_wins () =
+  (* net.au must be preferred over au *)
+  Alcotest.(check (option string)) "longest" (Some "foo.net.au")
+    (Psl.registered_suffix "bar.foo.net.au")
+
+let suites =
+  [
+    ( "psl",
+      [
+        tc "is_public_suffix" test_is_public_suffix;
+        tc "simple" test_simple;
+        tc "two-label tld" test_two_label_tld;
+        tc "co.uk" test_couk;
+        tc "deep" test_deep;
+        tc "exact registration" test_exact_registration;
+        tc "bare tld" test_bare_tld;
+        tc "bare 2-label tld" test_bare_etld2;
+        tc "unknown tld" test_unknown_tld;
+        tc "uppercase" test_uppercase;
+        tc "prefix_of" test_prefix_of;
+        tc "longest suffix wins" test_longest_suffix_wins;
+      ] );
+  ]

@@ -1,0 +1,179 @@
+module Apparent = Hoiho.Apparent
+module Regen = Hoiho.Regen
+module Cand = Hoiho.Cand
+module Consist = Hoiho.Consist
+module Plan = Hoiho.Plan
+
+let tc = Helpers.tc
+let db = Helpers.db
+
+let tagged_samples routers =
+  let vps = Helpers.std_vps () in
+  let ds = Helpers.dataset routers vps in
+  let consist = Consist.create ds in
+  let samples =
+    Apparent.build_samples consist db ~suffix:"example.net" routers
+  in
+  (consist, List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples)
+
+let fixture sites =
+  let ds, routers, _ = Helpers.suffix_fixture sites in
+  let consist = Consist.create ds in
+  let samples = Apparent.build_samples consist db ~suffix:"example.net" routers in
+  (consist, List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples)
+
+let contains needle haystack =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let sources cands = List.map (fun (c : Cand.t) -> c.Cand.source) cands
+
+let test_phase1_iata_shape () =
+  let _, samples = fixture [ (Helpers.city "london" "gb", "lhr", 2) ] in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  Alcotest.(check bool) "some candidates" true (cands <> []);
+  Alcotest.(check bool) "a candidate captures a 3-letter code" true
+    (List.exists (fun s -> contains "([a-z]{3})" s) (sources cands));
+  Alcotest.(check bool) "anchored with suffix" true
+    (List.for_all
+       (fun s ->
+         String.length s > 0 && s.[0] = '^'
+         && Hoiho_util.Strutil.has_suffix ~suffix:{|example\.net$|} s)
+       (sources cands))
+
+let test_phase1_collapsed_variant () =
+  let _, samples = fixture [ (Helpers.city "london" "gb", "lhr", 2) ] in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  Alcotest.(check bool) "a .+ variant exists" true
+    (List.exists (fun s -> contains "^.+" s) (sources cands));
+  Alcotest.(check bool) "a fully-specific variant exists" true
+    (List.exists (fun s -> not (contains "^.+" s)) (sources cands))
+
+let test_phase1_plans () =
+  let _, samples = fixture [ (Helpers.city "london" "gb", "lhr", 2) ] in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  Alcotest.(check bool) "an IATA plan exists" true
+    (List.exists
+       (fun (c : Cand.t) -> Plan.hint_type_of c.Cand.plan = Some Plan.Iata)
+       cands)
+
+let test_phase1_city_name_plus () =
+  let _, samples = fixture [ (Helpers.city_st "ashburn" "us" "va", "ashburn", 2) ] in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  Alcotest.(check bool) "city name captured with +" true
+    (List.exists (fun s -> contains "([a-z]+)" s) (sources cands))
+
+let test_phase1_deduplicates () =
+  let _, samples = fixture [ (Helpers.city "london" "gb", "lhr", 3) ] in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  let srcs = sources cands in
+  Alcotest.(check int) "no duplicate sources" (List.length srcs)
+    (List.length (List.sort_uniq compare srcs))
+
+let test_phase2_digit_merge () =
+  (* one hostname with digits after the geo code, one without *)
+  let vps = Helpers.std_vps () in
+  let lon = Helpers.city "london" "gb" in
+  let fra = Helpers.city "frankfurt" "de" in
+  let routers =
+    [
+      Helpers.router ~id:0 ~at:lon ~vps ~hostnames:[ "ae1.cr1.lhr15.example.net" ] ();
+      Helpers.router ~id:1 ~at:fra ~vps ~hostnames:[ "ae2.cr1.fra.example.net" ] ();
+    ]
+  in
+  let _, samples = tagged_samples routers in
+  let p1 = Regen.phase1 ~suffix:"example.net" samples in
+  let merged = Regen.phase2 p1 in
+  Alcotest.(check bool) "a \\d* merge is produced" true
+    (List.exists (fun s -> contains {|\d*|} s) (sources merged))
+
+let test_phase2_no_spurious_merge () =
+  let _, samples = fixture [ (Helpers.city "london" "gb", "lhr", 2) ] in
+  let p1 = Regen.phase1 ~suffix:"example.net" samples in
+  (* all geo labels have digits; removing \d+ never yields an existing
+     candidate, so nothing merges *)
+  Alcotest.(check (list string)) "no merges" [] (sources (Regen.phase2 p1))
+
+let test_phase3_specializes_role_label () =
+  let _, samples =
+    fixture
+      [ (Helpers.city "london" "gb", "lhr", 3); (Helpers.city "frankfurt" "de", "fra", 3) ]
+  in
+  let p1 = Regen.phase1 ~suffix:"example.net" samples in
+  let p3 = Regen.phase3 samples p1 in
+  (* the "cr<k>" role label should specialize from [^\.]+ to [a-z]+\d+ *)
+  Alcotest.(check bool) "role label specialized" true
+    (List.exists (fun s -> contains {|[a-z]+\d+|} s) (sources p3))
+
+let test_phase3_literal_when_constant () =
+  (* interface label varies but role label is literally constant *)
+  let vps = Helpers.std_vps () in
+  let lon = Helpers.city "london" "gb" in
+  let fra = Helpers.city "frankfurt" "de" in
+  let mk id at code n =
+    Helpers.router ~id ~at ~vps
+      ~hostnames:[ Printf.sprintf "ae%d.core.%s%d.example.net" id code n ]
+      ()
+  in
+  let routers = [ mk 0 lon "lhr" 1; mk 1 lon "lhr" 2; mk 2 fra "fra" 1 ] in
+  let _, samples = tagged_samples routers in
+  let p1 = Regen.phase1 ~suffix:"example.net" samples in
+  let p3 = Regen.phase3 samples p1 in
+  Alcotest.(check bool) "constant label becomes literal" true
+    (List.exists (fun s -> contains {|\.core\.|} s) (sources p3))
+
+let test_candidates_pipeline () =
+  let _, samples =
+    fixture
+      [ (Helpers.city "london" "gb", "lhr", 3); (Helpers.city "frankfurt" "de", "fra", 3) ]
+  in
+  let all = Regen.candidates ~suffix:"example.net" samples in
+  Alcotest.(check bool) "bounded" true (List.length all <= Regen.max_candidates);
+  let srcs = sources all in
+  Alcotest.(check int) "deduplicated" (List.length srcs)
+    (List.length (List.sort_uniq compare srcs));
+  (* every candidate compiles and parses back *)
+  List.iter
+    (fun src ->
+      match Hoiho_rx.Engine.compile_string src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "unparseable candidate %s: %s" src e)
+    srcs
+
+let test_split_clli_candidate () =
+  let vps = Helpers.std_vps () in
+  let ash = Helpers.city_st "ashburn" "us" "va" in
+  let routers =
+    [ Helpers.router ~id:0 ~at:ash ~vps ~hostnames:[ "ae0.asbn1-va.example.net" ] () ]
+  in
+  let _, samples = tagged_samples routers in
+  let cands = Regen.phase1 ~suffix:"example.net" samples in
+  Alcotest.(check bool) "4+2 capture pair" true
+    (List.exists
+       (fun (c : Cand.t) ->
+         List.mem Plan.ClliA c.Cand.plan && List.mem Plan.ClliB c.Cand.plan)
+       cands)
+
+let test_empty_samples () =
+  Alcotest.(check (list string)) "no samples, no candidates" []
+    (sources (Regen.candidates ~suffix:"example.net" []))
+
+let suites =
+  [
+    ( "regen",
+      [
+        tc "phase1 iata shape" test_phase1_iata_shape;
+        tc "phase1 collapsed variant" test_phase1_collapsed_variant;
+        tc "phase1 plans" test_phase1_plans;
+        tc "phase1 city name" test_phase1_city_name_plus;
+        tc "phase1 dedup" test_phase1_deduplicates;
+        tc "phase2 digit merge" test_phase2_digit_merge;
+        tc "phase2 no spurious merge" test_phase2_no_spurious_merge;
+        tc "phase3 role specialization" test_phase3_specializes_role_label;
+        tc "phase3 literal constant" test_phase3_literal_when_constant;
+        tc "candidates pipeline" test_candidates_pipeline;
+        tc "split clli candidate" test_split_clli_candidate;
+        tc "empty samples" test_empty_samples;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+module Rname = Hoiho.Rname
+module Router = Hoiho_itdk.Router
+
+let tc = Helpers.tc
+
+let router id hostnames = Router.make id ~hostnames
+
+let training =
+  [
+    router 0 [ "xe-0-0.core1.ash1.example.net"; "ae5.core1.ash1.example.net" ];
+    router 1 [ "xe-1-0.core2.ash1.example.net"; "ae1.core2.ash1.example.net" ];
+    router 2 [ "ge-0-1.core1.lhr2.example.net"; "ae2.core1.lhr2.example.net" ];
+    router 3 [ "ae9.core1.fra1.example.net"; "po1.core1.fra1.example.net" ];
+    (* a single-interface router participates in uniqueness only *)
+    router 4 [ "ae1.core9.sea1.example.net" ];
+  ]
+
+let learn () =
+  match Rname.learn ~suffix:"example.net" training with
+  | Some t -> t
+  | None -> Alcotest.fail "no router-name convention learned"
+
+let test_learns_two_label_names () =
+  let t = learn () in
+  Alcotest.(check int) "two trailing labels" 2 t.Rname.n_labels;
+  Alcotest.(check int) "all four multi-interface routers TP" 4 t.Rname.counts.Rname.tp;
+  Alcotest.(check int) "no FPs" 0 t.Rname.counts.Rname.fp;
+  Alcotest.(check bool) "usable" true (Rname.usable t)
+
+let test_extract () =
+  let t = learn () in
+  Alcotest.(check (option string)) "name" (Some "core1.ash1")
+    (Rname.extract t "et-9-9.core1.ash1.example.net");
+  Alcotest.(check (option string)) "interface varies, name stable"
+    (Rname.extract t "xe-0-0.core1.ash1.example.net")
+    (Rname.extract t "ae5.core1.ash1.example.net")
+
+let test_collision_is_fp () =
+  (* two routers sharing the extracted name cannot both be TP *)
+  let routers =
+    [
+      router 0 [ "xe-0.core1.ash1.example.net"; "ae1.core1.ash1.example.net" ];
+      router 1 [ "xe-1.core1.ash1.example.net"; "ae2.core1.ash1.example.net" ];
+      router 2 [ "xe-0.core2.lhr1.example.net"; "ae1.core2.lhr1.example.net" ];
+      router 3 [ "xe-0.core3.fra1.example.net"; "ae1.core3.fra1.example.net" ];
+    ]
+  in
+  match Rname.learn ~suffix:"example.net" routers with
+  | Some t ->
+      Alcotest.(check int) "colliding routers are FPs" 2 t.Rname.counts.Rname.fp;
+      Alcotest.(check int) "distinct routers are TPs" 2 t.Rname.counts.Rname.tp
+  | None -> Alcotest.fail "should learn"
+
+let test_no_multi_interface_routers () =
+  let routers = [ router 0 [ "ae1.core1.ash1.example.net" ] ] in
+  Alcotest.(check bool) "nothing to train on" true
+    (Rname.learn ~suffix:"example.net" routers = None)
+
+let test_never_absorbs_whole_hostname () =
+  (* identical hostnames must not make the name swallow everything *)
+  let routers =
+    [
+      router 0 [ "core1.ash1.example.net"; "core1.ash1.example.net" ];
+      router 1 [ "core2.lhr1.example.net"; "core2.lhr1.example.net" ];
+      router 2 [ "core3.fra1.example.net"; "core3.fra1.example.net" ];
+    ]
+  in
+  match Rname.learn ~suffix:"example.net" routers with
+  | Some t -> Alcotest.(check bool) "name shorter than hostname" true (t.Rname.n_labels <= 1)
+  | None -> ()
+
+let test_end_to_end_generated () =
+  let ds, _ = Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ()) in
+  let groups = Hoiho_itdk.Dataset.by_suffix ds in
+  let usable =
+    List.filter_map
+      (fun (suffix, routers) ->
+        match Rname.learn ~suffix routers with
+        | Some t when Rname.usable t -> Some t
+        | _ -> None)
+      groups
+  in
+  Alcotest.(check bool) "learned several" true (List.length usable >= 5)
+
+let suites =
+  [
+    ( "rname",
+      [
+        tc "learns two-label names" test_learns_two_label_names;
+        tc "extract" test_extract;
+        tc "collision is fp" test_collision_is_fp;
+        tc "no multi-interface routers" test_no_multi_interface_routers;
+        tc "never absorbs whole hostname" test_never_absorbs_whole_hostname;
+        tc "end to end" test_end_to_end_generated;
+      ] );
+  ]

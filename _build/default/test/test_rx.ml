@@ -1,0 +1,226 @@
+module Ast = Hoiho_rx.Ast
+module Parse = Hoiho_rx.Parse
+module Engine = Hoiho_rx.Engine
+
+let tc = Helpers.tc
+
+let exec_str re s =
+  let t = Engine.compile_exn re in
+  match Engine.exec t s with
+  | None -> None
+  | Some arr ->
+      Some
+        (String.concat ","
+           (Array.to_list arr |> List.map (function None -> "_" | Some x -> x)))
+
+let check_match re s expected () =
+  Alcotest.(check (option string)) (re ^ " on " ^ s) expected (exec_str re s)
+
+(* --- parser --- *)
+
+let test_parse_errors () =
+  let bad = [ "a{2,1}"; "("; ")"; "[abc"; "*a"; "a{"; "\\"; "a|*" ] in
+  List.iter
+    (fun re ->
+      match Parse.parse re with
+      | Ok _ -> Alcotest.failf "expected parse error for %S" re
+      | Error _ -> ())
+    bad
+
+let test_parse_roundtrip () =
+  let res =
+    [
+      {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|};
+      {|^[^\.]+\.([a-z]+)\d*\.([a-z]{2})\.alter\.net$|};
+      {|^\d+\.[a-z]+\d+\.([a-z]{6})[a-z\d]++\.alter\.net$|};
+      {|^(a|bb|ccc)x?$|};
+      {|[a-z]{2,4}|};
+      {|(?:ab|cd)+|};
+    ]
+  in
+  List.iter
+    (fun re ->
+      let ast = Parse.parse_exn re in
+      let printed = Ast.to_string ast in
+      let ast2 = Parse.parse_exn printed in
+      Alcotest.(check bool) (re ^ " roundtrip") true (Ast.equal ast ast2))
+    res
+
+let test_group_count () =
+  let count re = Engine.group_count (Engine.compile_exn re) in
+  Alcotest.(check int) "none" 0 (count "abc");
+  Alcotest.(check int) "two" 2 (count {|(a)(b)|});
+  Alcotest.(check int) "nested" 2 (count {|((a)b)|});
+  Alcotest.(check int) "in alternation" 2 (count {|(a)|(b)|})
+
+(* --- matching semantics --- *)
+
+let test_literal = check_match "abc" "xabcy" (Some "")
+let test_literal_fail = check_match "abc" "abd" None
+let test_anchors_pin = check_match "^abc$" "abc" (Some "")
+let test_anchor_start_fail = check_match "^bc$" "abc" None
+let test_anchor_end_fail = check_match "^ab$" "abc" None
+let test_dot = check_match "^a.c$" "axc" (Some "")
+let test_dot_no_empty = check_match "^a.c$" "ac" None
+let test_class = check_match "^[a-c]+$" "abcba" (Some "")
+let test_class_fail = check_match "^[a-c]+$" "abd" None
+let test_neg_class = check_match {|^[^\.]+$|} "ab-c" (Some "")
+let test_neg_class_fail = check_match {|^[^\.]+$|} "a.c" None
+let test_digit_escape = check_match {|^\d{3}$|} "123" (Some "")
+let test_digit_escape_fail = check_match {|^\d{3}$|} "12x" None
+let test_question = check_match {|^ab?c$|} "ac" (Some "")
+let test_question2 = check_match {|^ab?c$|} "abc" (Some "")
+let test_star_empty = check_match {|^a*$|} "" (Some "")
+let test_plus_needs_one = check_match {|^a+$|} "" None
+let test_bounded_rep = check_match {|^a{2,3}$|} "aa" (Some "")
+let test_bounded_rep2 = check_match {|^a{2,3}$|} "aaaa" None
+let test_open_rep = check_match {|^a{2,}$|} "aaaaa" (Some "")
+let test_exact_rep_fail = check_match {|^[a-z]{3}$|} "ab" None
+
+let test_alternation = check_match {|^(cat|dog)$|} "dog" (Some "dog")
+let test_alternation_order = check_match {|^(a|ab)c$|} "abc" (Some "ab")
+let test_nested_groups = check_match {|^((a+)(b+))$|} "aabb" (Some "aabb,aa,bb")
+let test_unused_branch_group = check_match {|^(a)|(b)$|} "a" (Some "a,_")
+
+let test_backtracking = check_match {|^(.+)\.([a-z]+)$|} "a.b.c" (Some "a.b,c")
+let test_greedy = check_match {|^([a-z]+)([a-z])$|} "abcd" (Some "abc,d")
+
+let test_possessive_blocks_backtrack = check_match {|^[a-z]++z$|} "abcz" None
+let test_possessive_ok = check_match {|^[a-z]++\d$|} "abc1" (Some "")
+let test_possessive_star = check_match {|^a*+b$|} "aaab" (Some "")
+
+let test_unanchored_search = check_match {|b+|} "aabbaa" (Some "")
+let test_empty_pattern = check_match "" "anything" (Some "")
+
+(* the paper's published regexes (figure 7) *)
+let paper_cases =
+  [
+    ( {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|},
+      "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com", Some "lhr,uk" );
+    ( {|^.+\.([a-z]+)\d*\.level3\.net$|},
+      "ae-2-52.edge1.brussels1.level3.net", Some "brussels" );
+    ( {|^.+\.([a-z]{6})\d+\.([a-z]{2})\.[a-z]{2}\.gin\.ntt\.net$|},
+      "xe-0-0-28-0.a02.snjsca04.us.ce.gin.ntt.net", Some "snjsca,us" );
+    ( {|^.+\.([a-z]{4})\d+-([a-z]{2})\.([a-z]{2})\.windstream\.net$|},
+      "ae4-0.agr01.ashb1-va.va.windstream.net", Some "ashb,va,va" );
+    ( {|^[^\.]+\.(\d+[a-z]+)\.([a-z]{2})\.[a-z]+\.comcast\.net$|},
+      "be-107-pe12.111eighthave.ny.ibone.comcast.net", Some "111eighthave,ny" );
+    ( {|^[^\.]+\.[^\.]+\.([a-z]{6})[a-z\d]+-[a-z]+\d+-[^\.]+\.alter\.net$|},
+      "0.af0.rcmdva83-mse01-a-ie1.alter.net", Some "rcmdva" );
+  ]
+
+let test_paper_regexes () =
+  List.iter
+    (fun (re, s, expected) ->
+      Alcotest.(check (option string)) (re ^ " on " ^ s) expected (exec_str re s))
+    paper_cases
+
+let test_paper_negative () =
+  (* DRoP's simplistic 360.net rule (figure 2) should not match deeper names *)
+  let re = {|^([a-z]+)-[0-9]+\.360\.net$|} in
+  Alcotest.(check (option string)) "no match" None
+    (exec_str re "ae0.380.xiamen-5.360.net")
+
+let test_compile_string_error () =
+  match Engine.compile_string "a{" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_source_roundtrip () =
+  let t = Engine.compile_exn {|^([a-z]{3})\d+$|} in
+  let t2 = Engine.compile_exn (Engine.source t) in
+  Alcotest.(check (option string)) "same behavior" (Engine.exec_groups t "abc12" |> Option.map (String.concat ","))
+    (Engine.exec_groups t2 "abc12" |> Option.map (String.concat ","))
+
+(* --- Nfavm --- *)
+
+module Nfavm = Hoiho_rx.Nfavm
+
+let nfa_matches re s =
+  Nfavm.matches (Nfavm.compile (Parse.parse_exn re)) s
+
+let test_nfa_basics () =
+  Alcotest.(check bool) "literal" true (nfa_matches "abc" "xabcy");
+  Alcotest.(check bool) "literal fail" false (nfa_matches "abc" "abx");
+  Alcotest.(check bool) "anchored" true (nfa_matches "^ab$" "ab");
+  Alcotest.(check bool) "anchored fail" false (nfa_matches "^ab$" "xab");
+  Alcotest.(check bool) "class rep" true (nfa_matches {|^[a-z]{3}\d+$|} "lhr15");
+  Alcotest.(check bool) "alternation" true (nfa_matches "^(cat|dog)$" "dog");
+  Alcotest.(check bool) "star empty" true (nfa_matches "^a*$" "");
+  Alcotest.(check bool) "bounded" false (nfa_matches "^a{2,3}$" "aaaa")
+
+let test_nfa_paper_regex () =
+  Alcotest.(check bool) "zayo regex" true
+    (nfa_matches {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|}
+       "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com")
+
+let test_nfa_rejects_possessive () =
+  Alcotest.(check bool) "unsupported" false
+    (Nfavm.supported (Parse.parse_exn {|^[a-z]++$|}));
+  Alcotest.check_raises "compile raises"
+    (Invalid_argument "Nfavm.compile: possessive quantifiers are unsupported")
+    (fun () -> ignore (Nfavm.compile (Parse.parse_exn {|^[a-z]++$|})))
+
+let test_nfa_no_blowup () =
+  (* the classic backtracking bomb runs in linear time on the NFA *)
+  let re = Parse.parse_exn "^(a|a)(a|a)(a|a)(a|a)(a|a)(a|a)(a|a)(a|a)(a|a)(a|a)b$" in
+  let t = Nfavm.compile re in
+  Alcotest.(check bool) "mismatch detected quickly" false
+    (Nfavm.matches t "aaaaaaaaaac");
+  Alcotest.(check bool) "program compiled" true (Nfavm.program_size t > 10)
+
+let suites =
+  [
+    ( "rx.nfavm",
+      [
+        tc "basics" test_nfa_basics;
+        tc "paper regex" test_nfa_paper_regex;
+        tc "rejects possessive" test_nfa_rejects_possessive;
+        tc "no blowup" test_nfa_no_blowup;
+      ] );
+    ( "rx.parse",
+      [
+        tc "errors" test_parse_errors;
+        tc "roundtrip" test_parse_roundtrip;
+        tc "group count" test_group_count;
+        tc "compile_string error" test_compile_string_error;
+        tc "source roundtrip" test_source_roundtrip;
+      ] );
+    ( "rx.match",
+      [
+        tc "literal" test_literal;
+        tc "literal fail" test_literal_fail;
+        tc "anchors pin" test_anchors_pin;
+        tc "anchor start fail" test_anchor_start_fail;
+        tc "anchor end fail" test_anchor_end_fail;
+        tc "dot" test_dot;
+        tc "dot needs char" test_dot_no_empty;
+        tc "class" test_class;
+        tc "class fail" test_class_fail;
+        tc "negated class" test_neg_class;
+        tc "negated class fail" test_neg_class_fail;
+        tc "digit escape" test_digit_escape;
+        tc "digit escape fail" test_digit_escape_fail;
+        tc "optional absent" test_question;
+        tc "optional present" test_question2;
+        tc "star matches empty" test_star_empty;
+        tc "plus needs one" test_plus_needs_one;
+        tc "bounded rep min" test_bounded_rep;
+        tc "bounded rep max" test_bounded_rep2;
+        tc "open rep" test_open_rep;
+        tc "exact rep fail" test_exact_rep_fail;
+        tc "alternation" test_alternation;
+        tc "alternation order" test_alternation_order;
+        tc "nested groups" test_nested_groups;
+        tc "unused branch group" test_unused_branch_group;
+        tc "backtracking" test_backtracking;
+        tc "greedy" test_greedy;
+        tc "possessive blocks backtrack" test_possessive_blocks_backtrack;
+        tc "possessive ok" test_possessive_ok;
+        tc "possessive star" test_possessive_star;
+        tc "unanchored search" test_unanchored_search;
+        tc "empty pattern" test_empty_pattern;
+      ] );
+    ( "rx.paper",
+      [ tc "figure 7 regexes" test_paper_regexes; tc "figure 2 negative" test_paper_negative ] );
+  ]

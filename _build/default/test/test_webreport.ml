@@ -1,0 +1,71 @@
+module Webreport = Hoiho_validate.Webreport
+module Pipeline = Hoiho.Pipeline
+
+let tc = Helpers.tc
+
+let contains needle haystack =
+  let ln = String.length needle and lh = String.length haystack in
+  let rec go i = i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1)) in
+  go 0
+
+let pipeline =
+  lazy
+    (let ds, _, _ =
+       Helpers.suffix_fixture
+         [
+           (Helpers.city "london" "gb", "lhr", 3);
+           (Helpers.city "frankfurt" "de", "fra", 3);
+           (Helpers.city_st "seattle" "us" "wa", "sea", 3);
+           (Helpers.city_st "ashburn" "us" "va", "ash", 4);
+         ]
+     in
+     Pipeline.run ds)
+
+let test_page_filename () =
+  Alcotest.(check string) "dots replaced" "he_net.md" (Webreport.page_filename "he.net");
+  Alcotest.(check string) "multi" "ccnw_net_au.md" (Webreport.page_filename "ccnw.net.au")
+
+let test_suffix_page_content () =
+  let p = Lazy.force pipeline in
+  match Pipeline.find p "example.net" with
+  | Some r ->
+      let page = Webreport.suffix_page p r in
+      Alcotest.(check bool) "has title" true (contains "# example.net" page);
+      Alcotest.(check bool) "shows a regex" true (contains "([a-z]{3})" page);
+      Alcotest.(check bool) "shows the learned code" true (contains "`ash`" page);
+      Alcotest.(check bool) "explains the override" true
+        (contains "Ashburn, VA, US (overrides a dictionary code)" page);
+      Alcotest.(check bool) "has example extractions" true
+        (contains "## Example extractions" page)
+  | None -> Alcotest.fail "fixture suffix missing"
+
+let test_index_links_pages () =
+  let p = Lazy.force pipeline in
+  let index = Webreport.index_page p in
+  Alcotest.(check bool) "links the suffix page" true
+    (contains "](example_net.md)" index);
+  Alcotest.(check bool) "shows classification" true (contains "good" index)
+
+let test_write_directory () =
+  let dir = Filename.temp_file "hoiho_site" "" in
+  Sys.remove dir;
+  let p = Lazy.force pipeline in
+  let n = Webreport.write p ~dir in
+  Alcotest.(check int) "one suffix page" 1 n;
+  Alcotest.(check bool) "index exists" true
+    (Sys.file_exists (Filename.concat dir "index.md"));
+  Alcotest.(check bool) "page exists" true
+    (Sys.file_exists (Filename.concat dir "example_net.md"));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let suites =
+  [
+    ( "webreport",
+      [
+        tc "page filename" test_page_filename;
+        tc "suffix page content" test_suffix_page_content;
+        tc "index links pages" test_index_links_pages;
+        tc "write directory" test_write_directory;
+      ] );
+  ]
