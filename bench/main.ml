@@ -547,7 +547,7 @@ let show_phase consist samples label cands =
   let scored =
     List.map
       (fun c ->
-        let counts, _ = Evalx.eval_cand consist Fixtures.db c samples in
+        let counts = Evalx.eval_cand_counts consist Fixtures.db c samples in
         (c, counts))
       cands
   in
@@ -702,6 +702,108 @@ let micro () =
     results;
   Report.table ~header:[ "operation"; "time/run" ] (List.sort compare !rows)
 
+(* --- pipeline performance (parallel pool + regex fast path) --- *)
+
+let perf () =
+  Report.section "Performance: parallel pipeline + regex fast path";
+  (* a fresh dataset, not the cached one: the sequential run must start
+     from cold caches so the two timings are comparable *)
+  let config = List.assoc aug20 (presets ()) in
+  let config = { config with Generate.label = aug20 } in
+  let ds, truth = Generate.generate config in
+  let db = Truth.db truth in
+  let n_hostnames =
+    Array.fold_left
+      (fun a (r : Router.t) -> a + List.length r.Router.hostnames)
+      0 ds.Dataset.routers
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  Hoiho_rx.Engine.reset_prefilter_stats ();
+  let seq, seq_ms = time (fun () -> Pipeline.run ~db ~jobs:1 ds) in
+  let pf_calls, pf_skips = Hoiho_rx.Engine.prefilter_stats () in
+  let jobs = max 2 (Hoiho_util.Pool.default_jobs ()) in
+  let par, par_ms = time (fun () -> Pipeline.run ~db ~jobs ds) in
+  let identical = seq.Pipeline.results = par.Pipeline.results in
+  let speedup = seq_ms /. par_ms in
+  let samples_per_sec = float_of_int n_hostnames /. (par_ms /. 1000.0) in
+  let hit_rate =
+    if pf_calls = 0 then 0.0 else float_of_int pf_skips /. float_of_int pf_calls
+  in
+  Report.note "dataset: %d routers, %d hostnames" (Dataset.n_routers ds) n_hostnames;
+  Report.note "sequential (jobs=1):  %8.1f ms" seq_ms;
+  Report.note "parallel   (jobs=%d):  %8.1f ms  (%.2fx, %.0f hostnames/s)" jobs
+    par_ms speedup samples_per_sec;
+  Report.note "results identical across jobs settings: %b" identical;
+  Report.note "prefilter: %d exec calls, %d skipped by literal scan (%.1f%%)"
+    pf_calls pf_skips (100.0 *. hit_rate);
+  (* per-layer micro timings *)
+  let ns_per iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let re_src = {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|} in
+  let regex = Hoiho_rx.Engine.compile_exn re_src in
+  let miss = "ae-125.edge4.frankfurt1.level3.net" in
+  let hit = "zayo-ntt.mpr1.lhr15.uk.zip.zayo.com" in
+  let vm = Hoiho_rx.Nfavm.compile (Hoiho_rx.Parse.parse_exn {|[a-z]{3}\d+\.[a-z]+|}) in
+  let pool = Hoiho_util.Pool.get 2 in
+  let ints = List.init 64 Fun.id in
+  let exec_hit_ns = ns_per 20_000 (fun () -> Hoiho_rx.Engine.exec regex hit) in
+  let exec_miss_ns = ns_per 20_000 (fun () -> Hoiho_rx.Engine.exec regex miss) in
+  let exec_unf_ns =
+    ns_per 20_000 (fun () -> Hoiho_rx.Engine.exec_unfiltered regex miss)
+  in
+  let nfavm_ns = ns_per 20_000 (fun () -> Hoiho_rx.Nfavm.matches vm hit) in
+  let pool_ns =
+    ns_per 200 (fun () -> Hoiho_util.Pool.parallel_map pool (fun x -> x + 1) ints)
+  in
+  Report.table
+    ~header:[ "operation"; "time/run" ]
+    [
+      [ "exec, match (prefilter seeds start)"; Printf.sprintf "%.0f ns" exec_hit_ns ];
+      [ "exec, miss (prefilter bails)"; Printf.sprintf "%.0f ns" exec_miss_ns ];
+      [ "exec, miss, no prefilter"; Printf.sprintf "%.0f ns" exec_unf_ns ];
+      [ "nfavm matches (sparse sets)"; Printf.sprintf "%.0f ns" nfavm_ns ];
+      [ "pool parallel_map, 64 items"; Printf.sprintf "%.0f ns" pool_ns ];
+    ];
+  let json =
+    Printf.sprintf
+      {|{
+  "dataset": "%s",
+  "n_routers": %d,
+  "n_hostnames": %d,
+  "jobs": %d,
+  "seq_wall_ms": %.2f,
+  "par_wall_ms": %.2f,
+  "speedup": %.3f,
+  "hostnames_per_sec": %.1f,
+  "results_identical": %b,
+  "prefilter": { "exec_calls": %d, "skips": %d, "hit_rate": %.4f },
+  "micro_ns": {
+    "exec_match": %.1f,
+    "exec_miss_prefiltered": %.1f,
+    "exec_miss_unfiltered": %.1f,
+    "nfavm_matches": %.1f,
+    "pool_map_64": %.1f
+  }
+}
+|}
+      config.Generate.label (Dataset.n_routers ds) n_hostnames jobs seq_ms par_ms
+      speedup samples_per_sec identical pf_calls pf_skips hit_rate exec_hit_ns
+      exec_miss_ns exec_unf_ns nfavm_ns pool_ns
+  in
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc json;
+  close_out oc;
+  Report.note "wrote BENCH_pipeline.json"
+
 (* --- driver --- *)
 
 let experiments =
@@ -726,6 +828,7 @@ let experiments =
     ("fig13", "regex generation phases", fig13);
     ("fig2", "DRoP rigidity comparison", fig2);
     ("micro", "bechamel micro-benchmarks", micro);
+    ("perf", "parallel pipeline + prefilter speedups", perf);
   ]
 
 let () =

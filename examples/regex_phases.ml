@@ -16,18 +16,16 @@ let show_cands consist db samples label cands =
   Printf.printf "--- %s (%d candidates) ---\n" label (List.length cands);
   let scored =
     List.map
-      (fun cand ->
-        let counts, hits = Evalx.eval_cand consist db cand samples in
-        (cand, counts, hits))
+      (fun cand -> (cand, Evalx.eval_cand_counts consist db cand samples))
       cands
   in
   let ranked =
     List.sort
-      (fun (_, a, _) (_, b, _) -> compare (Evalx.atp b) (Evalx.atp a))
+      (fun (_, a) (_, b) -> compare (Evalx.atp b) (Evalx.atp a))
       scored
   in
   List.iteri
-    (fun i ((cand : Cand.t), counts, _) ->
+    (fun i ((cand : Cand.t), counts) ->
       if i < 8 then
         Printf.printf
           "  tp=%3d fp=%3d fn=%3d unk=%3d atp=%4d ppv=%3.0f%%  %s\n"

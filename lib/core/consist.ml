@@ -8,10 +8,16 @@ module Dataset = Hoiho_itdk.Dataset
    colocated with a VP is not rejected by sub-ms noise *)
 let slack_ms = 0.5
 
+(* Read-only after construction: [t] is shared across the pool's
+   domains during a parallel pipeline run, so nothing here may mutate
+   shared state after [create] returns. The best-case-RTT memo is
+   per-domain (Domain.DLS): each domain fills its own table, which
+   costs some duplicated haversines but needs no locking on the
+   hottest read path in the system. *)
 type t = {
   dataset : Dataset.t;
   vp_by_id : Vp.t array;
-  min_rtt_cache : (int * float * float, float) Hashtbl.t;
+  min_rtt_cache : (int * float * float, float) Hashtbl.t Domain.DLS.key;
 }
 
 let create dataset =
@@ -22,7 +28,11 @@ let create dataset =
     Array.make (max_id + 1) dataset.Dataset.vps.(0)
   in
   Array.iter (fun (v : Vp.t) -> vp_by_id.(v.Vp.id) <- v) dataset.Dataset.vps;
-  { dataset; vp_by_id; min_rtt_cache = Hashtbl.create 65536 }
+  {
+    dataset;
+    vp_by_id;
+    min_rtt_cache = Domain.DLS.new_key (fun () -> Hashtbl.create 65536);
+  }
 
 let dataset t = t.dataset
 
@@ -31,12 +41,13 @@ let router_rtts t (r : Router.t) =
   List.map (fun (id, rtt) -> (t.vp_by_id.(id), rtt)) pairs
 
 let best_case t vp_id (loc : Coord.t) =
+  let cache = Domain.DLS.get t.min_rtt_cache in
   let key = (vp_id, loc.Coord.lat, loc.Coord.lon) in
-  match Hashtbl.find_opt t.min_rtt_cache key with
+  match Hashtbl.find_opt cache key with
   | Some v -> v
   | None ->
       let v = Lightrtt.min_rtt_ms t.vp_by_id.(vp_id).Vp.coord loc in
-      Hashtbl.replace t.min_rtt_cache key v;
+      Hashtbl.replace cache key v;
       v
 
 let location_consistent t (r : Router.t) loc =

@@ -9,7 +9,14 @@
 
     Best-case VP→location RTTs are memoized, since the same few hundred
     dictionary locations are tested against the same VPs millions of
-    times during a run. *)
+    times during a run.
+
+    A value of type [t] is read-only after [create] returns and safe to
+    share across domains: the pipeline fans suffix groups out over a
+    {!Hoiho_util.Pool} while every worker consults the same [t]. The
+    RTT memo is domain-local storage, so concurrent lookups never touch
+    a shared table. Any future mutable field must preserve this
+    contract. *)
 
 type t
 

@@ -111,6 +111,14 @@ let eval_cand consist db ?learned cand samples =
   let counts = List.fold_left (fun c h -> add_outcome c h.outcome) zero hits in
   (counts, hits)
 
+(* candidate-scoring loops only rank by counts; skip building the hits
+   list (each hit dies young instead of being retained) *)
+let eval_cand_counts consist db ?learned cand samples =
+  List.fold_left
+    (fun c sample ->
+      add_outcome c (eval_sample consist db ?learned cand sample).outcome)
+    zero samples
+
 let unique_tp_hints hits =
   List.filter_map
     (fun h ->

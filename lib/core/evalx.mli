@@ -43,6 +43,16 @@ val eval_cand :
   Apparent.sample list ->
   counts * hit list
 
+val eval_cand_counts :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  ?learned:Learned.t ->
+  Cand.t ->
+  Apparent.sample list ->
+  counts
+(** {!eval_cand} without materializing the hits list — for scoring
+    loops that only rank candidates by counts. *)
+
 val unique_tp_hints : hit list -> string list
 (** Distinct hint strings among TP hits. *)
 

@@ -67,19 +67,35 @@ let member_unique_hints samples (members : prepared list) =
   done;
   List.map Hashtbl.length tables
 
-let prepare consist db ?learned cands samples_arr =
-  List.map
-    (fun cand ->
-      let hits =
-        Array.map (Evalx.eval_sample consist db ?learned cand) samples_arr
-      in
-      let counts =
-        Array.fold_left
-          (fun c (h : Evalx.hit) -> Evalx.add_outcome c h.Evalx.outcome)
-          Evalx.zero hits
-      in
-      { cand; hits; atp = Evalx.atp counts })
+(* evaluating the same compiled regex with the same decode plan twice
+   cannot change any count; drop exact duplicates before the expensive
+   per-candidate evaluation *)
+let dedupe_cands cands =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (c : Cand.t) ->
+      let key = (c.Cand.source, c.Cand.plan) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
     cands
+
+let prepare ?(jobs = 1) consist db ?learned cands samples_arr =
+  let eval cand =
+    let hits =
+      Array.map (Evalx.eval_sample consist db ?learned cand) samples_arr
+    in
+    let counts =
+      Array.fold_left
+        (fun c (h : Evalx.hit) -> Evalx.add_outcome c h.Evalx.outcome)
+        Evalx.zero hits
+    in
+    { cand; hits; atp = Evalx.atp counts }
+  in
+  if jobs <= 1 then List.map eval cands
+  else Hoiho_util.Pool.parallel_map (Hoiho_util.Pool.get jobs) eval cands
 
 let eval_nc consist db ?learned cands samples =
   let samples_arr = Array.of_list samples in
@@ -127,9 +143,11 @@ let grow samples_arr ranked seed =
   in
   loop [ seed ] seed_nc
 
-let build consist db ?learned cands samples =
+let build ?jobs consist db ?learned cands samples =
+  let jobs = match jobs with Some j -> j | None -> Hoiho_util.Pool.default_jobs () in
   let samples_arr = Array.of_list samples in
-  let prepared = prepare consist db ?learned cands samples_arr in
+  let cands = dedupe_cands cands in
+  let prepared = prepare ~jobs consist db ?learned cands samples_arr in
   let with_matches =
     List.filter (fun m -> Array.exists matched m.hits) prepared
   in

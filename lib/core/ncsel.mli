@@ -27,6 +27,7 @@ val eval_nc :
   t
 
 val build :
+  ?jobs:int ->
   Consist.t ->
   Hoiho_geodb.Db.t ->
   ?learned:Learned.t ->
@@ -34,7 +35,10 @@ val build :
   Apparent.sample list ->
   t option
 (** Full phase 4 + final selection. [None] when no candidate matches
-    anything. *)
+    anything. Candidates with an identical (regex source, plan) pair
+    are evaluated once. [jobs] (default {!Hoiho_util.Pool.default_jobs})
+    fans the per-candidate evaluation out over a domain pool; results
+    are independent of [jobs]. *)
 
 val classify : t -> classification
 (** good: ≥3 unique hints and PPV ≥ 0.9; promising: ≥3 and PPV ≥ 0.8;

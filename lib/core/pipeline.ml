@@ -1,5 +1,6 @@
 module Db = Hoiho_geodb.Db
 module City = Hoiho_geodb.City
+module Pool = Hoiho_util.Pool
 module Dataset = Hoiho_itdk.Dataset
 module Router = Hoiho_itdk.Router
 
@@ -21,7 +22,7 @@ type t = {
   results : suffix_result list;
 }
 
-let run_suffix consist db ?(learn_geohints = true) ~suffix routers =
+let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
   let samples = Apparent.build_samples consist db ~suffix routers in
   let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
   let tagged_routers =
@@ -43,7 +44,7 @@ let run_suffix consist db ?(learn_geohints = true) ~suffix routers =
   if tagged = [] then base
   else begin
     let cands = Regen.candidates ~suffix tagged in
-    match Ncsel.build consist db cands samples with
+    match Ncsel.build ?jobs consist db cands samples with
     | None -> base
     | Some nc0 ->
         let learned =
@@ -52,25 +53,34 @@ let run_suffix consist db ?(learn_geohints = true) ~suffix routers =
         let nc =
           if Learned.is_empty learned then nc0
           else
-            match Ncsel.build consist db ~learned cands samples with
+            match Ncsel.build ?jobs consist db ~learned cands samples with
             | Some nc -> nc
             | None -> nc0
         in
         { base with nc = Some nc; learned; classification = Some (Ncsel.classify nc) }
   end
 
-let run ?db ?(learn_geohints = true) ?(min_samples = 1) dataset =
+(* Suffix groups are mutually independent, so the run fans them out
+   over a shared domain pool; [consist] and [db] are read-only after
+   construction (see Consist) and safe to share. Each worker may in
+   turn fan its candidate evaluations out over the same pool — the
+   pool's helping scheduler makes the nesting deadlock-free. Results
+   are returned in suffix order and are bit-identical across [jobs]
+   settings. *)
+let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
   let db = match db with Some db -> db | None -> Db.default () in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let consist = Consist.create dataset in
   let groups = Dataset.by_suffix dataset in
+  let run_group (suffix, routers) =
+    let result = run_suffix consist db ~learn_geohints ~jobs ~suffix routers in
+    if result.n_tagged < min_samples then
+      { result with nc = None; classification = None }
+    else result
+  in
   let results =
-    List.map
-      (fun (suffix, routers) ->
-        let result = run_suffix consist db ~learn_geohints ~suffix routers in
-        if result.n_tagged < min_samples then
-          { result with nc = None; classification = None }
-        else result)
-      groups
+    if jobs <= 1 then List.map run_group groups
+    else Pool.parallel_map (Pool.get jobs) run_group groups
   in
   { dataset; consist; db; results }
 

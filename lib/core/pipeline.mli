@@ -25,16 +25,22 @@ val run :
   ?db:Hoiho_geodb.Db.t ->
   ?learn_geohints:bool ->
   ?min_samples:int ->
+  ?jobs:int ->
   Hoiho_itdk.Dataset.t ->
   t
 (** [learn_geohints:false] disables stage 4 (used by the ablation
     experiment). [min_samples] (default 1) skips suffixes with fewer
-    tagged hostnames. *)
+    tagged hostnames. [jobs] (default {!Hoiho_util.Pool.default_jobs},
+    i.e. the [HOIHO_JOBS] env var or cores − 1) fans the independent
+    suffix groups — and candidate evaluation within each — out over a
+    shared domain pool. Results are deterministic: any [jobs] value
+    produces results identical to [jobs:1]. *)
 
 val run_suffix :
   Consist.t ->
   Hoiho_geodb.Db.t ->
   ?learn_geohints:bool ->
+  ?jobs:int ->
   suffix:string ->
   Hoiho_itdk.Router.t list ->
   suffix_result

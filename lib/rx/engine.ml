@@ -8,7 +8,7 @@ type prog =
   | PGrp of int * prog list
   | PAlt of prog list list
 
-type t = { prog : prog list; ngroups : int; ast : Ast.t }
+type t = { prog : prog list; ngroups : int; ast : Ast.t; pf : Prefilter.t }
 
 let compile ast =
   let counter = ref 0 in
@@ -29,7 +29,7 @@ let compile ast =
     | Ast.Alt alts -> PAlt (List.map seq alts)
   in
   let prog = seq ast in
-  { prog; ngroups = !counter; ast }
+  { prog; ngroups = !counter; ast; pf = Prefilter.analyze ast }
 
 let compile_string s = Result.map compile (Parse.parse s)
 
@@ -41,6 +41,17 @@ let compile_exn s =
 let ast t = t.ast
 let source t = Ast.to_string t.ast
 let group_count t = t.ngroups
+let prefilter t = t.pf
+
+(* prefilter effectiveness counters, process-wide; [skips] counts exec
+   calls rejected by the literal scan without running the backtracker *)
+let stat_calls = Atomic.make 0
+let stat_skips = Atomic.make 0
+let prefilter_stats () = (Atomic.get stat_calls, Atomic.get stat_skips)
+
+let reset_prefilter_stats () =
+  Atomic.set stat_calls 0;
+  Atomic.set stat_skips 0
 
 (* width-1 atoms admit a simple possessive loop *)
 let rec char_width = function
@@ -57,91 +68,154 @@ let matches_char p s pos =
   | PAny -> true
   | _ -> false
 
-let exec_at t s start =
-  let n = String.length s in
-  let caps = Array.make (2 * t.ngroups) (-1) in
-  let rec mseq items pos k =
-    match items with
-    | [] -> k pos
-    | it :: rest -> mnode it pos (fun pos' -> mseq rest pos' k)
-  and mnode item pos k =
-    match item with
-    | PLit c -> pos < n && s.[pos] = c && k (pos + 1)
-    | PCls cl -> pos < n && Ast.cls_mem cl s.[pos] && k (pos + 1)
-    | PAny -> pos < n && k (pos + 1)
-    | PBol -> pos = 0 && k pos
-    | PEol -> pos = n && k pos
-    | PGrp (i, inner) ->
-        let s0 = caps.(2 * i) and e0 = caps.((2 * i) + 1) in
-        caps.(2 * i) <- pos;
-        let ok =
-          mseq inner pos (fun pos' ->
-              caps.((2 * i) + 1) <- pos';
-              k pos')
+(* per-match scratch state: the capture buffer is allocated once per
+   [exec] and re-filled for each start offset instead of afresh on
+   every attempt *)
+type mstate = { str : string; slen : int; caps : int array }
+
+let rec mseq st items pos k =
+  match items with
+  | [] -> k pos
+  | it :: rest -> mnode st it pos (fun pos' -> mseq st rest pos' k)
+
+and mnode st item pos k =
+  let s = st.str and n = st.slen and caps = st.caps in
+  match item with
+  | PLit c -> pos < n && s.[pos] = c && k (pos + 1)
+  | PCls cl -> pos < n && Ast.cls_mem cl s.[pos] && k (pos + 1)
+  | PAny -> pos < n && k (pos + 1)
+  | PBol -> pos = 0 && k pos
+  | PEol -> pos = n && k pos
+  | PGrp (i, inner) ->
+      let s0 = caps.(2 * i) and e0 = caps.((2 * i) + 1) in
+      caps.(2 * i) <- pos;
+      let ok =
+        mseq st inner pos (fun pos' ->
+            caps.((2 * i) + 1) <- pos';
+            k pos')
+      in
+      if not ok then begin
+        caps.(2 * i) <- s0;
+        caps.((2 * i) + 1) <- e0
+      end;
+      ok
+  | PAlt alts ->
+      let rec try_alts = function
+        | [] -> false
+        | a :: rest -> mseq st a pos k || try_alts rest
+      in
+      try_alts alts
+  | PRep (p, min, max, Ast.Possessive) when char_width p ->
+      (* consume maximally with no backtracking *)
+      let rec eat count pos =
+        let more =
+          (match max with Some m -> count < m | None -> true)
+          && matches_char (strip_groups p) s pos
         in
-        if not ok then begin
-          caps.(2 * i) <- s0;
-          caps.((2 * i) + 1) <- e0
-        end;
-        ok
-    | PAlt alts ->
-        let rec try_alts = function
-          | [] -> false
-          | a :: rest -> mseq a pos k || try_alts rest
+        if more then eat (count + 1) (pos + 1) else (count, pos)
+      in
+      let count, pos' = eat 0 pos in
+      count >= min && k pos'
+  | PRep (p, min, max, _) ->
+      let rec go count pos =
+        let try_more () =
+          (match max with Some m -> count < m | None -> true)
+          && mnode st p pos (fun pos' ->
+                 (* zero-width inner match would loop forever *)
+                 pos' > pos && go (count + 1) pos')
         in
-        try_alts alts
-    | PRep (p, min, max, Ast.Possessive) when char_width p ->
-        (* consume maximally with no backtracking *)
-        let rec eat count pos =
-          let more =
-            (match max with Some m -> count < m | None -> true)
-            && matches_char (strip_groups p) s pos
-          in
-          if more then eat (count + 1) (pos + 1) else (count, pos)
-        in
-        let count, pos' = eat 0 pos in
-        count >= min && k pos'
-    | PRep (p, min, max, _) ->
-        let rec go count pos =
-          let try_more () =
-            (match max with Some m -> count < m | None -> true)
-            && mnode p pos (fun pos' ->
-                   (* zero-width inner match would loop forever *)
-                   pos' > pos && go (count + 1) pos')
-          in
-          if count < min then try_more ()
-          else try_more () || k pos
-        in
-        go 0 pos
-  and strip_groups = function PGrp (_, [ p ]) -> strip_groups p | p -> p in
-  if mseq t.prog start (fun _ -> true) then Some caps else None
+        if count < min then try_more ()
+        else try_more () || k pos
+      in
+      go 0 pos
+
+and strip_groups = function PGrp (_, [ p ]) -> strip_groups p | p -> p
 
 (* a possessive repetition wrapping a group still records captures via the
    greedy path; to keep capture semantics simple we only take the
    possessive fast path when the atom records no groups *)
-let exec t s =
-  let n = String.length s in
-  let anchored = match t.prog with PBol :: _ -> true | _ -> false in
+
+let exec_at t st start =
+  Array.fill st.caps 0 (Array.length st.caps) (-1);
+  mseq st t.prog start (fun _ -> true)
+
+let anchored t = match t.prog with PBol :: _ -> true | _ -> false
+
+(* the unfiltered reference search: retry at every start offset *)
+let try_every t st =
+  let anchored = anchored t in
   let rec try_from start =
-    if start > n then None
-    else
-      match exec_at t s start with
-      | Some caps -> Some caps
-      | None -> if anchored then None else try_from (start + 1)
+    if start > st.slen then false
+    else if exec_at t st start then true
+    else if anchored then false
+    else try_from (start + 1)
   in
-  match try_from 0 with
-  | None -> None
-  | Some caps ->
-      Some
-        (Array.init t.ngroups (fun i ->
-             let st = caps.(2 * i) and en = caps.((2 * i) + 1) in
-             if st < 0 || en < 0 || en < st then None
-             else Some (String.sub s st (en - st))))
+  try_from 0
+
+(* prefiltered search; must accept exactly the same strings, with the
+   same captures, as [try_every] *)
+let search t st =
+  Atomic.incr stat_calls;
+  let pf = t.pf in
+  let s = st.str in
+  if pf.Prefilter.required = "" then try_every t st
+  else if anchored t then begin
+    let plausible =
+      match pf.Prefilter.offset with
+      | Some d -> Prefilter.matches_at ~needle:pf.Prefilter.required s d
+      | None -> Prefilter.contains ~needle:pf.Prefilter.required s
+    in
+    if not plausible then begin
+      Atomic.incr stat_skips;
+      false
+    end
+    else exec_at t st 0
+  end
+  else begin
+    match pf.Prefilter.offset with
+    | Some d -> (
+        (* a match starting at p places the literal at p + d, so the
+           literal's occurrences enumerate every viable start *)
+        match Prefilter.find ~needle:pf.Prefilter.required s 0 with
+        | -1 ->
+            Atomic.incr stat_skips;
+            false
+        | first ->
+            let rec scan i =
+              i >= 0
+              && ((i >= d && exec_at t st (i - d))
+                 || scan (Prefilter.find ~needle:pf.Prefilter.required s (i + 1)))
+            in
+            scan first)
+    | None ->
+        if not (Prefilter.contains ~needle:pf.Prefilter.required s) then begin
+          Atomic.incr stat_skips;
+          false
+        end
+        else try_every t st
+  end
+
+let mstate_of t s = { str = s; slen = String.length s; caps = Array.make (2 * t.ngroups) (-1) }
+
+let extract t st =
+  Array.init t.ngroups (fun i ->
+      let st_i = st.caps.(2 * i) and en = st.caps.((2 * i) + 1) in
+      if st_i < 0 || en < 0 || en < st_i then None
+      else Some (String.sub st.str st_i (en - st_i)))
+
+let exec t s =
+  let st = mstate_of t s in
+  if search t st then Some (extract t st) else None
+
+let exec_unfiltered t s =
+  let st = mstate_of t s in
+  if try_every t st then Some (extract t st) else None
 
 let exec_groups t s =
   match exec t s with
   | None -> None
-  | Some arr ->
-      Some (Array.to_list arr |> List.filter_map (fun x -> x))
+  | Some arr -> Some (Array.to_list arr |> List.filter_map (fun x -> x))
 
-let matches t s = exec t s <> None
+let matches t s =
+  let st = mstate_of t s in
+  search t st

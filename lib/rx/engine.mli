@@ -3,7 +3,13 @@
     Matching is exact backtracking over the AST. Possessive quantifiers
     are honored for single-character atoms (literals, classes, [.]),
     which is the only way the Hoiho generator emits them; a possessive
-    quantifier over a wider atom degrades to greedy. *)
+    quantifier over a wider atom degrades to greedy.
+
+    Every compiled pattern carries a {!Prefilter.t}: [exec] first scans
+    the input for the pattern's required literal substring and bails —
+    or seeds the start offset — before entering the backtracker. The
+    prefiltered search is observationally identical to the exhaustive
+    one ({!exec_unfiltered} exists to check exactly that). *)
 
 type t
 (** A compiled regex. *)
@@ -31,8 +37,24 @@ val exec : t -> string -> string option array option
     (index 0 is group 1); a group inside an unused alternation branch is
     [None]. *)
 
+val exec_unfiltered : t -> string -> string option array option
+(** {!exec} with the literal prefilter disabled: the backtracker is
+    retried at every start offset. For differential testing and
+    benchmarking; agrees with {!exec} on every input. *)
+
 val exec_groups : t -> string -> string list option
 (** Like {!exec} but returns only the captured strings of groups that
     participated, in order. *)
 
 val matches : t -> string -> bool
+(** [exec t s <> None] without materializing capture strings. *)
+
+val prefilter : t -> Prefilter.t
+(** The literal prefilter computed at compile time. *)
+
+val prefilter_stats : unit -> int * int
+(** [(calls, skips)] accumulated process-wide across all patterns:
+    total prefiltered searches, and searches rejected by the literal
+    scan alone (no backtracking attempted). Thread-safe. *)
+
+val reset_prefilter_stats : unit -> unit

@@ -7,7 +7,7 @@ type inst =
   | IEol
   | IMatch
 
-type t = { prog : inst array }
+type t = { prog : inst array; match_pc : int }
 
 let rec node_supported = function
   | Ast.Lit _ | Ast.Cls _ | Ast.Any | Ast.Bol | Ast.Eol -> true
@@ -83,63 +83,82 @@ let compile ast =
   in
   seq ast;
   ignore (emit IMatch);
-  { prog = Array.sub !buf 0 !len }
+  (* exactly one IMatch is emitted, as the last instruction *)
+  { prog = Array.sub !buf 0 !len; match_pc = !len - 1 }
 
 let program_size t = Array.length t.prog
 
+(* Pike-style sparse thread set: a dense array of live pcs plus a
+   per-pc generation stamp. Membership is one array read, clearing is a
+   generation bump — no per-position allocation at all. *)
+type sset = {
+  dense : int array;
+  stamp : int array;
+  mutable gen : int;
+  mutable n : int;
+}
+
+let sset_make size =
+  let size = max size 1 in
+  { dense = Array.make size 0; stamp = Array.make size 0; gen = 1; n = 0 }
+
+let sset_mem s pc = Array.unsafe_get s.stamp pc = s.gen
+
+let sset_add s pc =
+  Array.unsafe_set s.stamp pc s.gen;
+  Array.unsafe_set s.dense s.n pc;
+  s.n <- s.n + 1
+
+let sset_clear s =
+  s.gen <- s.gen + 1;
+  s.n <- 0
+
 (* epsilon-closure insertion of a thread at [pc], honoring assertions *)
 let rec add_thread prog set pos len pc =
-  if pc < Array.length prog && not (Hashtbl.mem set pc) then begin
+  if pc < Array.length prog && not (sset_mem set pc) then begin
+    sset_add set pc;
     match prog.(pc) with
     | ISplit (a, b) ->
-        Hashtbl.replace set pc ();
         add_thread prog set pos len a;
         add_thread prog set pos len b
-    | IJump a ->
-        Hashtbl.replace set pc ();
-        add_thread prog set pos len a
-    | IBol ->
-        Hashtbl.replace set pc ();
-        if pos = 0 then add_thread prog set pos len (pc + 1)
-    | IEol ->
-        Hashtbl.replace set pc ();
-        if pos = len then add_thread prog set pos len (pc + 1)
-    | ILit _ | IChar _ | IMatch -> Hashtbl.replace set pc ()
+    | IJump a -> add_thread prog set pos len a
+    | IBol -> if pos = 0 then add_thread prog set pos len (pc + 1)
+    | IEol -> if pos = len then add_thread prog set pos len (pc + 1)
+    | ILit _ | IChar _ | IMatch -> ()
   end
 
 let matches t s =
   let prog = t.prog in
+  let psize = Array.length prog in
   let len = String.length s in
-  let current = Hashtbl.create 64 in
-  let next = Hashtbl.create 64 in
-  let has_match set =
-    Hashtbl.fold
-      (fun pc () acc -> acc || (match prog.(pc) with IMatch -> true | _ -> false))
-      set false
-  in
+  let current = ref (sset_make psize) in
+  let next = ref (sset_make psize) in
   let result = ref false in
-  add_thread prog current 0 len 0;
+  add_thread prog !current 0 len 0;
   let pos = ref 0 in
   while (not !result) && !pos <= len do
-    if has_match current then result := true
+    let cur = !current in
+    (* the single IMatch pc makes acceptance one membership probe *)
+    if sset_mem cur t.match_pc then result := true
     else begin
-      Hashtbl.reset next;
+      let nxt = !next in
+      sset_clear nxt;
       if !pos < len then begin
-        let c = s.[!pos] in
-        Hashtbl.iter
-          (fun pc () ->
-            match prog.(pc) with
-            | ILit l when l = c -> add_thread prog next (!pos + 1) len (pc + 1)
-            | IChar None -> add_thread prog next (!pos + 1) len (pc + 1)
-            | IChar (Some cls) when Ast.cls_mem cls c ->
-                add_thread prog next (!pos + 1) len (pc + 1)
-            | _ -> ())
-          current;
+        let c = String.unsafe_get s !pos in
+        for i = 0 to cur.n - 1 do
+          let pc = Array.unsafe_get cur.dense i in
+          match Array.unsafe_get prog pc with
+          | ILit l -> if l = c then add_thread prog nxt (!pos + 1) len (pc + 1)
+          | IChar None -> add_thread prog nxt (!pos + 1) len (pc + 1)
+          | IChar (Some cls) ->
+              if Ast.cls_mem cls c then add_thread prog nxt (!pos + 1) len (pc + 1)
+          | _ -> ()
+        done;
         (* unanchored search: also start a fresh attempt at pos+1 *)
-        add_thread prog next (!pos + 1) len 0
+        add_thread prog nxt (!pos + 1) len 0
       end;
-      Hashtbl.reset current;
-      Hashtbl.iter (fun pc () -> Hashtbl.replace current pc ()) next;
+      current := nxt;
+      next := cur;
       incr pos
     end
   done;

@@ -1,0 +1,171 @@
+(* Literal prefiltering for the backtracking engine.
+
+   From a pattern AST we extract a *required* literal: a contiguous run
+   of characters that appears verbatim in every string the pattern
+   matches. A fast substring scan for that literal then rejects most
+   non-matching inputs without entering the backtracker at all, and
+   when the literal sits at a statically known distance from the match
+   start, its occurrences enumerate the only start offsets worth
+   trying.
+
+   Everything here computes *necessary* conditions only: a possessive
+   quantifier matches a subset of what its greedy form matches, so
+   greedy-based requiredness stays sound for possessive patterns. *)
+
+type t = {
+  anchored : bool;  (* pattern begins with ^ *)
+  required : string;  (* "" when no literal is required *)
+  offset : int option;
+      (* distance from match start to [required], when every atom
+         before the literal has a statically fixed width *)
+}
+
+let none = { anchored = false; required = ""; offset = None }
+
+(* --- static widths --- *)
+
+let rec node_width = function
+  | Ast.Lit _ | Ast.Cls _ | Ast.Any -> Some 1
+  | Ast.Bol | Ast.Eol -> Some 0
+  | Ast.Rep (n, min, max, _) -> (
+      match max with
+      | Some m when m = min -> (
+          match node_width n with Some w -> Some (w * min) | None -> None)
+      | _ -> None)
+  | Ast.Grp inner -> seq_width inner
+  | Ast.Alt alts -> (
+      match List.map seq_width alts with
+      | [] -> Some 0
+      | w :: ws -> if List.for_all (( = ) w) ws then w else None)
+
+and seq_width nodes =
+  List.fold_left
+    (fun acc n ->
+      match (acc, node_width n) with
+      | Some a, Some w -> Some (a + w)
+      | _ -> None)
+    (Some 0) nodes
+
+(* --- literal-run extraction --- *)
+
+type walk = {
+  mutable runs : (string * int option) list;
+  buf : Buffer.t;
+  mutable run_off : int option;  (* offset of the run being built *)
+  mutable pos : int option;  (* current offset from match start *)
+}
+
+let flush w =
+  if Buffer.length w.buf > 0 then begin
+    w.runs <- (Buffer.contents w.buf, w.run_off) :: w.runs;
+    Buffer.clear w.buf
+  end
+
+let advance w = function
+  | Some d -> w.pos <- (match w.pos with Some p -> Some (p + d) | None -> None)
+  | None -> w.pos <- None
+
+let add_lit w c =
+  if Buffer.length w.buf = 0 then w.run_off <- w.pos;
+  Buffer.add_char w.buf c;
+  advance w (Some 1)
+
+(* repeating a fixed sub-pattern more than this many times is unrolled
+   no further; runs just break there *)
+let max_unroll = 8
+
+let rec walk_node w node =
+  match node with
+  | Ast.Lit c -> add_lit w c
+  | Ast.Cls _ | Ast.Any ->
+      flush w;
+      advance w (Some 1)
+  | Ast.Bol | Ast.Eol -> flush w
+  | Ast.Grp inner -> List.iter (walk_node w) inner
+  | Ast.Alt _ ->
+      (* a literal common to every branch is possible but rare in the
+         generator's output; contribute nothing, advance if fixed *)
+      flush w;
+      advance w (node_width node)
+  | Ast.Rep (n, min, max, _) -> (
+      match max with
+      | Some m when m = min ->
+          (* exactly [min] mandatory copies, contiguous *)
+          if min >= 1 && min <= max_unroll then
+            for _ = 1 to min do
+              walk_node w n
+            done
+          else begin
+            flush w;
+            advance w (node_width node)
+          end
+      | _ ->
+          (* [min] mandatory copies followed by a variable tail *)
+          if min >= 1 && min <= max_unroll then
+            for _ = 1 to min do
+              walk_node w n
+            done;
+          flush w;
+          w.pos <- None)
+
+let analyze (ast : Ast.t) =
+  let anchored = match ast with Ast.Bol :: _ -> true | _ -> false in
+  let w = { runs = []; buf = Buffer.create 16; run_off = None; pos = Some 0 } in
+  List.iter (walk_node w) ast;
+  flush w;
+  (* longest run wins; on ties prefer one with a known offset, then the
+     leftmost (runs are collected in reverse order) *)
+  let best =
+    List.fold_left
+      (fun acc (s, off) ->
+        match acc with
+        | None -> Some (s, off)
+        | Some (bs, boff) ->
+            let better =
+              String.length s > String.length bs
+              || (String.length s = String.length bs && boff = None && off <> None)
+            in
+            if better then Some (s, off) else acc)
+      None (List.rev w.runs)
+  in
+  match best with
+  | None -> { anchored; required = ""; offset = None }
+  | Some (required, offset) -> { anchored; required; offset }
+
+(* --- fast substring scan --- *)
+
+(* naive scan with an unsafe first-character skip loop; needles here are
+   short (pattern literals), haystacks are hostnames *)
+let find ~needle hay start =
+  let nl = String.length needle and hl = String.length hay in
+  if nl = 0 then if start <= hl then max start 0 else -1
+  else begin
+    let c0 = String.unsafe_get needle 0 in
+    let limit = hl - nl in
+    let rec at i =
+      if i > limit then -1
+      else if String.unsafe_get hay i <> c0 then at (i + 1)
+      else begin
+        let rec cmp j =
+          j >= nl
+          || String.unsafe_get hay (i + j) = String.unsafe_get needle j
+             && cmp (j + 1)
+        in
+        if cmp 1 then i else at (i + 1)
+      end
+    in
+    at (max start 0)
+  end
+
+let matches_at ~needle hay i =
+  let nl = String.length needle in
+  i >= 0
+  && i + nl <= String.length hay
+  &&
+  let rec cmp j =
+    j >= nl
+    || String.unsafe_get hay (i + j) = String.unsafe_get needle j && cmp (j + 1)
+  in
+  cmp 0
+
+let contains ~needle hay = find ~needle hay 0 >= 0

@@ -1,0 +1,41 @@
+(** Literal prefiltering for the backtracking engine.
+
+    [analyze] extracts from a pattern AST a literal substring that is
+    *required*: it appears verbatim in every string the pattern
+    matches. {!Engine.exec} scans for that literal with {!find} and
+    rejects non-matching inputs without entering the backtracker; when
+    the literal additionally sits at a statically known distance from
+    the match start ([offset]), its occurrences enumerate the only
+    start offsets the backtracker needs to try.
+
+    All conditions computed here are necessary, never sufficient, so a
+    prefiltered search accepts exactly the same strings (with the same
+    captures) as an exhaustive one. Possessive quantifiers are sound:
+    they match a subset of their greedy form. *)
+
+type t = {
+  anchored : bool;  (** pattern begins with [^] *)
+  required : string;  (** [""] when no literal is required *)
+  offset : int option;
+      (** distance from match start to [required], when every atom
+          before the literal has a statically fixed width *)
+}
+
+val none : t
+
+val analyze : Ast.t -> t
+
+val node_width : Ast.node -> int option
+(** Statically known width of a node in characters, if fixed. *)
+
+val seq_width : Ast.t -> int option
+
+val find : needle:string -> string -> int -> int
+(** [find ~needle hay start] is the index of the first occurrence of
+    [needle] at or after [start], or [-1]. A manual unsafe-access scan;
+    [needle] must be non-empty for a meaningful result. *)
+
+val matches_at : needle:string -> string -> int -> bool
+(** Does [needle] occur at exactly this index? *)
+
+val contains : needle:string -> string -> bool

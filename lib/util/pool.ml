@@ -1,0 +1,176 @@
+(* A fixed-size work pool over OCaml 5 domains.
+
+   Domains are spawned once at pool creation and park on a condition
+   variable; work arrives as thunks on a shared queue guarded by a
+   single mutex. A caller submitting a batch participates in draining
+   the queue while it waits ("helping"), which makes nested
+   [parallel_map] calls from inside a worker deadlock-free: every
+   blocked submitter is itself a consumer, so a non-empty queue always
+   has at least one thread able to run it. *)
+
+type t = {
+  jobs : int;  (* total parallelism including the calling thread *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "HOIHO_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let jobs t = t.jobs
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if Queue.is_empty t.queue && not t.closing then begin
+      Condition.wait t.nonempty t.mutex;
+      wait ()
+    end
+  in
+  wait ();
+  if Queue.is_empty t.queue then
+    (* closing and drained *)
+    Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    task ();
+    worker t
+  end
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  (* the submitting thread is one of the [jobs] lanes *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* a batch of tasks submitted together; completion is tracked under the
+   pool mutex so the submitter can sleep on [finished] *)
+type batch = {
+  mutable pending : int;
+  finished : Condition.t;
+  mutable error : (exn * Printexc.raw_backtrace) option;
+}
+
+let run_batch t (thunks : (unit -> unit) array) =
+  let b =
+    { pending = Array.length thunks; finished = Condition.create (); error = None }
+  in
+  let wrapped thunk () =
+    (try thunk ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.mutex;
+       if b.error = None then b.error <- Some (e, bt);
+       Mutex.unlock t.mutex);
+    Mutex.lock t.mutex;
+    b.pending <- b.pending - 1;
+    if b.pending = 0 then Condition.broadcast b.finished;
+    Mutex.unlock t.mutex
+  in
+  Mutex.lock t.mutex;
+  Array.iter (fun th -> Queue.push (wrapped th) t.queue) thunks;
+  Condition.broadcast t.nonempty;
+  (* help drain the queue until this batch completes; only sleep when
+     there is nothing at all to run *)
+  let rec help () =
+    if b.pending > 0 then
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          help ()
+      | None ->
+          Condition.wait b.finished t.mutex;
+          help ()
+  in
+  help ();
+  let error = b.error in
+  Mutex.unlock t.mutex;
+  match error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* split [0, n) into contiguous chunks, a few per lane, so per-task
+   queueing overhead stays small relative to work *)
+let chunk_ranges n jobs =
+  let target = jobs * 4 in
+  let size = max 1 ((n + target - 1) / target) in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else
+      let hi = min n (lo + size) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let parallel_map_array t f arr =
+  let n = Array.length arr in
+  if t.jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let thunks =
+      chunk_ranges n t.jobs
+      |> List.map (fun (lo, hi) () ->
+             for i = lo to hi - 1 do
+               results.(i) <- Some (f arr.(i))
+             done)
+      |> Array.of_list
+    in
+    run_batch t thunks;
+    Array.map
+      (function Some v -> v | None -> assert false (* run_batch raised *))
+      results
+  end
+
+let parallel_map t f xs =
+  Array.to_list (parallel_map_array t f (Array.of_list xs))
+
+let parallel_iter t f xs =
+  ignore (parallel_map_array t (fun x -> f x) (Array.of_list xs))
+
+(* shared pools, one per size, spawned on first use and reused for the
+   process lifetime *)
+let shared : (int, t) Hashtbl.t = Hashtbl.create 4
+let shared_mutex = Mutex.create ()
+
+let get jobs =
+  let jobs = max 1 jobs in
+  Mutex.lock shared_mutex;
+  let t =
+    match Hashtbl.find_opt shared jobs with
+    | Some t -> t
+    | None ->
+        let t = create ~jobs () in
+        Hashtbl.replace shared jobs t;
+        t
+  in
+  Mutex.unlock shared_mutex;
+  t

@@ -1,0 +1,45 @@
+(** A fixed-size work pool over OCaml 5 domains (stdlib only).
+
+    Worker domains are spawned once at pool creation and reused for
+    every subsequent batch; work is distributed as contiguous chunks
+    through a queue guarded by a mutex/condition pair. The submitting
+    thread participates in draining the queue while it waits, so
+    [parallel_map] may be called from inside a pool task (nested
+    parallelism) without deadlock.
+
+    [parallel_map] preserves input order, making a parallel run's
+    output indistinguishable from the sequential one whenever the
+    mapped function is pure. With [jobs <= 1] every operation degrades
+    to a plain in-thread [map]/[iter] — the deterministic sequential
+    fallback. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [HOIHO_JOBS] environment variable when set to a positive
+    integer, otherwise [Domain.recommended_domain_count () - 1]
+    (the submitting thread is one of the lanes), and at least 1. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] lanes ([jobs - 1] domains; the caller is the
+    last lane). Defaults to {!default_jobs}. *)
+
+val jobs : t -> int
+
+val get : int -> t
+(** A process-wide shared pool of the given size, spawned on first use
+    and reused afterwards. Prefer this to [create] on hot paths so
+    domains are spawned once per process. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map. If any application raises, the first
+    exception (by completion time) is re-raised in the caller after the
+    batch drains. *)
+
+val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+
+val shutdown : t -> unit
+(** Signal workers to exit and join them. Only needed for pools made
+    with [create]; shared pools live for the process. *)

@@ -106,6 +106,19 @@ let test_find () =
   Alcotest.(check bool) "find hit" true (Pipeline.find p "example.net" <> None);
   Alcotest.(check bool) "find miss" true (Pipeline.find p "other.net" = None)
 
+let test_parallel_determinism () =
+  (* the full pipeline over a many-suffix dataset must produce the same
+     results bit-for-bit whether run sequentially or on a domain pool *)
+  let config = Hoiho_netsim.Presets.tiny ~seed:4242 () in
+  let ds, truth = Hoiho_netsim.Generate.generate config in
+  let gdb = Hoiho_netsim.Truth.db truth in
+  let seq = Pipeline.run ~db:gdb ~jobs:1 ds in
+  let par = Pipeline.run ~db:gdb ~jobs:4 ds in
+  Alcotest.(check bool) "several suffixes exercised" true
+    (List.length seq.Pipeline.results > 1);
+  Alcotest.(check bool) "jobs=1 and jobs=4 results identical" true
+    (seq.Pipeline.results = par.Pipeline.results)
+
 let suites =
   [
     ( "pipeline",
@@ -119,5 +132,6 @@ let suites =
         tc "learning toggle" test_learning_toggle;
         tc "min samples filter" test_min_samples_filter;
         tc "find" test_find;
+        tc "parallel determinism" test_parallel_determinism;
       ] );
   ]

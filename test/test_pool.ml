@@ -1,0 +1,115 @@
+module Pool = Hoiho_util.Pool
+
+let tc = Helpers.tc
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_preserves_order () =
+  with_pool 4 @@ fun pool ->
+  let input = List.init 1000 Fun.id in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) input)
+    (Pool.parallel_map pool (fun x -> x * x) input)
+
+let test_map_matches_sequential () =
+  let input = List.init 257 (fun i -> Printf.sprintf "host%d.example.net" i) in
+  let f s = String.uppercase_ascii s ^ "!" in
+  let seq = with_pool 1 (fun p -> Pool.parallel_map p f input) in
+  let par = with_pool 4 (fun p -> Pool.parallel_map p f input) in
+  Alcotest.(check (list string)) "jobs=1 and jobs=4 agree" seq par
+
+let test_map_array () =
+  with_pool 3 @@ fun pool ->
+  let input = Array.init 100 Fun.id in
+  Alcotest.(check (array int))
+    "array map in order"
+    (Array.map (fun x -> x + 1) input)
+    (Pool.parallel_map_array pool (fun x -> x + 1) input)
+
+let test_empty_and_singleton () =
+  with_pool 4 @@ fun pool ->
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map pool Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Pool.parallel_map pool (fun x -> x + 1) [ 6 ])
+
+let test_exception_propagates () =
+  with_pool 4 @@ fun pool ->
+  Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.parallel_map pool
+           (fun x -> if x = 57 then failwith "boom" else x)
+           (List.init 200 Fun.id)));
+  (* the pool survives a failed batch *)
+  Alcotest.(check (list int)) "pool usable after failure" [ 2; 3 ]
+    (Pool.parallel_map pool (fun x -> x + 1) [ 1; 2 ])
+
+let test_pool_reuse () =
+  with_pool 4 @@ fun pool ->
+  for round = 1 to 5 do
+    let input = List.init 100 (fun i -> (round * 1000) + i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "batch %d" round)
+      (List.map (fun x -> x * 2) input)
+      (Pool.parallel_map pool (fun x -> x * 2) input)
+  done
+
+let test_shared_pool_is_shared () =
+  Alcotest.(check bool) "Pool.get returns the same pool per size" true
+    (Pool.get 2 == Pool.get 2);
+  Alcotest.(check int) "requested size" 2 (Pool.jobs (Pool.get 2))
+
+let test_jobs1_fallback () =
+  (* jobs=1 must behave as a plain sequential map/iter, including
+     left-to-right evaluation order *)
+  with_pool 1 @@ fun pool ->
+  let order = ref [] in
+  let out =
+    Pool.parallel_map pool
+      (fun x ->
+        order := x :: !order;
+        x * 3)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "results" [ 3; 6; 9; 12 ] out;
+  Alcotest.(check (list int)) "applied left to right" [ 1; 2; 3; 4 ]
+    (List.rev !order);
+  let seen = ref [] in
+  Pool.parallel_iter pool (fun x -> seen := x :: !seen) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "iter in order" [ 1; 2; 3 ] (List.rev !seen)
+
+let test_nested_map () =
+  (* a task submitting to the pool it runs on must not deadlock: the
+     submitter helps drain the queue while it waits *)
+  with_pool 3 @@ fun pool ->
+  let out =
+    Pool.parallel_map pool
+      (fun i -> Pool.parallel_map pool (fun j -> (i * 10) + j) [ 0; 1; 2 ])
+      (List.init 20 Fun.id)
+  in
+  let expected =
+    List.init 20 (fun i -> List.map (fun j -> (i * 10) + j) [ 0; 1; 2 ])
+  in
+  Alcotest.(check (list (list int))) "nested results" expected out
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let suites =
+  [
+    ( "util.pool",
+      [
+        tc "map preserves order" test_map_preserves_order;
+        tc "jobs=1 equals jobs=4" test_map_matches_sequential;
+        tc "array map" test_map_array;
+        tc "empty and singleton" test_empty_and_singleton;
+        tc "exception propagates" test_exception_propagates;
+        tc "pool reuse across batches" test_pool_reuse;
+        tc "shared pool" test_shared_pool_is_shared;
+        tc "jobs=1 sequential fallback" test_jobs1_fallback;
+        tc "nested map no deadlock" test_nested_map;
+        tc "default jobs positive" test_default_jobs_positive;
+      ] );
+  ]

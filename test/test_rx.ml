@@ -132,6 +132,72 @@ let test_source_roundtrip () =
   Alcotest.(check (option string)) "same behavior" (Engine.exec_groups t "abc12" |> Option.map (String.concat ","))
     (Engine.exec_groups t2 "abc12" |> Option.map (String.concat ","))
 
+(* --- prefilter --- *)
+
+module Prefilter = Hoiho_rx.Prefilter
+
+let pf re = Engine.prefilter (Engine.compile_exn re)
+
+let test_prefilter_analysis () =
+  let check name re (anchored, required, offset) =
+    let p = pf re in
+    Alcotest.(check (triple bool string (option int)))
+      name (anchored, required, offset)
+      (p.Prefilter.anchored, p.Prefilter.required, p.Prefilter.offset)
+  in
+  check "anchored literal" {|^abc$|} (true, "abc", Some 0);
+  check "unanchored literal" {|abc|} (false, "abc", Some 0);
+  check "longest run wins"
+    {|^.+\.([a-z]{3})\d+\.([a-z]{2})\.[a-z]{3}\.zayo\.com$|}
+    (true, ".zayo.com", None);
+  check "fixed rep unrolled" {|^a{3}b$|} (true, "aaab", Some 0);
+  check "offset after fixed-width atoms" {|^[a-z]{2}-ix$|} (true, "-ix", Some 2);
+  check "length tie prefers leftmost" {|^ab(c|d)ef$|} (true, "ab", Some 0);
+  check "no required literal" {|^([a-z]{3})\d+$|} (true, "", None)
+
+let test_prefilter_find () =
+  Alcotest.(check int) "found" 2 (Prefilter.find ~needle:"cd" "abcdcd" 0);
+  Alcotest.(check int) "from start offset" 4 (Prefilter.find ~needle:"cd" "abcdcd" 3);
+  Alcotest.(check int) "missing" (-1) (Prefilter.find ~needle:"xy" "abcd" 0);
+  Alcotest.(check int) "at end" 2 (Prefilter.find ~needle:"cd" "abcd" 0);
+  Alcotest.(check bool) "contains" true
+    (Prefilter.contains ~needle:"zayo" "a.zayo.com");
+  Alcotest.(check bool) "matches_at hit" true
+    (Prefilter.matches_at ~needle:"zayo" "a.zayo.com" 2);
+  Alcotest.(check bool) "matches_at miss" false
+    (Prefilter.matches_at ~needle:"zayo" "a.zayo.com" 3);
+  Alcotest.(check bool) "matches_at overrun" false
+    (Prefilter.matches_at ~needle:"zayo" "a.zay" 2)
+
+(* the prefiltered search must be indistinguishable from the exhaustive
+   one: same match decision, same match position, same captures *)
+let prop_prefilter_equiv (ast, input) =
+  let t = Engine.compile ast in
+  let a = Engine.exec t input in
+  let b = Engine.exec_unfiltered t input in
+  if a = b then true
+  else
+    QCheck.Test.fail_reportf "prefiltered and unfiltered disagree: %s on %S"
+      (Ast.to_string ast) input
+
+let arb_pf =
+  QCheck.make
+    ~print:(fun (ast, s) -> Printf.sprintf "%s on %S" (Ast.to_string ast) s)
+    QCheck.Gen.(pair Test_props.gen_ast Test_props.gen_input)
+
+(* embed each pattern's own required literal in the input so the
+   occurrence-seeded scan path is exercised, not just the early bail *)
+let arb_pf_seeded =
+  QCheck.make
+    ~print:(fun (ast, (s1, s2)) ->
+      Printf.sprintf "%s on %S ^ required ^ %S" (Ast.to_string ast) s1 s2)
+    QCheck.Gen.(pair Test_props.gen_ast (pair Test_props.gen_input Test_props.gen_input))
+
+let prop_prefilter_equiv_seeded (ast, (s1, s2)) =
+  let t = Engine.compile ast in
+  let input = s1 ^ (Engine.prefilter t).Prefilter.required ^ s2 in
+  prop_prefilter_equiv (ast, input)
+
 (* --- Nfavm --- *)
 
 module Nfavm = Hoiho_rx.Nfavm
@@ -223,4 +289,13 @@ let suites =
       ] );
     ( "rx.paper",
       [ tc "figure 7 regexes" test_paper_regexes; tc "figure 2 negative" test_paper_negative ] );
+    ( "rx.prefilter",
+      [
+        tc "literal analysis" test_prefilter_analysis;
+        tc "substring scan" test_prefilter_find;
+        Test_props.q ~count:1200 "prefiltered exec = unfiltered exec" arb_pf
+          prop_prefilter_equiv;
+        Test_props.q ~count:600 "equivalence with embedded literal" arb_pf_seeded
+          prop_prefilter_equiv_seeded;
+      ] );
   ]
