@@ -722,12 +722,26 @@ let perf () =
     let x = f () in
     (x, (Unix.gettimeofday () -. t0) *. 1000.0)
   in
-  Hoiho_rx.Engine.reset_prefilter_stats ();
+  let module Obs = Hoiho_obs.Obs in
+  (* each run gets a registry scoped to itself, so the two snapshots are
+     directly comparable (work counters must come out identical) *)
+  Obs.reset ();
   let seq, seq_ms = time (fun () -> Pipeline.run ~db ~jobs:1 ds) in
+  let seq_metrics = seq.Pipeline.metrics in
   let pf_calls, pf_skips = Hoiho_rx.Engine.prefilter_stats () in
   let jobs = max 2 (Hoiho_util.Pool.default_jobs ()) in
+  Obs.reset ();
   let par, par_ms = time (fun () -> Pipeline.run ~db ~jobs ds) in
+  let par_metrics = par.Pipeline.metrics in
   let identical = seq.Pipeline.results = par.Pipeline.results in
+  (* pool.* counters are scheduling-dependent; everything else counts
+     work and must not vary with the jobs setting *)
+  let work_counters (s : Obs.snapshot) =
+    List.filter
+      (fun (name, _) -> not (String.length name >= 5 && String.sub name 0 5 = "pool."))
+      s.Obs.counters
+  in
+  let counters_identical = work_counters seq_metrics = work_counters par_metrics in
   let speedup = seq_ms /. par_ms in
   let samples_per_sec = float_of_int n_hostnames /. (par_ms /. 1000.0) in
   let hit_rate =
@@ -738,8 +752,14 @@ let perf () =
   Report.note "parallel   (jobs=%d):  %8.1f ms  (%.2fx, %.0f hostnames/s)" jobs
     par_ms speedup samples_per_sec;
   Report.note "results identical across jobs settings: %b" identical;
+  Report.note "work counters identical across jobs settings: %b" counters_identical;
   Report.note "prefilter: %d exec calls, %d skipped by literal scan (%.1f%%)"
     pf_calls pf_skips (100.0 *. hit_rate);
+  (match Obs.find_histogram par_metrics "pipeline.suffix_ms" with
+  | Some h ->
+      Report.note "per-suffix wall time: n=%d p50=%.2f ms p95=%.2f ms max=%.2f ms"
+        h.Obs.n h.Obs.p50 h.Obs.p95 h.Obs.max
+  | None -> ());
   (* per-layer micro timings *)
   let ns_per iters f =
     let t0 = Unix.gettimeofday () in
@@ -792,12 +812,19 @@ let perf () =
     "exec_miss_unfiltered": %.1f,
     "nfavm_matches": %.1f,
     "pool_map_64": %.1f
+  },
+  "metrics": {
+    "counters_identical_across_jobs": %b,
+    "seq": %s,
+    "par": %s
   }
 }
 |}
       config.Generate.label (Dataset.n_routers ds) n_hostnames jobs seq_ms par_ms
       speedup samples_per_sec identical pf_calls pf_skips hit_rate exec_hit_ns
-      exec_miss_ns exec_unf_ns nfavm_ns pool_ns
+      exec_miss_ns exec_unf_ns nfavm_ns pool_ns counters_identical
+      (String.trim (Obs.to_json seq_metrics))
+      (String.trim (Obs.to_json par_metrics))
   in
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc json;

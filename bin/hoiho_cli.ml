@@ -93,8 +93,20 @@ let learn_cmd =
   let show_regexes =
     Arg.(value & flag & info [ "r"; "regexes" ] ~doc:"Print the regexes of each NC.")
   in
-  let run config seed input suffix_filter show_regexes =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON observability snapshot of the run (per-stage \
+             durations, regex-engine and pool counters) to $(docv).")
+  in
+  let run config seed input suffix_filter show_regexes metrics_out =
     let ds, db = dataset_of config seed input in
+    (* scope the process-wide registry to this run so the snapshot in
+       --metrics reflects exactly the work reported below *)
+    Hoiho_obs.Obs.reset ();
     let pipeline = Hoiho.Pipeline.run ~db ds in
     let results =
       match suffix_filter with
@@ -137,11 +149,20 @@ let learn_cmd =
                 (Hoiho_geodb.City.describe e.Hoiho.Learned.city))
             (Hoiho.Learned.entries r.learned)
         end)
-      shown
+      shown;
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hoiho_obs.Obs.to_json pipeline.Hoiho.Pipeline.metrics);
+        close_out oc;
+        Printf.printf "wrote metrics snapshot to %s\n" path
   in
   Cmd.v
     (Cmd.info "learn" ~doc:"Learn naming conventions from a dataset.")
-    Term.(const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes)
+    Term.(
+      const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes
+      $ metrics_out)
 
 (* --- geolocate --- *)
 

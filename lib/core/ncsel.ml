@@ -1,3 +1,12 @@
+module Obs = Hoiho_obs.Obs
+
+(* stage-4 selection metrics: candidates that reached the expensive
+   per-sample evaluation, exact (source, plan) duplicates dropped
+   before it, and evaluated candidates rejected for matching nothing *)
+let c_evaluated = Obs.counter "ncsel.candidates_evaluated"
+let c_deduped = Obs.counter "ncsel.candidates_deduped"
+let c_rejected = Obs.counter "ncsel.candidates_rejected"
+
 type classification = Good | Promising | Poor
 
 type t = {
@@ -146,11 +155,15 @@ let grow samples_arr ranked seed =
 let build ?jobs consist db ?learned cands samples =
   let jobs = match jobs with Some j -> j | None -> Hoiho_util.Pool.default_jobs () in
   let samples_arr = Array.of_list samples in
+  let n_raw = List.length cands in
   let cands = dedupe_cands cands in
+  Obs.add c_deduped (n_raw - List.length cands);
+  Obs.add c_evaluated (List.length cands);
   let prepared = prepare ~jobs consist db ?learned cands samples_arr in
   let with_matches =
     List.filter (fun m -> Array.exists matched m.hits) prepared
   in
+  Obs.add c_rejected (List.length prepared - List.length with_matches);
   match with_matches with
   | [] -> None
   | _ ->

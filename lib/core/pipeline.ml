@@ -3,6 +3,24 @@ module City = Hoiho_geodb.City
 module Pool = Hoiho_util.Pool
 module Dataset = Hoiho_itdk.Dataset
 module Router = Hoiho_itdk.Router
+module Obs = Hoiho_obs.Obs
+
+(* run-level observability (see DESIGN.md §7): per-stage and per-suffix
+   wall time plus work counters. The counters are deterministic across
+   [jobs] settings because the same stages run on the same inputs
+   regardless of scheduling; the duration histograms are wall-clock and
+   are not. *)
+let h_stage_apparent = Obs.histogram "pipeline.stage.apparent_ms"
+let h_stage_regen = Obs.histogram "pipeline.stage.regen_ms"
+let h_stage_ncsel = Obs.histogram "pipeline.stage.ncsel_ms"
+let h_stage_learn = Obs.histogram "pipeline.stage.learn_ms"
+let h_stage_reselect = Obs.histogram "pipeline.stage.reselect_ms"
+let h_suffix = Obs.histogram "pipeline.suffix_ms"
+let h_run = Obs.histogram "pipeline.run_ms"
+let c_suffixes = Obs.counter "pipeline.suffix_groups"
+let c_samples = Obs.counter "pipeline.samples"
+let c_tagged = Obs.counter "pipeline.tagged"
+let c_learned = Obs.counter "pipeline.learned_hints"
 
 type suffix_result = {
   suffix : string;
@@ -20,11 +38,18 @@ type t = {
   consist : Consist.t;
   db : Db.t;
   results : suffix_result list;
+  metrics : Obs.snapshot;
 }
 
 let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
-  let samples = Apparent.build_samples consist db ~suffix routers in
+  Obs.incr c_suffixes;
+  let samples =
+    Obs.time h_stage_apparent (fun () ->
+        Apparent.build_samples consist db ~suffix routers)
+  in
   let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
+  Obs.add c_samples (List.length samples);
+  Obs.add c_tagged (List.length tagged);
   let tagged_routers =
     List.sort_uniq compare
       (List.map (fun (s : Apparent.sample) -> s.Apparent.router.Router.id) tagged)
@@ -43,19 +68,22 @@ let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
   in
   if tagged = [] then base
   else begin
-    let cands = Regen.candidates ~suffix tagged in
-    match Ncsel.build ?jobs consist db cands samples with
+    let cands = Obs.time h_stage_regen (fun () -> Regen.candidates ~suffix tagged) in
+    match Obs.time h_stage_ncsel (fun () -> Ncsel.build ?jobs consist db cands samples) with
     | None -> base
     | Some nc0 ->
         let learned =
-          if learn_geohints then Learn.learn consist db nc0 else Learned.empty ()
+          Obs.time h_stage_learn (fun () ->
+              if learn_geohints then Learn.learn consist db nc0 else Learned.empty ())
         in
+        Obs.add c_learned (Learned.size learned);
         let nc =
           if Learned.is_empty learned then nc0
           else
-            match Ncsel.build ?jobs consist db ~learned cands samples with
-            | Some nc -> nc
-            | None -> nc0
+            Obs.time h_stage_reselect (fun () ->
+                match Ncsel.build ?jobs consist db ~learned cands samples with
+                | Some nc -> nc
+                | None -> nc0)
         in
         { base with nc = Some nc; learned; classification = Some (Ncsel.classify nc) }
   end
@@ -73,16 +101,18 @@ let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
   let consist = Consist.create dataset in
   let groups = Dataset.by_suffix dataset in
   let run_group (suffix, routers) =
-    let result = run_suffix consist db ~learn_geohints ~jobs ~suffix routers in
-    if result.n_tagged < min_samples then
-      { result with nc = None; classification = None }
-    else result
+    Obs.time h_suffix (fun () ->
+        let result = run_suffix consist db ~learn_geohints ~jobs ~suffix routers in
+        if result.n_tagged < min_samples then
+          { result with nc = None; classification = None }
+        else result)
   in
   let results =
-    if jobs <= 1 then List.map run_group groups
-    else Pool.parallel_map (Pool.get jobs) run_group groups
+    Obs.time h_run (fun () ->
+        if jobs <= 1 then List.map run_group groups
+        else Pool.parallel_map (Pool.get jobs) run_group groups)
   in
-  { dataset; consist; db; results }
+  { dataset; consist; db; results; metrics = Obs.snapshot () }
 
 let usable r =
   match r.classification with
@@ -92,6 +122,10 @@ let usable r =
 let find t suffix = List.find_opt (fun r -> r.suffix = suffix) t.results
 
 let geolocate t hostname =
+  (* hostnames are matched case-insensitively: the PSL lookup lowercases
+     internally, but the learned regexes only speak lowercase, so the
+     same lowered string must be what [Engine.exec] sees *)
+  let hostname = Hoiho_util.Strutil.lowercase hostname in
   match Hoiho_psl.Psl.registered_suffix hostname with
   | None -> None
   | Some suffix -> (

@@ -19,6 +19,12 @@ type t = {
   consist : Consist.t;
   db : Hoiho_geodb.Db.t;
   results : suffix_result list;
+  metrics : Hoiho_obs.Obs.snapshot;
+      (** observability snapshot taken when the run finished: per-stage
+          durations, rx/ncsel/pool counters (see DESIGN.md §7). The
+          registry is process-wide and cumulative; call
+          {!Hoiho_obs.Obs.reset} before [run] to scope the snapshot to
+          this run alone. *)
 }
 
 val run :
@@ -54,7 +60,9 @@ val find : t -> string -> suffix_result option
 val geolocate : t -> string -> Hoiho_geodb.City.t option
 (** Apply the learned conventions to one hostname: locate its suffix's
     usable NC, run its regexes, and decode the extraction through the
-    learned overlay and reference dictionary. The result is the
+    learned overlay and reference dictionary. The hostname is
+    lowercased once at entry, so mixed-case DNS answers geolocate the
+    same as their lowercase form. The result is the
     convention's *claim*; no RTT check is applied (regexes are usable
     offline — the paper's motivation for learning regexes at all). *)
 

@@ -1,0 +1,183 @@
+type counter = { cname : string; ccell : int Atomic.t }
+type gauge = { gname : string; gcell : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  hlock : Mutex.t;
+  mutable vals : float array;
+  mutable hlen : int;
+}
+
+(* one registry per metric kind, all guarded by a single mutex;
+   registration is rare (module initialization), reads and bumps never
+   touch the registry *)
+let reg_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 8
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl name make =
+  Mutex.lock reg_mutex;
+  let m =
+    match Hashtbl.find_opt tbl name with
+    | Some m -> m
+    | None ->
+        let m = make name in
+        Hashtbl.replace tbl name m;
+        m
+  in
+  Mutex.unlock reg_mutex;
+  m
+
+let counter name =
+  registered counters name (fun cname -> { cname; ccell = Atomic.make 0 })
+
+let incr c = ignore (Atomic.fetch_and_add c.ccell 1)
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.ccell n)
+let count c = Atomic.get c.ccell
+let set_counter c n = Atomic.set c.ccell n
+
+let gauge name =
+  registered gauges name (fun gname -> { gname; gcell = Atomic.make 0 })
+
+let rec observe_gauge g v =
+  let cur = Atomic.get g.gcell in
+  if v > cur && not (Atomic.compare_and_set g.gcell cur v) then observe_gauge g v
+
+let gauge_value g = Atomic.get g.gcell
+
+let histogram name =
+  registered histograms name (fun hname ->
+      { hname; hlock = Mutex.create (); vals = Array.make 64 0.0; hlen = 0 })
+
+let observe h v =
+  Mutex.lock h.hlock;
+  if h.hlen = Array.length h.vals then begin
+    let bigger = Array.make (2 * h.hlen) 0.0 in
+    Array.blit h.vals 0 bigger 0 h.hlen;
+    h.vals <- bigger
+  end;
+  h.vals.(h.hlen) <- v;
+  h.hlen <- h.hlen + 1;
+  Mutex.unlock h.hlock
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let time h f =
+  let t0 = now_ms () in
+  Fun.protect ~finally:(fun () -> observe h (now_ms () -. t0)) f
+
+(* --- snapshots --- *)
+
+type histo_stats = {
+  n : int;
+  p50 : float;
+  p95 : float;
+  max : float;
+  total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * histo_stats) list;
+}
+
+(* nearest-rank percentile over a sorted copy of the samples *)
+let percentile sorted n p =
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 1 (min n rank) - 1)
+
+let histo_stats h =
+  Mutex.lock h.hlock;
+  let n = h.hlen in
+  let copy = Array.sub h.vals 0 n in
+  Mutex.unlock h.hlock;
+  Array.sort compare copy;
+  {
+    n;
+    p50 = percentile copy n 50.0;
+    p95 = percentile copy n 95.0;
+    max = (if n = 0 then 0.0 else copy.(n - 1));
+    total = Array.fold_left ( +. ) 0.0 copy;
+  }
+
+let sorted_bindings tbl value =
+  Mutex.lock reg_mutex;
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) tbl [] in
+  Mutex.unlock reg_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) all
+  |> List.map (fun (name, m) -> (name, value m))
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters count;
+    gauges = sorted_bindings gauges gauge_value;
+    histograms = sorted_bindings histograms histo_stats;
+  }
+
+let find_counter snap name = List.assoc_opt name snap.counters
+let find_histogram snap name = List.assoc_opt name snap.histograms
+
+let reset () =
+  Mutex.lock reg_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.ccell 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0) gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.hlock;
+      h.hlen <- 0;
+      Mutex.unlock h.hlock)
+    histograms;
+  Mutex.unlock reg_mutex
+
+(* --- JSON rendering, hand-rolled so the layer stays dependency-free --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj buf ~indent bindings render =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "\n%s\"%s\": " pad (json_escape name));
+      render v)
+    bindings;
+  if bindings <> [] then begin
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf (String.make (indent - 2) ' ')
+  end;
+  Buffer.add_string buf "}"
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"counters\": ";
+  json_obj buf ~indent:4 snap.counters (fun v ->
+      Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ",\n  \"gauges\": ";
+  json_obj buf ~indent:4 snap.gauges (fun v ->
+      Buffer.add_string buf (string_of_int v));
+  Buffer.add_string buf ",\n  \"histograms\": ";
+  json_obj buf ~indent:4 snap.histograms (fun (s : histo_stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"max_ms\": \
+            %.3f, \"total_ms\": %.3f}"
+           s.n s.p50 s.p95 s.max s.total));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

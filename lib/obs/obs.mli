@@ -1,0 +1,89 @@
+(** Process-wide observability: named counters, high-water gauges, and
+    duration histograms, collected into a registry that can be
+    snapshotted and rendered as JSON.
+
+    The layer is deliberately small and self-contained (stdlib + unix
+    for the wall clock) so every library in the tree can depend on it
+    without cycles.
+
+    Thread-safety contract (see DESIGN.md §7): counters and gauges are
+    [Atomic]-based and safe to bump from any domain of the work pool
+    without locks; histograms take a per-histogram mutex on [observe],
+    which is fine at their call rate (per pipeline stage, not per
+    hostname). Metric *registration* ([counter]/[gauge]/[histogram]) is
+    guarded by a registry mutex and idempotent: the same name always
+    yields the same underlying cell, so modules may register at
+    initialization or lazily from worker domains. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} — monotonic event counts, lock-free. *)
+
+val counter : string -> counter
+(** Register (or look up) the counter named [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set_counter : counter -> int -> unit
+(** Reset hook for callers that owned ad-hoc counters before this layer
+    existed (e.g. {!Hoiho_rx.Engine.reset_prefilter_stats}). *)
+
+(** {1 Gauges} — high-water marks: [observe_gauge] keeps the maximum
+    value ever reported, lock-free via compare-and-set. *)
+
+val gauge : string -> gauge
+val observe_gauge : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — duration samples in milliseconds with
+    count/p50/p95/max/total summaries. *)
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one duration (milliseconds). *)
+
+val now_ms : unit -> float
+(** Wall-clock milliseconds (epoch-based; use differences only). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and records its wall-clock duration in [h],
+    including when [f] raises. *)
+
+(** {1 Snapshots} *)
+
+type histo_stats = {
+  n : int;
+  p50 : float;
+  p95 : float;
+  max : float;
+  total : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
+  histograms : (string * histo_stats) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** A consistent-enough copy of every registered metric. Counters are
+    read individually (no global pause), which is exact whenever the
+    process is quiescent — the intended use: snapshot after a run. *)
+
+val find_counter : snapshot -> string -> int option
+val find_histogram : snapshot -> string -> histo_stats option
+
+val reset : unit -> unit
+(** Zero every registered metric (counters, gauges and histogram
+    samples). Registration survives; cells are reused. *)
+
+val to_json : snapshot -> string
+(** Render as a stable JSON object:
+    [{"counters": {..}, "gauges": {..}, "histograms": {"name":
+    {"count": n, "p50_ms": x, "p95_ms": x, "max_ms": x, "total_ms":
+    x}}}]. Keys are sorted, so equal snapshots render equal strings. *)

@@ -50,21 +50,23 @@ let registered_suffix hostname =
   let lowered = Strutil.lowercase hostname in
   let labels = Strutil.split_labels lowered in
   let n = List.length labels in
+  (* a name that is itself a public suffix (including multi-label ones
+     like "com.au") has no registered domain; checked once here — the
+     scan below starts at i = 1 and so only ever sees proper suffixes *)
   if Hashtbl.mem suffix_set (Strutil.join "." labels) then None
   else
-  (* find the longest public suffix that is a proper suffix of the name,
-     then include one more label *)
-  let rec try_at i =
-    (* candidate public suffix = labels[i..] *)
-    if i >= n then None
-    else
-      let cand = Strutil.join "." (List.filteri (fun j _ -> j >= i) labels) in
-      if Hashtbl.mem suffix_set cand then
-        if i = 0 then None (* the name is itself a public suffix *)
-        else Some (Strutil.join "." (List.filteri (fun j _ -> j >= i - 1) labels))
-      else try_at (i + 1)
-  in
-  try_at 1
+    (* find the longest public suffix that is a proper suffix of the
+       name, then include one more label *)
+    let rec try_at i =
+      (* candidate public suffix = labels[i..] *)
+      if i >= n then None
+      else
+        let cand = Strutil.join "." (List.filteri (fun j _ -> j >= i) labels) in
+        if Hashtbl.mem suffix_set cand then
+          Some (Strutil.join "." (List.filteri (fun j _ -> j >= i - 1) labels))
+        else try_at (i + 1)
+    in
+    try_at 1
 
 let prefix_of hostname =
   match registered_suffix hostname with

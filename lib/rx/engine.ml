@@ -43,21 +43,21 @@ let source t = Ast.to_string t.ast
 let group_count t = t.ngroups
 let prefilter t = t.pf
 
-(* prefilter effectiveness counters, process-wide; [skips] counts exec
-   calls rejected by the literal scan without running the backtracker *)
-let stat_calls = Atomic.make 0
-let stat_skips = Atomic.make 0
-let prefilter_stats () = (Atomic.get stat_calls, Atomic.get stat_skips)
+module Obs = Hoiho_obs.Obs
+
+(* engine effectiveness counters, process-wide (see DESIGN.md §7):
+   [rx.exec_calls] counts prefiltered searches, [rx.prefilter_skips]
+   those rejected by the literal scan without running the backtracker,
+   and [rx.backtrack_attempts] the start offsets retried beyond each
+   search's first attempt *)
+let c_calls = Obs.counter "rx.exec_calls"
+let c_skips = Obs.counter "rx.prefilter_skips"
+let c_backtracks = Obs.counter "rx.backtrack_attempts"
+let prefilter_stats () = (Obs.count c_calls, Obs.count c_skips)
 
 let reset_prefilter_stats () =
-  Atomic.set stat_calls 0;
-  Atomic.set stat_skips 0
-
-(* width-1 atoms admit a simple possessive loop *)
-let rec char_width = function
-  | PLit _ | PCls _ | PAny -> true
-  | PGrp (_, [ p ]) -> char_width p
-  | _ -> false
+  Obs.set_counter c_calls 0;
+  Obs.set_counter c_skips 0
 
 let matches_char p s pos =
   pos < String.length s
@@ -105,12 +105,15 @@ and mnode st item pos k =
         | a :: rest -> mseq st a pos k || try_alts rest
       in
       try_alts alts
-  | PRep (p, min, max, Ast.Possessive) when char_width p ->
-      (* consume maximally with no backtracking *)
+  | PRep ((PLit _ | PCls _ | PAny) as p, min, max, Ast.Possessive) ->
+      (* consume maximally with no backtracking; only for group-free
+         width-1 atoms — a possessive repetition over a capture group
+         must take the general path below so its captures are recorded
+         (the fast path would silently leave them at (-1,-1)) *)
       let rec eat count pos =
         let more =
           (match max with Some m -> count < m | None -> true)
-          && matches_char (strip_groups p) s pos
+          && matches_char p s pos
         in
         if more then eat (count + 1) (pos + 1) else (count, pos)
       in
@@ -129,11 +132,9 @@ and mnode st item pos k =
       in
       go 0 pos
 
-and strip_groups = function PGrp (_, [ p ]) -> strip_groups p | p -> p
-
-(* a possessive repetition wrapping a group still records captures via the
-   greedy path; to keep capture semantics simple we only take the
-   possessive fast path when the atom records no groups *)
+(* invariant: a possessive repetition wrapping a group records captures
+   via the general (greedy) path — possessiveness degrades to greedy
+   there, but every group the match consumed has real offsets *)
 
 let exec_at t st start =
   Array.fill st.caps 0 (Array.length st.caps) (-1);
@@ -144,18 +145,20 @@ let anchored t = match t.prog with PBol :: _ -> true | _ -> false
 (* the unfiltered reference search: retry at every start offset *)
 let try_every t st =
   let anchored = anchored t in
-  let rec try_from start =
-    if start > st.slen then false
-    else if exec_at t st start then true
-    else if anchored then false
-    else try_from (start + 1)
+  let rec try_from retries start =
+    if start > st.slen then (retries, false)
+    else if exec_at t st start then (retries, true)
+    else if anchored then (retries, false)
+    else try_from (retries + 1) (start + 1)
   in
-  try_from 0
+  let retries, ok = try_from 0 0 in
+  Obs.add c_backtracks retries;
+  ok
 
 (* prefiltered search; must accept exactly the same strings, with the
    same captures, as [try_every] *)
 let search t st =
-  Atomic.incr stat_calls;
+  Obs.incr c_calls;
   let pf = t.pf in
   let s = st.str in
   if pf.Prefilter.required = "" then try_every t st
@@ -166,7 +169,7 @@ let search t st =
       | None -> Prefilter.contains ~needle:pf.Prefilter.required s
     in
     if not plausible then begin
-      Atomic.incr stat_skips;
+      Obs.incr c_skips;
       false
     end
     else exec_at t st 0
@@ -178,18 +181,24 @@ let search t st =
            literal's occurrences enumerate every viable start *)
         match Prefilter.find ~needle:pf.Prefilter.required s 0 with
         | -1 ->
-            Atomic.incr stat_skips;
+            Obs.incr c_skips;
             false
         | first ->
+            let attempts = ref 0 in
             let rec scan i =
               i >= 0
-              && ((i >= d && exec_at t st (i - d))
+              && ((i >= d
+                  &&
+                  (incr attempts;
+                   exec_at t st (i - d)))
                  || scan (Prefilter.find ~needle:pf.Prefilter.required s (i + 1)))
             in
-            scan first)
+            let ok = scan first in
+            Obs.add c_backtracks (max 0 (!attempts - 1));
+            ok)
     | None ->
         if not (Prefilter.contains ~needle:pf.Prefilter.required s) then begin
-          Atomic.incr stat_skips;
+          Obs.incr c_skips;
           false
         end
         else try_every t st

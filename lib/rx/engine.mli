@@ -1,9 +1,11 @@
 (** Backtracking matcher with capture groups.
 
     Matching is exact backtracking over the AST. Possessive quantifiers
-    are honored for single-character atoms (literals, classes, [.]),
-    which is the only way the Hoiho generator emits them; a possessive
-    quantifier over a wider atom degrades to greedy.
+    are honored for group-free single-character atoms (literals,
+    classes, [.]), which is the only way the Hoiho generator emits
+    them; a possessive quantifier over a wider atom — including a
+    capture group, e.g. [([a-z])++] — degrades to greedy, so any group
+    it contains still records the text of its last iteration.
 
     Every compiled pattern carries a {!Prefilter.t}: [exec] first scans
     the input for the pattern's required literal substring and bails —
@@ -55,6 +57,9 @@ val prefilter : t -> Prefilter.t
 val prefilter_stats : unit -> int * int
 (** [(calls, skips)] accumulated process-wide across all patterns:
     total prefiltered searches, and searches rejected by the literal
-    scan alone (no backtracking attempted). Thread-safe. *)
+    scan alone (no backtracking attempted). Thread-safe. Backed by the
+    {!Hoiho_obs.Obs} registry counters [rx.exec_calls] and
+    [rx.prefilter_skips] (the registry also tracks
+    [rx.backtrack_attempts]); this accessor remains for convenience. *)
 
 val reset_prefilter_stats : unit -> unit

@@ -8,6 +8,17 @@
    blocked submitter is itself a consumer, so a non-empty queue always
    has at least one thread able to run it. *)
 
+module Obs = Hoiho_obs.Obs
+
+(* scheduler-level metrics: total thunks queued, the deepest the shared
+   queue ever got, and tasks a blocked submitter ran itself while
+   helping drain its batch.  Scheduling-dependent by nature — unlike
+   the rx/ncsel/pipeline work counters these are NOT expected to be
+   identical across HOIHO_JOBS settings. *)
+let c_submitted = Obs.counter "pool.jobs_submitted"
+let c_steals = Obs.counter "pool.helping_steals"
+let g_depth = Obs.gauge "pool.queue_depth_hwm"
+
 type t = {
   jobs : int;  (* total parallelism including the calling thread *)
   mutex : Mutex.t;
@@ -96,6 +107,8 @@ let run_batch t (thunks : (unit -> unit) array) =
   in
   Mutex.lock t.mutex;
   Array.iter (fun th -> Queue.push (wrapped th) t.queue) thunks;
+  Obs.add c_submitted (Array.length thunks);
+  Obs.observe_gauge g_depth (Queue.length t.queue);
   Condition.broadcast t.nonempty;
   (* help drain the queue until this batch completes; only sleep when
      there is nothing at all to run *)
@@ -104,6 +117,7 @@ let run_batch t (thunks : (unit -> unit) array) =
       match Queue.take_opt t.queue with
       | Some task ->
           Mutex.unlock t.mutex;
+          Obs.incr c_steals;
           task ();
           Mutex.lock t.mutex;
           help ()

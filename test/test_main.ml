@@ -1,6 +1,6 @@
 let () =
   Alcotest.run "hoiho"
-    (Test_util.suites @ Test_pool.suites @ Test_ast.suites @ Test_rx.suites @ Test_geo.suites @ Test_geodb.suites
+    (Test_util.suites @ Test_obs.suites @ Test_pool.suites @ Test_ast.suites @ Test_rx.suites @ Test_geo.suites @ Test_geodb.suites
    @ Test_psl.suites @ Test_itdk.suites @ Test_netsim.suites
    @ Test_core_units.suites @ Test_apparent.suites @ Test_regen.suites @ Test_evalx.suites
    @ Test_learn.suites @ Test_pipeline.suites @ Test_cbg.suites

@@ -1,0 +1,103 @@
+module Obs = Hoiho_obs.Obs
+module Pool = Hoiho_util.Pool
+
+let tc = Helpers.tc
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_counter_basics () =
+  let c = Obs.counter "test.obs.counter_basics" in
+  Obs.set_counter c 0;
+  Obs.incr c;
+  Obs.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Obs.count c);
+  (* registration is idempotent: the same name is the same cell *)
+  Obs.incr (Obs.counter "test.obs.counter_basics");
+  Alcotest.(check int) "same name same cell" 6 (Obs.count c)
+
+let test_counter_parallel () =
+  (* counters must be exact under the domain pool, not approximately
+     right: 8 lanes x 4000 bumps, no lost updates *)
+  let c = Obs.counter "test.obs.counter_parallel" in
+  Obs.set_counter c 0;
+  let pool = Pool.get 8 in
+  Pool.parallel_iter pool
+    (fun _ ->
+      for _ = 1 to 1000 do
+        Obs.incr c
+      done)
+    (List.init 32 Fun.id);
+  Alcotest.(check int) "no lost updates" 32_000 (Obs.count c)
+
+let test_gauge_high_water () =
+  let g = Obs.gauge "test.obs.gauge" in
+  Obs.observe_gauge g 3;
+  Obs.observe_gauge g 9;
+  Obs.observe_gauge g 5;
+  Alcotest.(check int) "keeps the max" 9 (Obs.gauge_value g)
+
+let test_histogram_stats () =
+  let h = Obs.histogram "test.obs.histogram" in
+  List.iter (Obs.observe h) (List.map float_of_int [ 5; 1; 2; 3; 4 ]);
+  let snap = Obs.snapshot () in
+  match Obs.find_histogram snap "test.obs.histogram" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+      Alcotest.(check int) "count" 5 s.Obs.n;
+      Alcotest.(check (float 1e-9)) "p50" 3.0 s.Obs.p50;
+      Alcotest.(check (float 1e-9)) "p95" 5.0 s.Obs.p95;
+      Alcotest.(check (float 1e-9)) "max" 5.0 s.Obs.max;
+      Alcotest.(check (float 1e-9)) "total" 15.0 s.Obs.total
+
+let test_time_span () =
+  let h = Obs.histogram "test.obs.time_span" in
+  let v = Obs.time h (fun () -> 42) in
+  Alcotest.(check int) "returns the thunk's value" 42 v;
+  (* a raising thunk still records its span *)
+  (try Obs.time h (fun () -> failwith "boom") with Failure _ -> ());
+  let snap = Obs.snapshot () in
+  match Obs.find_histogram snap "test.obs.time_span" with
+  | Some s ->
+      Alcotest.(check int) "both spans recorded" 2 s.Obs.n;
+      Alcotest.(check bool) "durations non-negative" true (s.Obs.p50 >= 0.0)
+  | None -> Alcotest.fail "histogram missing"
+
+let test_snapshot_sorted_and_json () =
+  let _ = Obs.counter "test.obs.json_b" and _ = Obs.counter "test.obs.json_a" in
+  let snap = Obs.snapshot () in
+  let names = List.map fst snap.Obs.counters in
+  Alcotest.(check bool) "counters sorted by name" true
+    (names = List.sort compare names);
+  let json = Obs.to_json snap in
+  Alcotest.(check bool) "json has counters section" true
+    (contains json "\"counters\"");
+  Alcotest.(check bool) "json has histograms section" true
+    (contains json "\"histograms\"");
+  Alcotest.(check bool) "json names quoted" true
+    (contains json "\"test.obs.json_a\"")
+
+let test_find_counter () =
+  let c = Obs.counter "test.obs.find" in
+  Obs.set_counter c 7;
+  let snap = Obs.snapshot () in
+  Alcotest.(check (option int)) "present" (Some 7)
+    (Obs.find_counter snap "test.obs.find");
+  Alcotest.(check (option int)) "absent" None
+    (Obs.find_counter snap "test.obs.nonexistent")
+
+let suites =
+  [
+    ( "obs",
+      [
+        tc "counter basics" test_counter_basics;
+        tc "counter exact under pool" test_counter_parallel;
+        tc "gauge high-water" test_gauge_high_water;
+        tc "histogram stats" test_histogram_stats;
+        tc "time span" test_time_span;
+        tc "snapshot sorted + json" test_snapshot_sorted_and_json;
+        tc "find counter" test_find_counter;
+      ] );
+  ]

@@ -63,6 +63,13 @@ let test_full_run_and_geolocate () =
   (match Pipeline.geolocate p "te9-9.cr2.lhr7.example.net" with
   | Some city -> Alcotest.(check string) "london" "london" city.Hoiho_geodb.City.name
   | None -> Alcotest.fail "geolocate failed");
+  (* regression: DNS is case-insensitive, so an uppercase answer must
+     geolocate exactly like its lowercase form (the suffix lookup used
+     to lowercase while the regexes ran on the raw string) *)
+  (match Pipeline.geolocate p "TE9-9.CR2.LHR7.EXAMPLE.NET" with
+  | Some city ->
+      Alcotest.(check string) "mixed case" "london" city.Hoiho_geodb.City.name
+  | None -> Alcotest.fail "mixed-case geolocate failed");
   Alcotest.(check bool) "unknown suffix" true
     (Pipeline.geolocate p "r1.lhr1.unknown.org" = None)
 
@@ -106,6 +113,48 @@ let test_find () =
   Alcotest.(check bool) "find hit" true (Pipeline.find p "example.net" <> None);
   Alcotest.(check bool) "find miss" true (Pipeline.find p "other.net" = None)
 
+module Obs = Hoiho_obs.Obs
+
+let work_counters (s : Obs.snapshot) =
+  (* pool.* counters are scheduling-dependent (a jobs=1 run never
+     touches the pool); everything else counts work and must be
+     identical across jobs settings *)
+  List.filter
+    (fun (name, _) -> not (String.length name >= 5 && String.sub name 0 5 = "pool."))
+    s.Obs.counters
+
+let test_metrics_determinism () =
+  let config = Hoiho_netsim.Presets.tiny ~seed:777 () in
+  let ds, truth = Hoiho_netsim.Generate.generate config in
+  let gdb = Hoiho_netsim.Truth.db truth in
+  Obs.reset ();
+  let seq = Pipeline.run ~db:gdb ~jobs:1 ds in
+  Obs.reset ();
+  let par = Pipeline.run ~db:gdb ~jobs:4 ds in
+  Alcotest.(check (list (pair string int)))
+    "work counters identical for jobs=1 and jobs=4"
+    (work_counters seq.Pipeline.metrics)
+    (work_counters par.Pipeline.metrics);
+  (* the snapshot carried by the run is non-trivial *)
+  let nonzero name =
+    match Obs.find_counter par.Pipeline.metrics name with
+    | Some n when n > 0 -> ()
+    | other ->
+        Alcotest.failf "expected nonzero %s, got %s" name
+          (match other with Some n -> string_of_int n | None -> "<absent>")
+  in
+  nonzero "rx.exec_calls";
+  nonzero "pipeline.suffix_groups";
+  nonzero "ncsel.candidates_evaluated";
+  (match Obs.find_histogram par.Pipeline.metrics "pipeline.suffix_ms" with
+  | Some h ->
+      let groups =
+        Option.value ~default:0
+          (Obs.find_counter par.Pipeline.metrics "pipeline.suffix_groups")
+      in
+      Alcotest.(check int) "one span per suffix group" groups h.Obs.n
+  | None -> Alcotest.fail "pipeline.suffix_ms histogram missing")
+
 let test_parallel_determinism () =
   (* the full pipeline over a many-suffix dataset must produce the same
      results bit-for-bit whether run sequentially or on a domain pool *)
@@ -133,5 +182,6 @@ let suites =
         tc "min samples filter" test_min_samples_filter;
         tc "find" test_find;
         tc "parallel determinism" test_parallel_determinism;
+        tc "metrics determinism" test_metrics_determinism;
       ] );
   ]

@@ -74,6 +74,33 @@ let gen_ast =
 
 let arb_ast = QCheck.make ~print:Ast.to_string gen_ast
 
+(* capture-heavy variant: repetitions (possessive included) wrapped
+   around capture groups, and nested groups — the shapes where capture
+   bookkeeping, not just the match decision, can go wrong *)
+let gen_caps_node =
+  QCheck.Gen.(
+    gen_atom >>= fun atom ->
+    oneof
+      [
+        return atom;
+        map (fun inner -> Ast.Grp inner) (list_size (int_range 1 2) gen_node);
+        return (Ast.Rep (Ast.Grp [ atom ], 1, None, Ast.Possessive));
+        map
+          (fun (min, extra) ->
+            Ast.Rep (Ast.Grp [ atom ], min, Some (min + extra), Ast.Possessive))
+          (pair (int_range 0 2) (int_range 1 3));
+        map
+          (fun (min, extra) ->
+            Ast.Rep (Ast.Grp [ atom ], min, Some (min + extra), Ast.Greedy))
+          (pair (int_range 0 2) (int_range 1 3));
+        map (fun inner -> Ast.Grp [ Ast.Grp inner ]) (list_size (int_range 1 2) gen_node);
+      ])
+
+let gen_ast_caps =
+  QCheck.Gen.(
+    list_size (int_range 1 4) gen_caps_node >>= fun body ->
+    oneofl [ body; (Ast.Bol :: body) @ [ Ast.Eol ] ])
+
 (* greedy-only variant for differential testing against the NFA engine,
    which cannot express possessive quantifiers *)
 let rec degreed_node = function

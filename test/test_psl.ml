@@ -19,6 +19,9 @@ let test_deep = check_suffix "a.b.c.d.zayo.com" (Some "zayo.com")
 let test_exact_registration = check_suffix "he.net" (Some "he.net")
 let test_bare_tld = check_suffix "net" None
 let test_bare_etld2 = check_suffix "net.au" None
+let test_bare_multilabel = check_suffix "com.au" None
+let test_trailing_dot = check_suffix "he.net." (Some "he.net")
+let test_single_label = check_suffix "localhost" None
 let test_unknown_tld = check_suffix "router.example.zzz" None
 let test_uppercase = check_suffix "CORE1.ASH1.HE.NET" (Some "he.net")
 
@@ -45,6 +48,9 @@ let suites =
         tc "exact registration" test_exact_registration;
         tc "bare tld" test_bare_tld;
         tc "bare 2-label tld" test_bare_etld2;
+        tc "bare multi-label suffix" test_bare_multilabel;
+        tc "trailing dot" test_trailing_dot;
+        tc "single label" test_single_label;
         tc "unknown tld" test_unknown_tld;
         tc "uppercase" test_uppercase;
         tc "prefix_of" test_prefix_of;

@@ -89,6 +89,15 @@ let test_possessive_blocks_backtrack = check_match {|^[a-z]++z$|} "abcz" None
 let test_possessive_ok = check_match {|^[a-z]++\d$|} "abc1" (Some "")
 let test_possessive_star = check_match {|^a*+b$|} "aaab" (Some "")
 
+(* regression: a possessive repetition over a capture group must not
+   take the group-stripping fast path — the group records the last
+   consumed char (possessiveness degrades to greedy, captures intact) *)
+let test_possessive_group_captures = check_match {|^([a-z])++$|} "abc" (Some "c")
+let test_possessive_group_captures2 = check_match {|^([a-z])++\d$|} "abc1" (Some "c")
+
+let test_possessive_nested_group_captures =
+  check_match {|^(([a-z])([a-z]))++$|} "abcd" (Some "cd,c,d")
+
 let test_unanchored_search = check_match {|b+|} "aabbaa" (Some "")
 let test_empty_pattern = check_match "" "anything" (Some "")
 
@@ -198,6 +207,34 @@ let prop_prefilter_equiv_seeded (ast, (s1, s2)) =
   let input = s1 ^ (Engine.prefilter t).Prefilter.required ^ s2 in
   prop_prefilter_equiv (ast, input)
 
+(* capture agreement, group by group — not just the match decision —
+   over patterns heavy in possessive repetitions and nested groups (the
+   match/no-match equivalence alone would not notice a capture silently
+   dropped to None on one path) *)
+let show_caps = function
+  | None -> "<no match>"
+  | Some arr ->
+      String.concat ","
+        (Array.to_list arr |> List.map (function None -> "_" | Some x -> x))
+
+let prop_capture_equiv (ast, (s1, s2)) =
+  let t = Engine.compile ast in
+  let input = s1 ^ (Engine.prefilter t).Prefilter.required ^ s2 in
+  let a = Engine.exec t input in
+  let b = Engine.exec_unfiltered t input in
+  if a = b then true
+  else
+    QCheck.Test.fail_reportf
+      "captures disagree: %s on %S\n  prefiltered: %s\n  unfiltered:  %s"
+      (Ast.to_string ast) input (show_caps a) (show_caps b)
+
+let arb_caps =
+  QCheck.make
+    ~print:(fun (ast, (s1, s2)) ->
+      Printf.sprintf "%s on %S ^ required ^ %S" (Ast.to_string ast) s1 s2)
+    QCheck.Gen.(
+      pair Test_props.gen_ast_caps (pair Test_props.gen_input Test_props.gen_input))
+
 (* --- Nfavm --- *)
 
 module Nfavm = Hoiho_rx.Nfavm
@@ -284,6 +321,9 @@ let suites =
         tc "possessive blocks backtrack" test_possessive_blocks_backtrack;
         tc "possessive ok" test_possessive_ok;
         tc "possessive star" test_possessive_star;
+        tc "possessive group captures" test_possessive_group_captures;
+        tc "possessive group captures before tail" test_possessive_group_captures2;
+        tc "possessive nested group captures" test_possessive_nested_group_captures;
         tc "unanchored search" test_unanchored_search;
         tc "empty pattern" test_empty_pattern;
       ] );
@@ -297,5 +337,7 @@ let suites =
           prop_prefilter_equiv;
         Test_props.q ~count:600 "equivalence with embedded literal" arb_pf_seeded
           prop_prefilter_equiv_seeded;
+        Test_props.q ~count:1000 "captures agree (possessive + nested groups)"
+          arb_caps prop_capture_equiv;
       ] );
   ]
