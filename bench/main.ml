@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --quick      -- small datasets (CI) *)
 
 module Generate = Hoiho_netsim.Generate
+module Chaos = Hoiho_netsim.Chaos
 module Presets = Hoiho_netsim.Presets
 module Truth = Hoiho_netsim.Truth
 module Oper = Hoiho_netsim.Oper
@@ -793,6 +794,39 @@ let perf () =
       [ "nfavm matches (sparse sets)"; Printf.sprintf "%.0f ns" nfavm_ns ];
       [ "pool parallel_map, 64 items"; Printf.sprintf "%.0f ns" pool_ns ];
     ];
+  (* chaos resilience: with injection off, a replay must reproduce the
+     parallel run's learned conventions exactly; with injection on, the
+     run must complete, surfacing faults as degraded suffix results
+     rather than exceptions *)
+  Obs.reset ();
+  let replay, _ = time (fun () -> Pipeline.run ~db ~jobs ds) in
+  let replay_identical = replay.Pipeline.results = par.Pipeline.results in
+  Obs.reset ();
+  let cdb, cds = Chaos.apply (Chaos.config ~level:2 4242) db ds in
+  let chaos_run, chaos_ms = time (fun () -> Pipeline.run ~db:cdb ~jobs cds) in
+  let chaos_metrics = chaos_run.Pipeline.metrics in
+  let chaos_degraded =
+    List.length
+      (List.filter
+         (fun (r : Pipeline.suffix_result) -> r.Pipeline.degraded <> None)
+         chaos_run.Pipeline.results)
+  in
+  let chaos_counter name =
+    match Obs.find_counter chaos_metrics name with Some n -> n | None -> 0 in
+  let chaos_injected =
+    chaos_counter "chaos.hostnames_mangled"
+    + chaos_counter "chaos.dict_entries_dropped"
+    + chaos_counter "chaos.rtts_dropped"
+    + chaos_counter "chaos.rtt_outliers"
+    + chaos_counter "chaos.rtts_negated"
+    + chaos_counter "chaos.alias_errors"
+  in
+  Report.note "chaos-off replay identical to chaos-off run: %b" replay_identical;
+  Report.note
+    "chaos seed=4242 level=2: %d injections, %d/%d suffix groups degraded, %.1f ms"
+    chaos_injected chaos_degraded
+    (List.length chaos_run.Pipeline.results)
+    chaos_ms;
   let json =
     Printf.sprintf
       {|{
@@ -813,6 +847,15 @@ let perf () =
     "nfavm_matches": %.1f,
     "pool_map_64": %.1f
   },
+  "chaos": {
+    "seed": 4242,
+    "level": 2,
+    "off_replay_identical": %b,
+    "injections": %d,
+    "suffixes_degraded": %d,
+    "suffixes_total": %d,
+    "wall_ms": %.2f
+  },
   "metrics": {
     "counters_identical_across_jobs": %b,
     "seq": %s,
@@ -822,7 +865,10 @@ let perf () =
 |}
       config.Generate.label (Dataset.n_routers ds) n_hostnames jobs seq_ms par_ms
       speedup samples_per_sec identical pf_calls pf_skips hit_rate exec_hit_ns
-      exec_miss_ns exec_unf_ns nfavm_ns pool_ns counters_identical
+      exec_miss_ns exec_unf_ns nfavm_ns pool_ns replay_identical chaos_injected
+      chaos_degraded
+      (List.length chaos_run.Pipeline.results)
+      chaos_ms counters_identical
       (String.trim (Obs.to_json seq_metrics))
       (String.trim (Obs.to_json par_metrics))
   in

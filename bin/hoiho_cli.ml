@@ -102,11 +102,42 @@ let learn_cmd =
             "Write a JSON observability snapshot of the run (per-stage \
              durations, regex-engine and pool counters) to $(docv).")
   in
-  let run config seed input suffix_filter show_regexes metrics_out =
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Inject seeded faults into the dataset before learning: \
+             hostname mangling, dictionary dropout, RTT loss/outliers/\
+             negation, alias-resolution errors. Deterministic in \
+             $(docv). Degraded suffix groups are reported, never \
+             fatal.")
+  in
+  let chaos_level =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "chaos-level" ] ~docv:"N"
+          ~doc:
+            "Chaos intensity: each level adds about 8 points of \
+             per-item injection probability (default 1).")
+  in
+  let run config seed input suffix_filter show_regexes metrics_out chaos_seed
+      chaos_level =
     let ds, db = dataset_of config seed input in
     (* scope the process-wide registry to this run so the snapshot in
-       --metrics reflects exactly the work reported below *)
+       --metrics reflects exactly the work reported below (chaos
+       injection volumes included) *)
     Hoiho_obs.Obs.reset ();
+    let db, ds =
+      match chaos_seed with
+      | None -> (db, ds)
+      | Some cseed ->
+          Hoiho_netsim.Chaos.apply
+            (Hoiho_netsim.Chaos.config ~level:chaos_level cseed)
+            db ds
+    in
     let pipeline = Hoiho.Pipeline.run ~db ds in
     let results =
       match suffix_filter with
@@ -150,6 +181,23 @@ let learn_cmd =
             (Hoiho.Learned.entries r.learned)
         end)
       shown;
+    let degraded =
+      List.filter
+        (fun (r : Hoiho.Pipeline.suffix_result) -> r.degraded <> None)
+        pipeline.Hoiho.Pipeline.results
+    in
+    if degraded <> [] then begin
+      Printf.printf "\n%d suffix group(s) degraded (pipeline continued without them):\n"
+        (List.length degraded);
+      List.iter
+        (fun (r : Hoiho.Pipeline.suffix_result) ->
+          match r.degraded with
+          | Some d ->
+              Printf.printf "  %-30s stage %-9s %s\n" r.suffix
+                d.Hoiho.Pipeline.stage d.Hoiho.Pipeline.error
+          | None -> ())
+        degraded
+    end;
     match metrics_out with
     | None -> ()
     | Some path ->
@@ -162,7 +210,7 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Learn naming conventions from a dataset.")
     Term.(
       const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes
-      $ metrics_out)
+      $ metrics_out $ chaos_seed $ chaos_level)
 
 (* --- geolocate --- *)
 

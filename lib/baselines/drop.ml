@@ -22,6 +22,10 @@ let hint_types = [ Hoiho.Plan.Iata; Hoiho.Plan.Clli; Hoiho.Plan.CityName; Hoiho.
 let prefix_labels suffix hostname =
   match Strutil.drop_suffix ~suffix hostname with
   | None | Some "" -> None
+  (* a malformed prefix (empty label, e.g. "..lhr4") must be skipped:
+     splitting it would yield a label array whose length can collide
+     with a learned rule's shape and misgeolocate garbage *)
+  | Some prefix when Strutil.has_empty_dns_label prefix -> None
   | Some prefix -> Some (Array.of_list (String.split_on_char '.' prefix))
 
 (* delay check against traceroute-observed RTTs only, with a generous

@@ -53,6 +53,10 @@ let infer db dataset router hostname =
   | Some suffix -> (
       match Strutil.drop_suffix ~suffix hostname with
       | None | Some "" -> None
+      (* skip malformed prefixes (empty labels): keyword extraction on
+         "lhr4." would still find "lhr" and misgeolocate a name that is
+         not a well-formed hostname at all *)
+      | Some prefix when Strutil.has_empty_dns_label prefix -> None
       | Some prefix ->
           let tokens =
             Strutil.split_punct prefix

@@ -31,6 +31,10 @@ let infer t hostname =
       | Some tbl -> (
           match Strutil.drop_suffix ~suffix hostname with
           | None | Some "" -> None
+          (* malformed prefixes (empty labels) are skipped, matching
+             the other baselines: an undns rule names a well-formed
+             position, not whatever tokens survive in garbage *)
+          | Some prefix when Strutil.has_empty_dns_label prefix -> None
           | Some prefix ->
               let tokens = Strutil.split_punct prefix in
               let rec scan = function

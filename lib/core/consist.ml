@@ -20,14 +20,25 @@ type t = {
   min_rtt_cache : (int * float * float, float) Hashtbl.t Domain.DLS.key;
 }
 
+exception Unknown_vp of int
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_vp id -> Some (Printf.sprintf "Hoiho.Consist.Unknown_vp(%d)" id)
+    | _ -> None)
+
 let create dataset =
   let max_id =
     Array.fold_left (fun m (v : Vp.t) -> max m v.Vp.id) 0 dataset.Dataset.vps
   in
   let vp_by_id =
-    Array.make (max_id + 1) dataset.Dataset.vps.(0)
+    if Array.length dataset.Dataset.vps = 0 then [||]
+    else begin
+      let vp_by_id = Array.make (max_id + 1) dataset.Dataset.vps.(0) in
+      Array.iter (fun (v : Vp.t) -> vp_by_id.(v.Vp.id) <- v) dataset.Dataset.vps;
+      vp_by_id
+    end
   in
-  Array.iter (fun (v : Vp.t) -> vp_by_id.(v.Vp.id) <- v) dataset.Dataset.vps;
   {
     dataset;
     vp_by_id;
@@ -36,9 +47,21 @@ let create dataset =
 
 let dataset t = t.dataset
 
+(* [vp_by_id] is a dense table seeded with vps.(0) as filler, so a hole
+   (an id inside the range that no VP carries) holds a VP whose own id
+   disagrees with the slot — both out-of-range and dangling ids get the
+   same descriptive, deterministic error instead of a bare
+   Invalid_argument from Array indexing *)
+let vp_of t id =
+  if id < 0 || id >= Array.length t.vp_by_id then raise (Unknown_vp id)
+  else
+    let v = t.vp_by_id.(id) in
+    if v.Vp.id <> id then raise (Unknown_vp id);
+    v
+
 let router_rtts t (r : Router.t) =
   let pairs = if r.Router.ping_rtts <> [] then r.Router.ping_rtts else r.Router.trace_rtts in
-  List.map (fun (id, rtt) -> (t.vp_by_id.(id), rtt)) pairs
+  List.map (fun (id, rtt) -> (vp_of t id, rtt)) pairs
 
 let best_case t vp_id (loc : Coord.t) =
   let cache = Domain.DLS.get t.min_rtt_cache in
@@ -46,7 +69,7 @@ let best_case t vp_id (loc : Coord.t) =
   match Hashtbl.find_opt cache key with
   | Some v -> v
   | None ->
-      let v = Lightrtt.min_rtt_ms t.vp_by_id.(vp_id).Vp.coord loc in
+      let v = Lightrtt.min_rtt_ms (vp_of t vp_id).Vp.coord loc in
       Hashtbl.replace cache key v;
       v
 

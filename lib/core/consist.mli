@@ -20,6 +20,13 @@
 
 type t
 
+exception Unknown_vp of int
+(** An RTT sample names a VP id the dataset does not contain (corrupt
+    alias resolution, or chaos injection). Raised by the lookups below
+    with the offending id, deterministically — the same dataset fails
+    the same way at any [jobs] setting — so the pipeline can pin the
+    failure on the suffix group that carried the sample. *)
+
 val create : Hoiho_itdk.Dataset.t -> t
 
 val dataset : t -> Hoiho_itdk.Dataset.t

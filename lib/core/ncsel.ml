@@ -103,8 +103,20 @@ let prepare ?(jobs = 1) consist db ?learned cands samples_arr =
     in
     { cand; hits; atp = Evalx.atp counts }
   in
-  if jobs <= 1 then List.map eval cands
-  else Hoiho_util.Pool.parallel_map (Hoiho_util.Pool.get jobs) eval cands
+  (* fault determinism: evaluate EVERY candidate (capturing failures
+     per job) and re-raise the first error in candidate order, not
+     completion order — so a poisoned sample aborts the suffix with the
+     same work counters and the same attributed exception whether the
+     fan-out ran on one lane or eight *)
+  let results =
+    Hoiho_util.Pool.map_results (Hoiho_util.Pool.get jobs) eval cands
+  in
+  let rec unwrap = function
+    | [] -> []
+    | Ok m :: rest -> m :: unwrap rest
+    | Error e :: _ -> Hoiho_util.Pool.raise_job_error e
+  in
+  unwrap results
 
 let eval_nc consist db ?learned cands samples =
   let samples_arr = Array.of_list samples in

@@ -21,6 +21,9 @@ let c_suffixes = Obs.counter "pipeline.suffix_groups"
 let c_samples = Obs.counter "pipeline.samples"
 let c_tagged = Obs.counter "pipeline.tagged"
 let c_learned = Obs.counter "pipeline.learned_hints"
+let c_degraded = Obs.counter "pipeline.suffix_degraded"
+
+type degradation = { stage : string; error : string }
 
 type suffix_result = {
   suffix : string;
@@ -31,7 +34,17 @@ type suffix_result = {
   nc : Ncsel.t option;
   learned : Learned.t;
   classification : Ncsel.classification option;
+  degraded : degradation option;
 }
+
+(* internal: pins a stage failure to its stage name on the way out of
+   the Obs.time wrappers, so the degraded result can attribute it *)
+exception Stage_failed of string * exn
+
+let stage name f =
+  try f () with
+  | Stage_failed _ as e -> raise e
+  | e -> raise (Stage_failed (name, e))
 
 type t = {
   dataset : Dataset.t;
@@ -41,11 +54,11 @@ type t = {
   metrics : Obs.snapshot;
 }
 
-let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
-  Obs.incr c_suffixes;
+let run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers =
   let samples =
-    Obs.time h_stage_apparent (fun () ->
-        Apparent.build_samples consist db ~suffix routers)
+    stage "apparent" (fun () ->
+        Obs.time h_stage_apparent (fun () ->
+            Apparent.build_samples consist db ~suffix routers))
   in
   let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
   Obs.add c_samples (List.length samples);
@@ -64,29 +77,66 @@ let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
       nc = None;
       learned = Learned.empty ();
       classification = None;
+      degraded = None;
     }
   in
   if tagged = [] then base
   else begin
-    let cands = Obs.time h_stage_regen (fun () -> Regen.candidates ~suffix tagged) in
-    match Obs.time h_stage_ncsel (fun () -> Ncsel.build ?jobs consist db cands samples) with
+    let cands =
+      stage "regen" (fun () ->
+          Obs.time h_stage_regen (fun () -> Regen.candidates ~suffix tagged))
+    in
+    match
+      stage "ncsel" (fun () ->
+          Obs.time h_stage_ncsel (fun () -> Ncsel.build ?jobs consist db cands samples))
+    with
     | None -> base
     | Some nc0 ->
         let learned =
-          Obs.time h_stage_learn (fun () ->
-              if learn_geohints then Learn.learn consist db nc0 else Learned.empty ())
+          stage "learn" (fun () ->
+              Obs.time h_stage_learn (fun () ->
+                  if learn_geohints then Learn.learn consist db nc0 else Learned.empty ()))
         in
         Obs.add c_learned (Learned.size learned);
         let nc =
           if Learned.is_empty learned then nc0
           else
-            Obs.time h_stage_reselect (fun () ->
-                match Ncsel.build ?jobs consist db ~learned cands samples with
-                | Some nc -> nc
-                | None -> nc0)
+            stage "reselect" (fun () ->
+                Obs.time h_stage_reselect (fun () ->
+                    match Ncsel.build ?jobs consist db ~learned cands samples with
+                    | Some nc -> nc
+                    | None -> nc0))
         in
         { base with nc = Some nc; learned; classification = Some (Ncsel.classify nc) }
   end
+
+(* Per-suffix failure isolation: suffix groups are mutually independent,
+   so one poisoned group (mangled hostname, dangling VP id, pathological
+   sample) must not abort the run — it is reported as a [degraded]
+   result carrying the failing stage and exception, and every other
+   suffix learns normally. The catch lives here rather than in [run] so
+   direct [run_suffix] callers (examples, tests, bench) get the same
+   contract. *)
+let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
+  Obs.incr c_suffixes;
+  let degrade stage_name e =
+    Obs.incr c_degraded;
+    {
+      suffix;
+      n_routers = List.length routers;
+      n_samples = 0;
+      n_tagged = 0;
+      n_tagged_routers = 0;
+      nc = None;
+      learned = Learned.empty ();
+      classification = None;
+      degraded = Some { stage = stage_name; error = Printexc.to_string e };
+    }
+  in
+  match run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers with
+  | result -> result
+  | exception Stage_failed (name, e) -> degrade name e
+  | exception e -> degrade "suffix" e
 
 (* Suffix groups are mutually independent, so the run fans them out
    over a shared domain pool; [consist] and [db] are read-only after
@@ -122,30 +172,35 @@ let usable r =
 let find t suffix = List.find_opt (fun r -> r.suffix = suffix) t.results
 
 let geolocate t hostname =
-  (* hostnames are matched case-insensitively: the PSL lookup lowercases
-     internally, but the learned regexes only speak lowercase, so the
-     same lowered string must be what [Engine.exec] sees *)
-  let hostname = Hoiho_util.Strutil.lowercase hostname in
-  match Hoiho_psl.Psl.registered_suffix hostname with
-  | None -> None
-  | Some suffix -> (
-      match find t suffix with
-      | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
-          let rec first = function
-            | [] -> None
-            | (cand : Cand.t) :: rest -> (
-                match Hoiho_rx.Engine.exec cand.Cand.regex hostname with
-                | None -> first rest
-                | Some groups -> (
-                    match Plan.decode cand.Cand.plan groups with
-                    | None -> first rest
-                    | Some ex -> (
-                        match Evalx.resolve t.db ~learned ex with
-                        | best :: _ -> Some best
-                        | [] -> None)))
-          in
-          first nc.Ncsel.cands
-      | _ -> None)
+  (* the learned regexes speak normalized hostnames (lowercase, no
+     whitespace, no root dot): the PSL lookup normalizes internally, so
+     the very same normalized string must be what [Engine.exec] sees *)
+  let hostname = Hoiho_util.Strutil.normalize_hostname hostname in
+  (* lookup is part of the never-raise surface: whatever bytes a PTR
+     record serves up, the answer is a location or [None] — never an
+     exception *)
+  try
+    match Hoiho_psl.Psl.registered_suffix hostname with
+    | None -> None
+    | Some suffix -> (
+        match find t suffix with
+        | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
+            let rec first = function
+              | [] -> None
+              | (cand : Cand.t) :: rest -> (
+                  match Hoiho_rx.Engine.exec cand.Cand.regex hostname with
+                  | None -> first rest
+                  | Some groups -> (
+                      match Plan.decode cand.Cand.plan groups with
+                      | None -> first rest
+                      | Some ex -> (
+                          match Evalx.resolve t.db ~learned ex with
+                          | best :: _ -> Some best
+                          | [] -> None)))
+            in
+            first nc.Ncsel.cands
+        | _ -> None)
+  with _ -> None
 
 let geolocated_routers _t r =
   match r.nc with

@@ -3,6 +3,13 @@
     geohints, generate and evaluate regexes, learn operator geohints,
     re-select, and classify the per-suffix naming convention. *)
 
+type degradation = {
+  stage : string;
+      (** which stage failed: "apparent", "regen", "ncsel", "learn",
+          "reselect", or "suffix" for failures outside any stage *)
+  error : string;  (** [Printexc.to_string] of the captured exception *)
+}
+
 type suffix_result = {
   suffix : string;
   n_routers : int;
@@ -12,6 +19,13 @@ type suffix_result = {
   nc : Ncsel.t option;  (** best NC after learned-geohint refinement *)
   learned : Learned.t;
   classification : Ncsel.classification option;
+  degraded : degradation option;
+      (** [Some _] when a stage raised: the group learned nothing
+          ([nc = None], zero sample counts) but the run carried on —
+          one poisoned suffix cannot abort the others. [None] on every
+          clean run. Counted under [pipeline.suffix_degraded], and
+          deterministic: the same dataset degrades the same suffixes
+          with the same stage/error at any [jobs] setting. *)
 }
 
 type t = {
@@ -61,8 +75,11 @@ val geolocate : t -> string -> Hoiho_geodb.City.t option
 (** Apply the learned conventions to one hostname: locate its suffix's
     usable NC, run its regexes, and decode the extraction through the
     learned overlay and reference dictionary. The hostname is
-    lowercased once at entry, so mixed-case DNS answers geolocate the
-    same as their lowercase form. The result is the
+    normalized once at entry
+    ({!Hoiho_util.Strutil.normalize_hostname}), so mixed-case, a
+    trailing root dot, and stray whitespace geolocate the same as the
+    canonical lowercase form — and the function never raises, whatever
+    bytes the hostname contains. The result is the
     convention's *claim*; no RTT check is applied (regexes are usable
     offline — the paper's motivation for learning regexes at all). *)
 

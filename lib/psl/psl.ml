@@ -47,7 +47,9 @@ let suffix_set =
 let is_public_suffix s = Hashtbl.mem suffix_set (Strutil.lowercase s)
 
 let registered_suffix hostname =
-  let lowered = Strutil.lowercase hostname in
+  (* normalization (not just lowercasing) tolerates real-world PTR
+     noise: trailing root dot, embedded whitespace, mixed case *)
+  let lowered = Strutil.normalize_hostname hostname in
   let labels = Strutil.split_labels lowered in
   let n = List.length labels in
   (* a name that is itself a public suffix (including multi-label ones
@@ -72,6 +74,6 @@ let prefix_of hostname =
   match registered_suffix hostname with
   | None -> None
   | Some suffix -> (
-      match Strutil.drop_suffix ~suffix (Strutil.lowercase hostname) with
+      match Strutil.drop_suffix ~suffix (Strutil.normalize_hostname hostname) with
       | Some "" -> None
       | other -> other)

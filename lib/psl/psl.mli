@@ -15,7 +15,10 @@ val registered_suffix : string -> string option
 (** [registered_suffix "core1.ash1.he.net"] is [Some "he.net"]. [None]
     when the hostname is itself a public suffix or has no recognized
     public suffix. Matching picks the longest public suffix, so
-    ["r1.ccnw.net.au"] yields [Some "ccnw.net.au"]. *)
+    ["r1.ccnw.net.au"] yields [Some "ccnw.net.au"]. The input is
+    normalized first ({!Hoiho_util.Strutil.normalize_hostname}): case,
+    a trailing root dot, and embedded whitespace do not change the
+    answer. *)
 
 val prefix_of : string -> string option
 (** The hostname portion before the registered suffix:

@@ -53,6 +53,20 @@ module Obs = Hoiho_obs.Obs
 let c_calls = Obs.counter "rx.exec_calls"
 let c_skips = Obs.counter "rx.prefilter_skips"
 let c_backtracks = Obs.counter "rx.backtrack_attempts"
+let c_oversized = Obs.counter "rx.oversized_inputs"
+
+(* DNS caps a name at 255 octets; anything longer is garbage (or an
+   attack on the backtracker) and is rejected before any matching.
+   Generous headroom over the RFC limit so escaped/decorated forms
+   still match. Applied identically to the prefiltered and unfiltered
+   search paths, which must stay behaviorally equivalent. *)
+let max_subject_len = 1024
+
+let subject_ok s =
+  String.length s <= max_subject_len
+  ||
+  (Obs.incr c_oversized;
+   false)
 let prefilter_stats () = (Obs.count c_calls, Obs.count c_skips)
 
 let reset_prefilter_stats () =
@@ -209,16 +223,23 @@ let mstate_of t s = { str = s; slen = String.length s; caps = Array.make (2 * t.
 let extract t st =
   Array.init t.ngroups (fun i ->
       let st_i = st.caps.(2 * i) and en = st.caps.((2 * i) + 1) in
-      if st_i < 0 || en < 0 || en < st_i then None
+      (* the upper-bound check is defensive: no backtracker bug (or
+         adversarial subject) may turn a capture into an out-of-bounds
+         String.sub *)
+      if st_i < 0 || en < st_i || en > st.slen then None
       else Some (String.sub st.str st_i (en - st_i)))
 
 let exec t s =
-  let st = mstate_of t s in
-  if search t st then Some (extract t st) else None
+  if not (subject_ok s) then None
+  else
+    let st = mstate_of t s in
+    if search t st then Some (extract t st) else None
 
 let exec_unfiltered t s =
-  let st = mstate_of t s in
-  if try_every t st then Some (extract t st) else None
+  if not (subject_ok s) then None
+  else
+    let st = mstate_of t s in
+    if try_every t st then Some (extract t st) else None
 
 let exec_groups t s =
   match exec t s with
@@ -226,5 +247,7 @@ let exec_groups t s =
   | Some arr -> Some (Array.to_list arr |> List.filter_map (fun x -> x))
 
 let matches t s =
+  subject_ok s
+  &&
   let st = mstate_of t s in
   search t st

@@ -32,12 +32,18 @@ val source : t -> string
 
 val group_count : t -> int
 
+val max_subject_len : int
+(** Subjects longer than this (1024 bytes — 4× the DNS name limit) are
+    rejected by {!exec}, {!exec_unfiltered} and {!matches} without
+    entering the backtracker, counted under [rx.oversized_inputs]. *)
+
 val exec : t -> string -> string option array option
 (** [exec re s] attempts a match. Anchors [^]/[$] bind to the string
     boundaries; an unanchored pattern may match anywhere. On success the
     array holds the text of each capture group in left-to-right order
     (index 0 is group 1); a group inside an unused alternation branch is
-    [None]. *)
+    [None]. Never raises: any byte sequence is a valid subject, and a
+    subject over {!max_subject_len} is simply no match. *)
 
 val exec_unfiltered : t -> string -> string option array option
 (** {!exec} with the literal prefilter disabled: the backtracker is

@@ -18,6 +18,8 @@ module Obs = Hoiho_obs.Obs
 let c_submitted = Obs.counter "pool.jobs_submitted"
 let c_steals = Obs.counter "pool.helping_steals"
 let g_depth = Obs.gauge "pool.queue_depth_hwm"
+let c_timeouts = Obs.counter "pool.job_timeouts"
+let c_job_exns = Obs.counter "pool.job_exceptions"
 
 type t = {
   jobs : int;  (* total parallelism including the calling thread *)
@@ -169,6 +171,64 @@ let parallel_map t f xs =
 
 let parallel_iter t f xs =
   ignore (parallel_map_array t (fun x -> f x) (Array.of_list xs))
+
+(* job-level fault capture: unlike [parallel_map], whose batch aborts
+   on the first exception by completion time (a scheduling-dependent
+   choice), [map_results] runs EVERY item to completion and returns a
+   per-item verdict in input order. Callers that want fail-fast
+   semantics with deterministic attribution re-raise the first [Error]
+   in input order — identical at any [jobs] setting. *)
+type job_error =
+  | Exn of exn * Printexc.raw_backtrace
+  | Timed_out
+
+exception Job_timeout
+
+let run_one deadline f x =
+  match deadline with
+  | Some d when Obs.now_ms () > d ->
+      Obs.incr c_timeouts;
+      Error Timed_out
+  | _ -> (
+      try Ok (f x)
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Obs.incr c_job_exns;
+        Error (Exn (e, bt)))
+
+let map_results t ?timeout_ms f xs =
+  (* the timeout is cooperative: the deadline is checked before each
+     item starts, never preempting one mid-flight — an item that began
+     before the deadline runs to completion. This bounds a batch of n
+     items at deadline + one item's latency without the portability
+     tar pit of cancelling a running domain. *)
+  let deadline = Option.map (fun ms -> Obs.now_ms () +. ms) timeout_ms in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let exec i = results.(i) <- Some (run_one deadline f arr.(i)) in
+  if t.jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    let thunks =
+      chunk_ranges n t.jobs
+      |> List.map (fun (lo, hi) () ->
+             for i = lo to hi - 1 do
+               exec i
+             done)
+      |> Array.of_list
+    in
+    (* exec never raises, so run_batch's own error channel stays idle *)
+    run_batch t thunks
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+let raise_job_error = function
+  | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Timed_out -> raise Job_timeout
 
 (* shared pools, one per size, spawned on first use and reused for the
    process lifetime *)

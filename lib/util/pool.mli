@@ -40,6 +40,30 @@ val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
 
+type job_error =
+  | Exn of exn * Printexc.raw_backtrace
+      (** The job raised; counted under [pool.job_exceptions]. *)
+  | Timed_out
+      (** The job was never started because the batch deadline had
+          passed; counted under [pool.job_timeouts]. *)
+
+exception Job_timeout
+(** Raised by {!raise_job_error} for a {!Timed_out} job. *)
+
+val map_results : t -> ?timeout_ms:float -> ('a -> 'b) -> 'a list -> ('b, job_error) result list
+(** Order-preserving map with job-level fault capture: every item runs
+    to completion (or is skipped past the deadline) and yields its own
+    [Ok]/[Error] — no item's failure aborts the batch, and the result
+    list is identical at any [jobs] setting when [f] is pure. The
+    [timeout_ms] deadline (from call entry) is cooperative: it is
+    checked before each item starts, so a pathological item already
+    running is not preempted, but no further work is admitted once the
+    deadline passes. *)
+
+val raise_job_error : job_error -> 'a
+(** Re-raise a captured error: the original exception with its
+    backtrace, or {!Job_timeout}. *)
+
 val shutdown : t -> unit
 (** Signal workers to exit and join them. Only needed for pools made
     with [create]; shared pools live for the process. *)

@@ -3,6 +3,28 @@ let is_digit c = c >= '0' && c <= '9'
 let is_alnum c = is_alpha c || is_digit c
 let lowercase = String.lowercase_ascii
 
+let is_dns_space c =
+  c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\011' || c = '\012'
+
+let normalize_hostname s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if not (is_dns_space c) then Buffer.add_char buf (Char.lowercase_ascii c))
+    s;
+  let out = Buffer.contents buf in
+  let n = String.length out in
+  (* a single trailing dot is the DNS root label, not an empty label *)
+  if n > 0 && out.[n - 1] = '.' then String.sub out 0 (n - 1) else out
+
+let has_empty_dns_label s =
+  let n = String.length s in
+  n = 0
+  || s.[0] = '.'
+  || s.[n - 1] = '.'
+  ||
+  let rec scan i = i < n - 1 && ((s.[i] = '.' && s.[i + 1] = '.') || scan (i + 1)) in
+  scan 0
+
 let split_on sep s =
   String.split_on_char sep s |> List.filter (fun x -> x <> "")
 

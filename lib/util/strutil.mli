@@ -10,6 +10,18 @@ val is_alnum : char -> bool
 val lowercase : string -> string
 (** ASCII lowercasing. *)
 
+val normalize_hostname : string -> string
+(** Canonical form for hostname comparison and matching: ASCII
+    lowercase, every whitespace character removed (operator typos and
+    copy-paste artifacts embed spaces and tabs mid-name), and one
+    trailing dot — the DNS root label — stripped. Idempotent. *)
+
+val has_empty_dns_label : string -> bool
+(** True when the string is empty, starts or ends with a dot, or
+    contains consecutive dots — i.e. splitting on ['.'] would yield an
+    empty label. Malformed names like ["a..b.net"] must be skipped, not
+    force-fit, by label-positional methods (DRoP-style). *)
+
 val split_on : char -> string -> string list
 (** Like [String.split_on_char] but drops empty fields. *)
 

@@ -147,6 +147,53 @@ let test_undns_deterministic () =
   let n2 = Undns.n_entries (Undns.make ~coverage:0.5 ~seed:7 (undns_table ())) in
   Alcotest.(check int) "same subset size" n1 n2
 
+(* --- degraded input: all three baselines must skip, not misgeolocate,
+   malformed hostnames (empty labels, missing suffix) --- *)
+
+let test_drop_degraded_input () =
+  let ds, _ = fixture_ds () in
+  let rules = Drop.learn db ds in
+  (* known-bug repro: "..lhr4" split into labels ["";"";"lhr4"] used to
+     satisfy the learned 3-label rule and answer London for a name that
+     is not a well-formed hostname at all *)
+  Alcotest.(check bool) "empty labels skipped" true
+    (Drop.infer rules db "..lhr4.example.net" = None);
+  Alcotest.(check bool) "leading dot skipped" true
+    (Drop.infer rules db ".cr9.lhr4.example.net" = None);
+  Alcotest.(check bool) "missing suffix skipped" true
+    (Drop.infer rules db "po1.cr9.lhr4" = None);
+  (* and a clean hostname still infers after the guard *)
+  Alcotest.(check bool) "clean input still works" true
+    (Drop.infer rules db "po1.cr9.lhr4.example.net" <> None)
+
+let test_hloc_degraded_input () =
+  let ds, routers = fixture_ds () in
+  let r = List.hd routers in
+  (* known-bug repro: dropping the suffix of "lhr4..example.net" leaves
+     prefix "lhr4.", whose tokens still contain "lhr" — keyword search
+     used to misgeolocate the malformed name to London *)
+  Alcotest.(check bool) "empty label skipped" true
+    (Hloc.infer db ds r "lhr4..example.net" = None);
+  Alcotest.(check bool) "missing suffix skipped" true
+    (Hloc.infer db ds r "po1.cr9.lhr4" = None);
+  Alcotest.(check bool) "bare suffix skipped" true
+    (Hloc.infer db ds r "example.net" = None);
+  Alcotest.(check bool) "clean input still works" true
+    (Hloc.infer db ds r "po1.cr9.lhr4.example.net" <> None)
+
+let test_undns_degraded_input () =
+  let u = Undns.make ~coverage:1.0 ~seed:1 (undns_table ()) in
+  (* known-bug repro: prefix "lhr." of "lhr..example.net" tokenizes to
+     ["lhr"], which used to hit the codebook and answer London *)
+  Alcotest.(check bool) "empty label skipped" true
+    (Undns.infer u "lhr..example.net" = None);
+  Alcotest.(check bool) "missing suffix skipped" true
+    (Undns.infer u "ae1.cr1.lhr15" = None);
+  Alcotest.(check bool) "bare suffix skipped" true
+    (Undns.infer u "example.net" = None);
+  Alcotest.(check bool) "clean input still works" true
+    (Undns.infer u "ae1.cr1.lhr15.example.net" <> None)
+
 let suites =
   [
     ( "baselines.drop",
@@ -156,6 +203,7 @@ let suites =
         tc "dictionary verbatim" test_drop_dictionary_verbatim;
         tc "staleness" test_drop_staleness;
         tc "unknown suffix" test_drop_unknown_suffix;
+        tc "degraded input skipped" test_drop_degraded_input;
       ] );
     ( "baselines.hloc",
       [
@@ -163,11 +211,13 @@ let suites =
         tc "needs ping" test_hloc_needs_ping;
         tc "blocklist" test_hloc_blocklist;
         tc "confirmation bias" test_hloc_confirmation_bias;
+        tc "degraded input skipped" test_hloc_degraded_input;
       ] );
     ( "baselines.undns",
       [
         tc "full coverage" test_undns_full_coverage;
         tc "zero coverage" test_undns_zero_coverage;
         tc "deterministic" test_undns_deterministic;
+        tc "degraded input skipped" test_undns_degraded_input;
       ] );
   ]

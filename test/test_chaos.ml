@@ -1,0 +1,173 @@
+(* Fault matrix for the chaos layer (DESIGN.md §8): every chaos class,
+   injected alone, must leave the pipeline deterministic — identical
+   results (including the degraded-suffix set) and identical work
+   counters at jobs=1 and jobs=4 — and must never escape as an
+   exception. Extends the PR 2 determinism contract to faulty inputs. *)
+
+module Chaos = Hoiho_netsim.Chaos
+module Generate = Hoiho_netsim.Generate
+module Presets = Hoiho_netsim.Presets
+module Truth = Hoiho_netsim.Truth
+module Pipeline = Hoiho.Pipeline
+module Dataset = Hoiho_itdk.Dataset
+module Router = Hoiho_itdk.Router
+module Obs = Hoiho_obs.Obs
+
+let tc = Helpers.tc
+
+let base_inputs =
+  (* computed once: generation is deterministic, and every test mutates
+     via Chaos.apply which never touches its inputs *)
+  lazy
+    (let ds, truth = Generate.generate (Presets.tiny ~seed:987 ()) in
+     (ds, Truth.db truth))
+
+(* chaos application and the pipeline run under one Obs.reset scope, so
+   snapshots from two invocations are directly comparable *)
+let run_chaos ?(level = 3) ?(cseed = 1234) ~classes ~jobs () =
+  let ds, db = Lazy.force base_inputs in
+  Obs.reset ();
+  let db, ds = Chaos.apply (Chaos.config ~level ~classes cseed) db ds in
+  Pipeline.run ~db ~jobs ds
+
+let degraded_set (p : Pipeline.t) =
+  List.filter_map
+    (fun (r : Pipeline.suffix_result) ->
+      match r.Pipeline.degraded with
+      | Some d -> Some (r.Pipeline.suffix, d.Pipeline.stage, d.Pipeline.error)
+      | None -> None)
+    p.Pipeline.results
+
+let work_counters (s : Obs.snapshot) =
+  List.filter
+    (fun (name, _) -> not (String.length name >= 5 && String.sub name 0 5 = "pool."))
+    s.Obs.counters
+
+(* one matrix cell: a single class at jobs=1 vs jobs=4 *)
+let test_class_determinism cls () =
+  let seq = run_chaos ~classes:[ cls ] ~jobs:1 () in
+  let par = run_chaos ~classes:[ cls ] ~jobs:4 () in
+  Alcotest.(check bool)
+    (Chaos.class_name cls ^ ": results identical across jobs")
+    true
+    (seq.Pipeline.results = par.Pipeline.results);
+  Alcotest.(check (list (triple string string string)))
+    (Chaos.class_name cls ^ ": degraded sets identical")
+    (degraded_set seq) (degraded_set par);
+  Alcotest.(check (list (pair string int)))
+    (Chaos.class_name cls ^ ": work counters identical")
+    (work_counters seq.Pipeline.metrics)
+    (work_counters par.Pipeline.metrics)
+
+let test_all_classes_determinism () =
+  let seq = run_chaos ~classes:Chaos.all_classes ~jobs:1 () in
+  let par = run_chaos ~classes:Chaos.all_classes ~jobs:4 () in
+  Alcotest.(check bool) "all classes: results identical" true
+    (seq.Pipeline.results = par.Pipeline.results);
+  Alcotest.(check (list (pair string int)))
+    "all classes: work counters identical"
+    (work_counters seq.Pipeline.metrics)
+    (work_counters par.Pipeline.metrics)
+
+let test_apply_deterministic () =
+  let ds, db = Lazy.force base_inputs in
+  let cfg = Chaos.config ~level:2 ~classes:Chaos.all_classes 55 in
+  let _, ds1 = Chaos.apply cfg db ds in
+  let _, ds2 = Chaos.apply cfg db ds in
+  Alcotest.(check bool) "same config, same mutated routers" true
+    (ds1.Dataset.routers = ds2.Dataset.routers);
+  (* and the inputs were not touched: a re-application starts from the
+     same clean state *)
+  let mutated =
+    Array.exists2
+      (fun (a : Router.t) (b : Router.t) -> a.Router.hostnames <> b.Router.hostnames)
+      ds.Dataset.routers ds1.Dataset.routers
+  in
+  Alcotest.(check bool) "injection actually fired" true mutated
+
+let test_alias_error_degrades () =
+  (* dangling VP ids must surface as degraded suffix results — counted
+     in pipeline.suffix_degraded — while the run completes *)
+  let p = run_chaos ~level:4 ~classes:[ Chaos.Alias_error ] ~jobs:4 () in
+  let degraded = degraded_set p in
+  Alcotest.(check bool) "at least one suffix degraded" true (degraded <> []);
+  Alcotest.(check bool) "not every suffix degraded" true
+    (List.length degraded < List.length p.Pipeline.results);
+  Alcotest.(check (option int))
+    "pipeline.suffix_degraded counts them"
+    (Some (List.length degraded))
+    (Obs.find_counter p.Pipeline.metrics "pipeline.suffix_degraded");
+  List.iter
+    (fun (_, stage, error) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %S is a pipeline stage" stage)
+        true
+        (List.mem stage [ "apparent"; "regen"; "ncsel"; "learn"; "reselect"; "suffix" ]);
+      Alcotest.(check bool) "error names the dangling VP" true
+        (String.length error > 0))
+    degraded
+
+let test_chaos_off_parity () =
+  (* chaos-off replay parity: two clean runs are byte-identical, no
+     suffix degraded, and the chaos counters stay zero *)
+  let ds, db = Lazy.force base_inputs in
+  Obs.reset ();
+  let a = Pipeline.run ~db ~jobs:4 ds in
+  Obs.reset ();
+  let b = Pipeline.run ~db ~jobs:4 ds in
+  Alcotest.(check bool) "replay identical" true (a.Pipeline.results = b.Pipeline.results);
+  Alcotest.(check (list (triple string string string))) "nothing degraded" []
+    (degraded_set a);
+  Alcotest.(check (option int)) "suffix_degraded is zero" (Some 0)
+    (Obs.find_counter a.Pipeline.metrics "pipeline.suffix_degraded");
+  List.iter
+    (fun cls ->
+      let name =
+        match cls with
+        | Chaos.Hostname_mangle -> "chaos.hostnames_mangled"
+        | Chaos.Dict_dropout -> "chaos.dict_entries_dropped"
+        | Chaos.Rtt_loss -> "chaos.rtts_dropped"
+        | Chaos.Rtt_outlier -> "chaos.rtt_outliers"
+        | Chaos.Rtt_negative -> "chaos.rtts_negated"
+        | Chaos.Alias_error -> "chaos.alias_errors"
+      in
+      Alcotest.(check (option int)) (name ^ " zero when off") (Some 0)
+        (Obs.find_counter a.Pipeline.metrics name))
+    Chaos.all_classes
+
+let test_never_raises_across_seeds () =
+  (* any seed, full fault cocktail, high level: the run must complete
+     and geolocate must answer (or decline) on every surviving
+     hostname without raising *)
+  List.iter
+    (fun cseed ->
+      let p = run_chaos ~level:5 ~cseed ~classes:Chaos.all_classes ~jobs:2 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: run completed" cseed)
+        true
+        (p.Pipeline.results <> []);
+      Array.iter
+        (fun (r : Router.t) ->
+          List.iter
+            (fun h -> ignore (Pipeline.geolocate p h))
+            r.Router.hostnames)
+        p.Pipeline.dataset.Dataset.routers)
+    [ 1; 2; 3; 4; 5 ]
+
+let suites =
+  [
+    ( "chaos",
+      [
+        tc "hostname_mangle matrix" (test_class_determinism Chaos.Hostname_mangle);
+        tc "dict_dropout matrix" (test_class_determinism Chaos.Dict_dropout);
+        tc "rtt_loss matrix" (test_class_determinism Chaos.Rtt_loss);
+        tc "rtt_outlier matrix" (test_class_determinism Chaos.Rtt_outlier);
+        tc "rtt_negative matrix" (test_class_determinism Chaos.Rtt_negative);
+        tc "alias_error matrix" (test_class_determinism Chaos.Alias_error);
+        tc "all classes together" test_all_classes_determinism;
+        tc "apply is deterministic and pure" test_apply_deterministic;
+        tc "alias errors degrade, not abort" test_alias_error_degrades;
+        tc "chaos-off replay parity" test_chaos_off_parity;
+        tc "never raises across seeds" test_never_raises_across_seeds;
+      ] );
+  ]

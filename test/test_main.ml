@@ -5,4 +5,5 @@ let () =
    @ Test_core_units.suites @ Test_apparent.suites @ Test_regen.suites @ Test_evalx.suites
    @ Test_learn.suites @ Test_pipeline.suites @ Test_cbg.suites
    @ Test_stale.suites @ Test_asnconv.suites @ Test_rname.suites @ Test_tbg.suites @ Test_vpfilter.suites @ Test_baselines.suites
-   @ Test_validate.suites @ Test_webreport.suites @ Test_props.suites)
+   @ Test_validate.suites @ Test_webreport.suites @ Test_chaos.suites
+   @ Test_props.suites)

@@ -70,6 +70,19 @@ let test_full_run_and_geolocate () =
   | Some city ->
       Alcotest.(check string) "mixed case" "london" city.Hoiho_geodb.City.name
   | None -> Alcotest.fail "mixed-case geolocate failed");
+  (* regression: uppercase AND trailing root dot AND embedded
+     whitespace at once — normalization must land on the canonical
+     form before both the suffix lookup and the regex run *)
+  (match Pipeline.geolocate p " TE9-9.CR2. LHR7.Example.Net.\t" with
+  | Some city ->
+      Alcotest.(check string) "dirty PTR form" "london" city.Hoiho_geodb.City.name
+  | None -> Alcotest.fail "dirty-form geolocate failed");
+  (* malformed inputs decline, never raise *)
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) (String.escaped h ^ " declines") true
+        (Pipeline.geolocate p h = None))
+    [ ""; "."; "..."; "\x00\x01.example.net"; String.make 2000 'a' ^ ".example.net" ];
   Alcotest.(check bool) "unknown suffix" true
     (Pipeline.geolocate p "r1.lhr1.unknown.org" = None)
 
@@ -155,6 +168,16 @@ let test_metrics_determinism () =
       Alcotest.(check int) "one span per suffix group" groups h.Obs.n
   | None -> Alcotest.fail "pipeline.suffix_ms histogram missing")
 
+let test_clean_run_not_degraded () =
+  (* the degraded channel is strictly additive: a clean run marks no
+     suffix degraded and counts zero in pipeline.suffix_degraded *)
+  Obs.reset ();
+  let r = run_fixture good_sites in
+  Alcotest.(check bool) "degraded is None" true (r.Pipeline.degraded = None);
+  Alcotest.(check int) "counter zero" 0
+    (Option.value ~default:(-1)
+       (Obs.find_counter (Obs.snapshot ()) "pipeline.suffix_degraded"))
+
 let test_parallel_determinism () =
   (* the full pipeline over a many-suffix dataset must produce the same
      results bit-for-bit whether run sequentially or on a domain pool *)
@@ -183,5 +206,6 @@ let suites =
         tc "find" test_find;
         tc "parallel determinism" test_parallel_determinism;
         tc "metrics determinism" test_metrics_determinism;
+        tc "clean run not degraded" test_clean_run_not_degraded;
       ] );
   ]

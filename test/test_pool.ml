@@ -97,6 +97,82 @@ let test_nested_map () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+(* project a map_results output into a comparable shape *)
+let verdicts results =
+  List.map
+    (function
+      | Ok v -> Printf.sprintf "ok:%d" v
+      | Error (Pool.Exn (e, _)) -> "exn:" ^ Printexc.to_string e
+      | Error Pool.Timed_out -> "timeout")
+    results
+
+let test_map_results_captures () =
+  (* one bad item must not abort the batch: every other item completes
+     and the failure is reported in place, in input order *)
+  with_pool 4 @@ fun pool ->
+  let f x = if x mod 10 = 3 then failwith "bad" else x * 2 in
+  let results = Pool.map_results pool f (List.init 40 Fun.id) in
+  Alcotest.(check int) "every item has a verdict" 40 (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          Alcotest.(check bool) "clean items succeed" true (i mod 10 <> 3 && v = i * 2)
+      | Error (Pool.Exn (Failure m, _)) ->
+          Alcotest.(check bool) "failures land on the bad items" true
+            (i mod 10 = 3 && m = "bad")
+      | Error _ -> Alcotest.fail "unexpected verdict")
+    results;
+  (* the pool survives and the captured error re-raises faithfully *)
+  Alcotest.check_raises "raise_job_error rethrows" (Failure "bad") (fun () ->
+      List.iter (function Error e -> Pool.raise_job_error e | Ok _ -> ()) results)
+
+let test_map_results_jobs_agnostic () =
+  (* the verdict list — including which items failed and with what —
+     is identical at jobs=1 and jobs=4 *)
+  let input = List.init 100 Fun.id in
+  let f x = if x mod 7 = 0 then invalid_arg (string_of_int x) else x + 1 in
+  let seq = with_pool 1 (fun p -> verdicts (Pool.map_results p f input)) in
+  let par = with_pool 4 (fun p -> verdicts (Pool.map_results p f input)) in
+  Alcotest.(check (list string)) "verdicts identical across jobs" seq par
+
+let spin_ms ms =
+  let t0 = Hoiho_obs.Obs.now_ms () in
+  while Hoiho_obs.Obs.now_ms () -. t0 < ms do
+    ignore (Sys.opaque_identity 0)
+  done
+
+let test_map_results_timeout () =
+  (* the deadline is cooperative: items already running finish, items
+     not yet started once it passes are skipped as Timed_out. With 2
+     lanes, 8 jobs of ~30 ms and a 15 ms budget, the first wave starts
+     in time and the tail cannot. *)
+  with_pool 2 @@ fun pool ->
+  let results =
+    Pool.map_results pool ~timeout_ms:15.0
+      (fun x ->
+        spin_ms 30.0;
+        x)
+      (List.init 8 Fun.id)
+  in
+  let ok = List.length (List.filter Result.is_ok results) in
+  let timed_out =
+    List.length (List.filter (function Error Pool.Timed_out -> true | _ -> false) results)
+  in
+  Alcotest.(check int) "every job has a verdict" 8 (ok + timed_out);
+  Alcotest.(check bool) "work admitted before the deadline" true (ok >= 1);
+  Alcotest.(check bool) "tail timed out" true (timed_out >= 1);
+  Alcotest.check_raises "timeout rethrows as Job_timeout" Pool.Job_timeout (fun () ->
+      List.iter (function Error e -> Pool.raise_job_error e | Ok _ -> ()) results)
+
+let test_map_results_no_timeout_by_default () =
+  with_pool 2 @@ fun pool ->
+  let results = Pool.map_results pool (fun x -> x * x) (List.init 50 Fun.id) in
+  Alcotest.(check (list string))
+    "no deadline, all Ok, in order"
+    (List.init 50 (fun i -> Printf.sprintf "ok:%d" (i * i)))
+    (verdicts results)
+
 let suites =
   [
     ( "util.pool",
@@ -111,5 +187,9 @@ let suites =
         tc "jobs=1 sequential fallback" test_jobs1_fallback;
         tc "nested map no deadlock" test_nested_map;
         tc "default jobs positive" test_default_jobs_positive;
+        tc "map_results captures per job" test_map_results_captures;
+        tc "map_results jobs-agnostic verdicts" test_map_results_jobs_agnostic;
+        tc "map_results cooperative timeout" test_map_results_timeout;
+        tc "map_results no default deadline" test_map_results_no_timeout_by_default;
       ] );
   ]

@@ -274,6 +274,59 @@ let small_int = QCheck.small_int
 let string_arb = QCheck.string
 let lower_token = QCheck.make ~print:Fun.id gen_token
 
+(* --- never-raise under adversarial hostnames (DESIGN.md §8) ---
+
+   PTR records are attacker- and typo-controlled input: any byte
+   sequence must come back as a location or a miss, never an
+   exception, with every capture in-bounds. *)
+
+let gen_adversarial =
+  QCheck.Gen.(
+    let any_byte = map Char.chr (int_range 0 255) in
+    map2
+      (fun junk tail -> junk ^ tail)
+      (string_size ~gen:any_byte (int_range 0 300))
+      (* half the cases steer into the learned suffix so the regex
+         path, not just the PSL bail-out, sees the junk *)
+      (oneofl [ ""; ""; "."; ".."; ".example.net"; ".example.net."; ".EXAMPLE.NET" ]))
+
+let adversarial = QCheck.make ~print:String.escaped gen_adversarial
+
+let adversarial_pipeline =
+  lazy
+    (let ds, _, _ = Helpers.iata_fixture () in
+     Hoiho.Pipeline.run ds)
+
+let adversarial_regexes =
+  lazy
+    (List.map Engine.compile_exn
+       [
+         {|^.+\.([a-z]{3})\d+\.example\.net$|};
+         {|^([a-z]+)-?\d*\.cr\d\.([a-z]{3})\d+\.example\.net$|};
+         {|([a-z]{3})\d+|};
+       ])
+
+let prop_geolocate_never_raises h =
+  let p = Lazy.force adversarial_pipeline in
+  match Hoiho.Pipeline.geolocate p h with Some _ | None -> true
+
+let prop_exec_never_raises h =
+  List.for_all
+    (fun re ->
+      let filtered = Engine.exec re h in
+      let caps_in_bounds =
+        match filtered with
+        | None -> true
+        | Some caps ->
+            Array.length caps = Engine.group_count re
+            && Array.for_all
+                 (function
+                   | None -> true | Some s -> String.length s <= String.length h)
+                 caps
+      in
+      caps_in_bounds && filtered = Engine.exec_unfiltered re h)
+    (Lazy.force adversarial_regexes)
+
 let suites =
   [
     ( "props.rx",
@@ -312,5 +365,11 @@ let suites =
       [
         q ~count:8 "rtt soundness" small_int prop_rtt_soundness;
         q ~count:8 "io roundtrip" small_int prop_io_roundtrip;
+      ] );
+    ( "props.adversarial",
+      [
+        q ~count:5000 "geolocate never raises" adversarial prop_geolocate_never_raises;
+        q ~count:5000 "exec never raises, captures in-bounds" adversarial
+          prop_exec_never_raises;
       ] );
   ]

@@ -36,6 +36,40 @@ let test_longest_suffix_wins () =
   Alcotest.(check (option string)) "longest" (Some "foo.net.au")
     (Psl.registered_suffix "bar.foo.net.au")
 
+(* table-driven edge cases for dirty PTR data: uppercase, trailing root
+   dot, and embedded whitespace — alone and combined — must normalize
+   to the same answer as the clean form, and malformed names must
+   decline rather than raise (companions to the PR 2 cases above) *)
+let edge_cases =
+  [
+    ("CORE1.ASH1.HE.NET.", Some "he.net");
+    (" core1.ash1.he.net", Some "he.net");
+    ("core1.ash1.he.net ", Some "he.net");
+    ("core1.ash1 .he.net", Some "he.net");
+    ("CORE1. ASH1.He.Net.", Some "he.net");
+    ("\tCORE1.ASH1.HE.NET.\t", Some "he.net");
+    ("Core 1.Ash 1.HE.NET.", Some "he.net");
+    ("HE.NET. ", Some "he.net");  (* normalizes to the bare registration *)
+    ("  \t ", None);
+    ("...", None);
+    ("core1..he.net", Some "he.net");
+    (".he.net.", Some "he.net");
+    ("r1.CCNW.Net.AU. ", Some "ccnw.net.au");
+  ]
+
+let test_edge_cases () =
+  List.iter
+    (fun (hostname, expected) ->
+      Alcotest.(check (option string))
+        (String.escaped hostname) expected
+        (Psl.registered_suffix hostname))
+    edge_cases
+
+let test_prefix_of_normalizes () =
+  Alcotest.(check (option string)) "uppercase + dot + whitespace"
+    (Some "core1.ash1")
+    (Psl.prefix_of " CORE1.ASH1.He.Net. ")
+
 let suites =
   [
     ( "psl",
@@ -55,5 +89,7 @@ let suites =
         tc "uppercase" test_uppercase;
         tc "prefix_of" test_prefix_of;
         tc "longest suffix wins" test_longest_suffix_wins;
+        tc "dirty-hostname edge table" test_edge_cases;
+        tc "prefix_of normalizes" test_prefix_of_normalizes;
       ] );
   ]
