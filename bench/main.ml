@@ -827,6 +827,48 @@ let perf () =
     chaos_injected chaos_degraded
     (List.length chaos_run.Pipeline.results)
     chaos_ms;
+  (* learn-once / apply-many serving path: snapshot the learned model
+     through the codec (encode + strict decode, as a real consumer
+     would), then measure apply throughput over every hostname of the
+     dataset — cold vs warm cache, sequential vs parallel *)
+  let model =
+    let m = Hoiho.Learned_io.of_pipeline par in
+    match Hoiho.Learned_io.decode (Hoiho.Learned_io.encode m) with
+    | Ok m -> m
+    | Error e -> failwith (Hoiho.Learned_io.error_to_string e)
+  in
+  let hostnames =
+    Array.to_list ds.Dataset.routers
+    |> List.concat_map (fun (r : Router.t) -> r.Router.hostnames)
+  in
+  let n_apply = List.length hostnames in
+  let apply_run ~jobs =
+    let serve = Hoiho_serve.Serve.create model in
+    let cold, cold_ms =
+      time (fun () -> Hoiho_serve.Serve.apply_batch ~jobs serve hostnames)
+    in
+    let _, warm_ms =
+      time (fun () -> ignore (Hoiho_serve.Serve.apply_batch ~jobs serve hostnames))
+    in
+    (cold, cold_ms, warm_ms)
+  in
+  let hps ms = float_of_int n_apply /. (ms /. 1000.0) in
+  let apply1, apply1_cold_ms, apply1_warm_ms = apply_run ~jobs:1 in
+  let applyn, applyn_cold_ms, applyn_warm_ms = apply_run ~jobs in
+  let apply_identical = apply1 = applyn in
+  let apply_matches_inproc =
+    List.for_all
+      (fun (h, answer) -> answer = Pipeline.geolocate par h)
+      apply1
+  in
+  Report.note "apply (serving path, %d hostnames through the snapshot codec):"
+    n_apply;
+  Report.note "  jobs=1:  cold %8.1f ms (%.0f hostnames/s), warm %8.1f ms (%.0f/s)"
+    apply1_cold_ms (hps apply1_cold_ms) apply1_warm_ms (hps apply1_warm_ms);
+  Report.note "  jobs=%d:  cold %8.1f ms (%.0f hostnames/s), warm %8.1f ms (%.0f/s)"
+    jobs applyn_cold_ms (hps applyn_cold_ms) applyn_warm_ms (hps applyn_warm_ms);
+  Report.note "  results identical across jobs settings: %b" apply_identical;
+  Report.note "  byte-identical to in-process geolocate: %b" apply_matches_inproc;
   let json =
     Printf.sprintf
       {|{
@@ -856,6 +898,20 @@ let perf () =
     "suffixes_total": %d,
     "wall_ms": %.2f
   },
+  "apply": {
+    "n_hostnames": %d,
+    "jobs": %d,
+    "cold_seq_ms": %.2f,
+    "warm_seq_ms": %.2f,
+    "cold_par_ms": %.2f,
+    "warm_par_ms": %.2f,
+    "cold_seq_hostnames_per_sec": %.1f,
+    "warm_seq_hostnames_per_sec": %.1f,
+    "cold_par_hostnames_per_sec": %.1f,
+    "warm_par_hostnames_per_sec": %.1f,
+    "results_identical_across_jobs": %b,
+    "matches_in_process_geolocate": %b
+  },
   "metrics": {
     "counters_identical_across_jobs": %b,
     "seq": %s,
@@ -868,7 +924,10 @@ let perf () =
       exec_miss_ns exec_unf_ns nfavm_ns pool_ns replay_identical chaos_injected
       chaos_degraded
       (List.length chaos_run.Pipeline.results)
-      chaos_ms counters_identical
+      chaos_ms n_apply jobs apply1_cold_ms apply1_warm_ms applyn_cold_ms
+      applyn_warm_ms (hps apply1_cold_ms) (hps apply1_warm_ms)
+      (hps applyn_cold_ms) (hps applyn_warm_ms) apply_identical
+      apply_matches_inproc counters_identical
       (String.trim (Obs.to_json seq_metrics))
       (String.trim (Obs.to_json par_metrics))
   in

@@ -1,11 +1,13 @@
 (* hoiho — learn geographic naming conventions from router hostnames.
 
    Subcommands:
-     generate   synthesize an ITDK-style dataset and write it to a file
-     learn      run the five-stage pipeline and report naming conventions
-     geolocate  apply learned conventions to hostnames
-     compare    evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
-     lookup     consult the reference location dictionary *)
+     generate    synthesize an ITDK-style dataset and write it to a file
+     learn       run the five-stage pipeline and report naming conventions
+     save-model  learn, then snapshot the learned model to a file
+     apply       serve geolocations from a saved model (no re-learning)
+     geolocate   apply learned conventions to hostnames (re-learns; see apply)
+     compare     evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
+     lookup      consult the reference location dictionary *)
 
 open Cmdliner
 
@@ -212,26 +214,174 @@ let learn_cmd =
       const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes
       $ metrics_out $ chaos_seed $ chaos_level)
 
-(* --- geolocate --- *)
+(* --- save-model / apply / geolocate --- *)
+
+let print_answer hostname = function
+  | Some city -> Printf.printf "%-50s %s\n" hostname (Hoiho_geodb.City.describe city)
+  | None -> Printf.printf "%-50s (no geolocation)\n" hostname
+
+let load_model_or_die path =
+  match Hoiho.Learned_io.load path with
+  | Ok model -> model
+  | Error e ->
+      Printf.eprintf "hoiho: cannot load model %s: %s\n" path
+        (Hoiho.Learned_io.error_to_string e);
+      exit 1
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "model" ] ~docv:"FILE"
+        ~doc:"Serve from a model snapshot written by $(b,save-model), skipping \
+              the learning run entirely.")
+
+let save_model_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  let run config seed input out =
+    let ds, db = dataset_of config seed input in
+    Hoiho_obs.Obs.reset ();
+    let pipeline = Hoiho.Pipeline.run ~db ds in
+    let model = Hoiho.Learned_io.of_pipeline pipeline in
+    Hoiho.Learned_io.save out model;
+    let n_regexes =
+      List.fold_left
+        (fun a (s : Hoiho.Learned_io.suffix_model) ->
+          a + List.length s.Hoiho.Learned_io.cands)
+        0 model.Hoiho.Learned_io.suffixes
+    in
+    let n_learned =
+      List.fold_left
+        (fun a (s : Hoiho.Learned_io.suffix_model) ->
+          a + Hoiho.Learned.size s.Hoiho.Learned_io.learned)
+        0 model.Hoiho.Learned_io.suffixes
+    in
+    Printf.printf
+      "wrote %s: format v%d, %d suffix model(s), %d regex(es), %d learned hint(s), %s dictionary\n"
+      out Hoiho.Learned_io.format_version
+      (List.length model.Hoiho.Learned_io.suffixes)
+      n_regexes n_learned
+      (match model.Hoiho.Learned_io.dictionary with
+      | Hoiho.Learned_io.Default -> "default"
+      | Hoiho.Learned_io.Embedded cities ->
+          Printf.sprintf "embedded (%d cities)" (List.length cities))
+  in
+  Cmd.v
+    (Cmd.info "save-model"
+       ~doc:
+         "Learn naming conventions and snapshot the resulting model to a \
+          versioned JSON file for later $(b,apply) runs.")
+    Term.(const run $ preset_arg $ seed_arg $ input_arg $ out)
+
+let read_stdin_hostnames () =
+  let rec go acc =
+    match input_line stdin with
+    | line ->
+        let line = String.trim line in
+        go (if line = "" then acc else line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let batch, rest = take n [] l in
+      batch :: chunks n rest
+
+let apply_cmd =
+  let model_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Model snapshot written by $(b,save-model).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Apply hostnames in batches of $(docv): each batch's uncached \
+             hostnames are geolocated in parallel over the domain pool.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print cache hit/miss counters to stderr when done.")
+  in
+  let hostnames =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"HOSTNAME"
+          ~doc:"Hostnames to locate (read from stdin when none are given).")
+  in
+  let run model_path batch stats hostnames =
+    let model = load_model_or_die model_path in
+    let serve = Hoiho_serve.Serve.create model in
+    let hostnames =
+      match hostnames with [] -> read_stdin_hostnames () | l -> l
+    in
+    List.iter
+      (fun chunk ->
+        List.iter
+          (fun (hostname, answer) -> print_answer hostname answer)
+          (Hoiho_serve.Serve.apply_batch serve chunk))
+      (chunks (max 1 batch) hostnames);
+    if stats then begin
+      let s = Hoiho_obs.Obs.snapshot () in
+      let c name = Option.value (Hoiho_obs.Obs.find_counter s name) ~default:0 in
+      Printf.eprintf "serve: %d applied, %d cache hits, %d misses, %d evictions\n"
+        (c "serve.applied") (c "serve.cache_hits") (c "serve.cache_misses")
+        (c "serve.cache_evictions")
+    end
+  in
+  Cmd.v
+    (Cmd.info "apply"
+       ~doc:
+         "Geolocate hostnames from a saved model — the high-throughput \
+          serving path: no learning run, answers cached in a sharded LRU.")
+    Term.(const run $ model_path $ batch $ stats $ hostnames)
 
 let geolocate_cmd =
   let hostnames =
     Arg.(value & pos_all string [] & info [] ~docv:"HOSTNAME" ~doc:"Hostnames to locate.")
   in
-  let run config seed input hostnames =
-    let ds, db = dataset_of config seed input in
-    let pipeline = Hoiho.Pipeline.run ~db ds in
-    List.iter
-      (fun hostname ->
-        match Hoiho.Pipeline.geolocate pipeline hostname with
-        | Some city ->
-            Printf.printf "%-50s %s\n" hostname (Hoiho_geodb.City.describe city)
-        | None -> Printf.printf "%-50s (no geolocation)\n" hostname)
-      hostnames
+  let run config seed input model hostnames =
+    match model with
+    | Some path ->
+        let serve = Hoiho_serve.Serve.create (load_model_or_die path) in
+        List.iter
+          (fun hostname ->
+            print_answer hostname (Hoiho_serve.Serve.geolocate serve hostname))
+          hostnames
+    | None ->
+        Printf.eprintf
+          "hoiho: note: geolocate re-learns conventions on every call; use \
+           `hoiho save-model` once and `hoiho apply --model FILE` (or \
+           `geolocate --model FILE`) to serve from the saved model\n";
+        let ds, db = dataset_of config seed input in
+        let pipeline = Hoiho.Pipeline.run ~db ds in
+        List.iter
+          (fun hostname ->
+            print_answer hostname (Hoiho.Pipeline.geolocate pipeline hostname))
+          hostnames
   in
   Cmd.v
     (Cmd.info "geolocate" ~doc:"Apply learned conventions to hostnames.")
-    Term.(const run $ preset_arg $ seed_arg $ input_arg $ hostnames)
+    Term.(const run $ preset_arg $ seed_arg $ input_arg $ model_arg $ hostnames)
 
 (* --- compare --- *)
 
@@ -308,4 +458,5 @@ let lookup_cmd =
 let () =
   let doc = "learn geographic naming conventions from router hostnames" in
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
-                    [ generate_cmd; learn_cmd; geolocate_cmd; compare_cmd; report_cmd; lookup_cmd ]))
+                    [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
+                      geolocate_cmd; compare_cmd; report_cmd; lookup_cmd ]))

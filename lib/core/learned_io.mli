@@ -1,0 +1,88 @@
+(** Model snapshots: the learn-once / apply-many split.
+
+    The pipeline's end product — per-suffix naming conventions (regex
+    sources + decode plans), the learned geohint overlay, and the
+    dictionary they were learned against — is serialized to a compact,
+    versioned, self-describing JSON document so that geolocation can be
+    served long after (and far away from) the training run, without
+    re-learning. {!Hoiho_serve.Serve} applies a decoded snapshot at
+    scale; [hoiho save-model] / [hoiho apply] are the CLI entry points.
+
+    Decoding is strict and total: any malformed input — truncated file,
+    unknown format version, wrong field type, uncompilable regex —
+    yields a typed {!error}, never an exception. *)
+
+type cand = {
+  source : string;  (** concrete regex syntax, the serialized form *)
+  plan : Plan.t;
+  regex : Hoiho_rx.Engine.t;
+      (** compiled from [source]; on decode the compilation is
+          re-validated, so a loaded model is ready to serve *)
+}
+
+type suffix_model = {
+  suffix : string;
+  classification : Ncsel.classification;
+  cands : cand list;  (** in application order, first match wins *)
+  learned : Learned.t;  (** operator-geohint overlay (stage 4) *)
+}
+
+type dictionary =
+  | Default  (** the embedded world dataset, {!Hoiho_geodb.Db.default} *)
+  | Embedded of Hoiho_geodb.City.t list
+      (** full city records carried inside the snapshot — used when the
+          model was learned against a non-default dictionary (synthetic
+          truth databases, chaos-mutated dictionaries), so apply
+          resolves hints exactly as learning did *)
+
+type t = {
+  dictionary : dictionary;
+  suffixes : suffix_model list;  (** in training order *)
+  metrics : Hoiho_util.Json.t;
+      (** observability snapshot of the learn run, carried verbatim for
+          provenance (an empty object when unavailable) *)
+}
+
+val format_version : int
+(** Current snapshot format version (1). Encoders stamp it; decoders
+    reject anything else with {!Unknown_version} — version evolution
+    policy is in DESIGN.md §9. *)
+
+type error =
+  | Syntax of string  (** not a JSON document: truncation, garbage *)
+  | Unknown_version of int
+  | Schema of { path : string; expected : string; got : string }
+      (** structurally valid JSON that does not satisfy the schema *)
+
+val error_to_string : error -> string
+
+val of_pipeline : Pipeline.t -> t
+(** Extract the servable model of a finished run: every suffix that
+    selected an NC (with its classification, so apply can honor the
+    usable-only contract), the learned overlays, the dictionary (by
+    reference when it is physically {!Hoiho_geodb.Db.default}, embedded
+    otherwise), and the run's metrics snapshot. *)
+
+val db : t -> Hoiho_geodb.Db.t
+(** Resolve {!dictionary} to a database. Rebuilding an [Embedded]
+    dictionary is deterministic ({!Hoiho_geodb.Db.of_cities} on the
+    stored list), so lookups resolve identically to the training run.
+    Cost is one table build — resolve once, not per hostname. *)
+
+val encode : t -> string
+(** Stable JSON: equal models encode to equal bytes (learned entries
+    are emitted in sorted order; Hashtbl iteration order never leaks). *)
+
+val decode : string -> (t, error) result
+
+val save : string -> t -> unit
+(** [save path model] writes [encode model] to [path] atomically enough
+    for our purposes (single [open_out]/[output_string]/[close_out]). *)
+
+val load : string -> (t, error) result
+(** [decode] of the file contents; unreadable files are [Syntax]. *)
+
+val equal : t -> t -> bool
+(** Semantic equality: same dictionary, same suffixes with the same
+    (source, plan) candidates and learned entries, equal metrics.
+    Compiled regexes are compared by source. *)

@@ -1,0 +1,123 @@
+module Learned_io = Hoiho.Learned_io
+module Ncsel = Hoiho.Ncsel
+module Plan = Hoiho.Plan
+module Evalx = Hoiho.Evalx
+module Engine = Hoiho_rx.Engine
+module Pool = Hoiho_util.Pool
+module Obs = Hoiho_obs.Obs
+
+let c_hits = Obs.counter "serve.cache_hits"
+let c_misses = Obs.counter "serve.cache_misses"
+let c_applied = Obs.counter "serve.applied"
+
+type t = {
+  model : Learned_io.t;
+  db : Hoiho_geodb.Db.t;
+  by_suffix : (string, Learned_io.suffix_model) Hashtbl.t;
+  cache : Hoiho_geodb.City.t option Lru.t;
+}
+
+let create ?(cache_capacity = 65536) ?(cache_shards = 8) model =
+  let by_suffix = Hashtbl.create 64 in
+  List.iter
+    (fun (sm : Learned_io.suffix_model) ->
+      if not (Hashtbl.mem by_suffix sm.Learned_io.suffix) then
+        Hashtbl.add by_suffix sm.Learned_io.suffix sm)
+    model.Learned_io.suffixes;
+  {
+    model;
+    db = Learned_io.db model;
+    by_suffix;
+    cache = Lru.create ~shards:cache_shards ~capacity:cache_capacity ();
+  }
+
+let model t = t.model
+
+let usable = function
+  | Ncsel.Good | Ncsel.Promising -> true
+  | Ncsel.Poor -> false
+
+(* the apply path, on an already-normalized hostname: a step-for-step
+   mirror of Pipeline.geolocate, so a served answer is byte-identical to
+   the in-process one on the run the model was saved from *)
+let apply_norm t hostname =
+  try
+    match Hoiho_psl.Psl.registered_suffix hostname with
+    | None -> None
+    | Some suffix -> (
+        match Hashtbl.find_opt t.by_suffix suffix with
+        | Some sm when usable sm.Learned_io.classification ->
+            let rec first = function
+              | [] -> None
+              | (c : Learned_io.cand) :: rest -> (
+                  match Engine.exec c.Learned_io.regex hostname with
+                  | None -> first rest
+                  | Some groups -> (
+                      match Plan.decode c.Learned_io.plan groups with
+                      | None -> first rest
+                      | Some ex -> (
+                          match
+                            Evalx.resolve t.db ~learned:sm.Learned_io.learned ex
+                          with
+                          | best :: _ -> Some best
+                          | [] -> None)))
+            in
+            first sm.Learned_io.cands
+        | _ -> None)
+  with _ -> None
+
+let geolocate_uncached t hostname =
+  Obs.incr c_applied;
+  apply_norm t (Hoiho_util.Strutil.normalize_hostname hostname)
+
+let geolocate t hostname =
+  Obs.incr c_applied;
+  let key = Hoiho_util.Strutil.normalize_hostname hostname in
+  match Lru.find t.cache key with
+  | Some answer ->
+      Obs.incr c_hits;
+      answer
+  | None ->
+      Obs.incr c_misses;
+      let answer = apply_norm t key in
+      Lru.add t.cache key answer;
+      answer
+
+let apply_batch ?jobs t hostnames =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let keys = List.map Hoiho_util.Strutil.normalize_hostname hostnames in
+  Obs.add c_applied (List.length keys);
+  (* one sequential cache probe per distinct key, in first-appearance
+     order: hit/miss counts and eviction order are then functions of the
+     batch contents alone, not of scheduling *)
+  let answers : (string, Hoiho_geodb.City.t option) Hashtbl.t =
+    Hashtbl.create (List.length keys)
+  in
+  let misses = ref [] in
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem answers key) then
+        match Lru.find t.cache key with
+        | Some answer ->
+            Obs.incr c_hits;
+            Hashtbl.replace answers key answer
+        | None ->
+            Obs.incr c_misses;
+            Hashtbl.replace answers key None;
+            misses := key :: !misses)
+    keys;
+  let misses = List.rev !misses in
+  (* the per-miss computation is pure; fan it out *)
+  let computed =
+    let f key = (key, apply_norm t key) in
+    if jobs <= 1 then List.map f misses
+    else Pool.parallel_map (Pool.get jobs) f misses
+  in
+  List.iter
+    (fun (key, answer) ->
+      Hashtbl.replace answers key answer;
+      Lru.add t.cache key answer)
+    computed;
+  List.map2 (fun hostname key -> (hostname, Hashtbl.find answers key)) hostnames keys
+
+let cache_length t = Lru.length t.cache

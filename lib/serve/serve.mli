@@ -1,0 +1,43 @@
+(** The model serving layer: high-throughput application of a decoded
+    {!Hoiho.Learned_io} snapshot to hostnames, without re-learning.
+
+    A server resolves the snapshot's dictionary once, indexes its
+    suffix models, and memoizes answers — positive and negative — in a
+    sharded {!Lru} cache in front of the pure apply path. Batches fan
+    uncached hostnames out over the shared domain pool.
+
+    Counters: [serve.cache_hits], [serve.cache_misses] (one per distinct
+    probe), [serve.cache_evictions] (from {!Lru}), and [serve.applied]
+    (hostnames answered, cached or not).
+
+    Determinism: {!apply_batch} produces results — and cache-work
+    counters — identical at any [jobs] setting: the cache is probed
+    sequentially once per distinct normalized hostname, only the pure
+    per-miss computation is parallelized, and insertions happen in
+    first-appearance order. The answers are byte-identical to
+    {!Hoiho.Pipeline.geolocate} on the run the model was saved from. *)
+
+type t
+
+val create : ?cache_capacity:int -> ?cache_shards:int -> Hoiho.Learned_io.t -> t
+(** Build a server: resolve the dictionary ({!Hoiho.Learned_io.db}),
+    index suffixes, allocate the cache ([cache_capacity] entries,
+    default 65536, across [cache_shards] shards, default 8). *)
+
+val model : t -> Hoiho.Learned_io.t
+
+val geolocate : t -> string -> Hoiho_geodb.City.t option
+(** Apply the model to one hostname, through the cache. Never raises;
+    normalization matches {!Hoiho.Pipeline.geolocate} exactly. *)
+
+val geolocate_uncached : t -> string -> Hoiho_geodb.City.t option
+(** The pure apply path, bypassing the cache (still never raises). *)
+
+val apply_batch : ?jobs:int -> t -> string list -> (string * Hoiho_geodb.City.t option) list
+(** Answer a batch, in input order, each hostname paired with its
+    geolocation. Distinct uncached hostnames are computed in parallel
+    over the shared pool ([jobs] defaults to
+    {!Hoiho_util.Pool.default_jobs}); duplicates within the batch are
+    computed once. *)
+
+val cache_length : t -> int

@@ -1,0 +1,43 @@
+(** Minimal JSON: a value type, a strict recursive-descent parser, and a
+    stable compact printer.
+
+    The repo deliberately carries no third-party JSON dependency
+    ({!Hoiho_obs.Obs.to_json} prints by hand); this module adds the
+    decode half needed by model snapshots ({!Hoiho.Learned_io}).
+
+    The printer and parser round-trip: [parse (to_string v) = Ok v] for
+    every value this module can produce. Floats are printed with enough
+    digits ([%.17g]) to reparse to the identical bit pattern; integers
+    stay integers ([Int] never silently becomes [Float]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** fields in order; first binding wins *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). Object keys keep
+    the order given — callers wanting stable output sort before
+    printing. Strings are escaped per RFC 8259; non-finite floats
+    render as [null] (JSON has no representation for them). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. The whole input must be
+    consumed (trailing whitespace allowed); anything else — truncation,
+    trailing garbage, bad escapes, malformed numbers — is an [Error]
+    naming the byte offset. Never raises. *)
+
+val kind : t -> string
+(** "null", "bool", "int", "float", "string", "list" or "object" — for
+    schema-error messages. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on absent field or non-object. *)
+
+val equal : t -> t -> bool
+(** Structural equality, with object fields compared order-insensitively
+    (duplicate keys resolved to the first binding). *)

@@ -1,0 +1,169 @@
+(* Golden-corpus regression suite.
+
+   test/golden/corpus.tsv pins the geolocation answers for a
+   deterministic slice of the tiny preset (seed 42): per registered
+   suffix, up to two hostnames with the geohint the pipeline extracts
+   ("-" when there is none). Any behavior change in normalization,
+   suffix classification, regex inference, decode plans or dictionary
+   resolution shows up here as a readable per-hostname diff.
+
+   The corpus regenerates deterministically. After an *intended*
+   behavior change, refresh it with
+
+     HOIHO_UPDATE_GOLDEN=$PWD/test/golden/corpus.tsv dune runtest
+
+   (the variable names the destination file; the test then rewrites it
+   and the next plain run must pass).
+
+   The suite also pins the model lifecycle: the snapshot of the same
+   run, pushed through encode/decode and served via Hoiho_serve, must
+   answer byte-identically to in-process Pipeline.geolocate on every
+   corpus hostname, at jobs=1 and jobs=4. *)
+
+module Pipeline = Hoiho.Pipeline
+module Learned_io = Hoiho.Learned_io
+module Serve = Hoiho_serve.Serve
+module City = Hoiho_geodb.City
+module Dataset = Hoiho_itdk.Dataset
+module Router = Hoiho_itdk.Router
+module Psl = Hoiho_psl.Psl
+
+let corpus_path = "golden/corpus.tsv"
+let max_per_suffix = 2
+
+let fixture =
+  lazy
+    (let ds, _truth =
+       Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:42 ())
+     in
+     (ds, Pipeline.run ds))
+
+let describe = function Some c -> City.describe c | None -> "-"
+
+(* the corpus slice: per suffix in sorted order, the first
+   [max_per_suffix] hostnames in sorted order — a pure function of the
+   dataset, so regeneration is reproducible *)
+let select_hostnames ds =
+  Dataset.by_suffix ds
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (suffix, routers) ->
+         let hostnames =
+           routers
+           |> List.concat_map (fun (r : Router.t) -> r.Router.hostnames)
+           |> List.filter (fun h -> Psl.registered_suffix h = Some suffix)
+           |> List.sort_uniq compare
+         in
+         (suffix, List.filteri (fun i _ -> i < max_per_suffix) hostnames))
+
+let render ds p =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "# Golden corpus: tiny preset, seed 42. hostname<TAB>expected geohint.\n";
+  Buffer.add_string buf "# Regenerate: see test/test_golden.ml.\n";
+  List.iter
+    (fun (suffix, hostnames) ->
+      if hostnames <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "# %s\n" suffix);
+        List.iter
+          (fun h ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s\t%s\n" h (describe (Pipeline.geolocate p h))))
+          hostnames
+      end)
+    (select_hostnames ds);
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus_lines () =
+  read_file corpus_path |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun line ->
+         match String.index_opt line '\t' with
+         | Some i ->
+             ( String.sub line 0 i,
+               String.sub line (i + 1) (String.length line - i - 1) )
+         | None -> Alcotest.failf "golden corpus: malformed line %S" line)
+
+let test_corpus () =
+  match Sys.getenv_opt "HOIHO_UPDATE_GOLDEN" with
+  | Some dest when dest <> "" ->
+      let ds, p = Lazy.force fixture in
+      let dest = if dest = "1" then corpus_path else dest in
+      let oc = open_out_bin dest in
+      output_string oc (render ds p);
+      close_out oc;
+      Printf.printf "golden corpus regenerated to %s\n" dest
+  | _ ->
+      let ds, p = Lazy.force fixture in
+      let pinned = corpus_lines () in
+      Alcotest.(check bool) "corpus is non-trivial" true (List.length pinned >= 40);
+      (* answer drift: every pinned hostname must still geolocate to the
+         pinned geohint *)
+      let drift =
+        List.filter_map
+          (fun (h, expected) ->
+            let got = describe (Pipeline.geolocate p h) in
+            if got = expected then None
+            else Some (Printf.sprintf "  %-44s pinned %-28s got %s" h expected got))
+          pinned
+      in
+      if drift <> [] then
+        Alcotest.failf
+          "golden corpus drift (%d of %d hostnames; if intended, regenerate \
+           with HOIHO_UPDATE_GOLDEN — see test/test_golden.ml):\n%s"
+          (List.length drift) (List.length pinned)
+          (String.concat "\n" drift);
+      (* selection drift: the deterministic slice itself must still match
+         the file, or the corpus silently stops covering what it claims *)
+      let regenerated = render ds p in
+      if regenerated <> read_file corpus_path then
+        Alcotest.fail
+          "golden corpus selection drift: answers match but the regenerated \
+           file differs (hostname selection or formatting changed); \
+           regenerate with HOIHO_UPDATE_GOLDEN — see test/test_golden.ml"
+
+(* the corpus must exercise both outcomes, or a regression that turns
+   every answer into "-" (or resolves garbage everywhere) could pass *)
+let test_corpus_covers_both_outcomes () =
+  let pinned = corpus_lines () in
+  let geo, nogeo = List.partition (fun (_, e) -> e <> "-") pinned in
+  Alcotest.(check bool) "has geolocated hostnames" true (List.length geo >= 10);
+  Alcotest.(check bool) "has non-geolocated hostnames" true (List.length nogeo >= 5)
+
+let test_snapshot_serves_identically () =
+  let _, p = Lazy.force fixture in
+  let model =
+    match Learned_io.decode (Learned_io.encode (Learned_io.of_pipeline p)) with
+    | Ok m -> m
+    | Error e ->
+        Alcotest.failf "snapshot did not round-trip: %s"
+          (Learned_io.error_to_string e)
+  in
+  let hostnames = List.map fst (corpus_lines ()) in
+  let serve jobs =
+    Serve.apply_batch ~jobs (Serve.create model) hostnames
+  in
+  let seq = serve 1 and par = serve 4 in
+  Alcotest.(check bool) "jobs=1 and jobs=4 identical" true (seq = par);
+  List.iter
+    (fun (h, answer) ->
+      let expect = Pipeline.geolocate p h in
+      if answer <> expect then
+        Alcotest.failf "served answer diverges on %s: served %s, in-process %s" h
+          (describe answer) (describe expect))
+    seq
+
+let suites =
+  [
+    ( "golden",
+      [
+        Helpers.tc "corpus answers are pinned" test_corpus;
+        Helpers.tc "corpus covers both outcomes" test_corpus_covers_both_outcomes;
+        Helpers.tc "snapshot serves byte-identically" test_snapshot_serves_identically;
+      ] );
+  ]

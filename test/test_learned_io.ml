@@ -1,0 +1,355 @@
+(* Snapshot codec: QCheck round-trip (encode ∘ decode = id over
+   generated models carrying generated Learned.t overlays) and
+   table-driven strict-decode failures — truncation, unknown version,
+   wrong field types must each yield a typed error, never an
+   exception. *)
+
+module Learned_io = Hoiho.Learned_io
+module Learned = Hoiho.Learned
+module Plan = Hoiho.Plan
+module Ncsel = Hoiho.Ncsel
+module City = Hoiho_geodb.City
+module Json = Hoiho_util.Json
+
+open QCheck
+
+(* --- generators --- *)
+
+let gen_lower n = Gen.string_size ~gen:(Gen.char_range 'a' 'z') (Gen.return n)
+let gen_word = Gen.(int_range 3 8 >>= gen_lower)
+
+let gen_city =
+  Gen.(
+    map
+      (fun ((name, cc, state, lat, lon), (pop, iata, icao, locode, clli, fac)) ->
+        {
+          City.name;
+          cc;
+          state;
+          coord = Hoiho_geo.Coord.make ~lat ~lon;
+          population = pop;
+          iata;
+          icao;
+          locode;
+          clli;
+          facilities = fac;
+        })
+      (tup2
+         (tup5
+            (map (String.concat " ") (list_size (int_range 1 2) gen_word))
+            (gen_lower 2)
+            (opt (gen_lower 2))
+            (float_range (-89.0) 89.0)
+            (float_range (-179.0) 179.0))
+         (tup6 nat
+            (list_size (int_range 0 2) (gen_lower 3))
+            (list_size (int_range 0 2) (gen_lower 4))
+            (opt (gen_lower 3))
+            (opt (gen_lower 6))
+            (list_size (int_range 0 2) (tup2 gen_word gen_word)))))
+
+let gen_hint_type =
+  Gen.oneofl
+    [ Plan.Iata; Plan.Icao; Plan.Locode; Plan.Clli; Plan.CityName; Plan.FacilityAddr ]
+
+let gen_entry =
+  Gen.(
+    map (fun (hint, hint_type, city, tp, fp, collides) ->
+        { Learned.hint; hint_type; city; tp; fp; collides })
+      (tup6 gen_word gen_hint_type gen_city (int_bound 50) (int_bound 50) bool))
+
+let gen_learned =
+  Gen.(
+    map (fun entries ->
+        let t = Learned.empty () in
+        List.iter (Learned.add t) entries;
+        t)
+      (list_size (int_range 0 8) gen_entry))
+
+let gen_elem =
+  Gen.oneofl
+    [ Plan.Hint Plan.Iata; Plan.Hint Plan.CityName; Plan.Hint Plan.Clli;
+      Plan.ClliA; Plan.ClliB; Plan.Cc; Plan.State ]
+
+(* a compilable source whose capture-group count matches the plan *)
+let gen_cand =
+  Gen.(
+    map2 (fun plan suffix ->
+        let caps =
+          String.concat {|\-|} (List.map (fun _ -> {|([a-z]+)|}) plan)
+        in
+        let source =
+          Printf.sprintf {|^%s%s\.%s\.net$|} (if plan = [] then "r" else "") caps
+            suffix
+        in
+        {
+          Learned_io.source;
+          plan;
+          regex = Hoiho_rx.Engine.compile_exn source;
+        })
+      (list_size (int_range 0 3) gen_elem)
+      gen_word)
+
+let gen_suffix_model =
+  Gen.(
+    map (fun (suffix, classification, cands, learned) ->
+        { Learned_io.suffix; classification; cands; learned })
+      (tup4
+         (map2 (Printf.sprintf "%s.%s") gen_word (oneofl [ "net"; "com"; "org" ]))
+         (oneofl [ Ncsel.Good; Ncsel.Promising; Ncsel.Poor ])
+         (list_size (int_range 0 3) gen_cand)
+         gen_learned))
+
+let gen_model =
+  Gen.(
+    map (fun (dict_cities, suffixes, metric_counts) ->
+        {
+          Learned_io.dictionary =
+            (match dict_cities with
+            | None -> Learned_io.Default
+            | Some cities -> Learned_io.Embedded cities);
+          suffixes;
+          metrics =
+            Json.Obj
+              [
+                ( "counters",
+                  Json.Obj
+                    (List.mapi
+                       (fun i n -> (Printf.sprintf "c%d" i, Json.Int n))
+                       metric_counts) );
+              ];
+        })
+      (tup3
+         (opt (list_size (int_range 0 4) gen_city))
+         (list_size (int_range 0 3) gen_suffix_model)
+         (list_size (int_range 0 3) nat)))
+
+let arb_model = make ~print:(fun m -> Learned_io.encode m) gen_model
+
+(* --- properties --- *)
+
+let roundtrip =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:1000 ~name:"encode o decode = id" arb_model (fun m ->
+         match Learned_io.decode (Learned_io.encode m) with
+         | Ok m' -> Learned_io.equal m m'
+         | Error e -> Test.fail_report (Learned_io.error_to_string e)))
+
+let encode_stable =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:200 ~name:"encode is stable through a round-trip" arb_model
+       (fun m ->
+         match Learned_io.decode (Learned_io.encode m) with
+         | Ok m' -> String.equal (Learned_io.encode m) (Learned_io.encode m')
+         | Error e -> Test.fail_report (Learned_io.error_to_string e)))
+
+(* --- strict decode failures --- *)
+
+let sample_model () =
+  {
+    Learned_io.dictionary = Learned_io.Default;
+    suffixes =
+      [
+        {
+          Learned_io.suffix = "example.net";
+          classification = Ncsel.Good;
+          cands =
+            [
+              {
+                Learned_io.source = {|^([a-z]+)\.example\.net$|};
+                plan = [ Plan.Hint Plan.Iata ];
+                regex = Hoiho_rx.Engine.compile_exn {|^([a-z]+)\.example\.net$|};
+              };
+            ];
+          learned = Learned.empty ();
+        };
+      ];
+    metrics = Json.Obj [];
+  }
+
+let is_syntax = function Error (Learned_io.Syntax _) -> true | _ -> false
+let is_schema = function Error (Learned_io.Schema _) -> true | _ -> false
+
+let set_field name v = function
+  | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, x) -> if k = name then (k, v) else (k, x)) fields)
+  | j -> j
+
+let reencode patch =
+  let enc = Learned_io.encode (sample_model ()) in
+  match Json.parse enc with
+  | Error m -> Alcotest.failf "sample did not reparse: %s" m
+  | Ok j -> Json.to_string (patch j)
+
+let decode_failures () =
+  let enc = Learned_io.encode (sample_model ()) in
+  (* sanity: the sample decodes *)
+  (match Learned_io.decode enc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "sample must decode: %s" (Learned_io.error_to_string e));
+  let cases =
+    [
+      ("empty input", "", is_syntax);
+      ("truncated file", String.sub enc 0 (String.length enc / 2), is_syntax);
+      ("truncated mid-token", String.sub enc 0 3, is_syntax);
+      ("trailing garbage", enc ^ "xx", is_syntax);
+      ("not json at all", "not a model", is_syntax);
+      ( "unknown format version",
+        reencode (set_field "format_version" (Json.Int 999)),
+        function
+        | Error (Learned_io.Unknown_version 999) -> true
+        | _ -> false );
+      ( "version of wrong type",
+        reencode (set_field "format_version" (Json.String "one")),
+        is_schema );
+      ("missing version", {|{"suffixes":[]}|}, is_schema);
+      ("suffixes of wrong type", reencode (set_field "suffixes" (Json.Int 3)), is_schema);
+      ( "dictionary of wrong type",
+        reencode (set_field "dictionary" (Json.List [])),
+        is_schema );
+      ( "bad provenance",
+        reencode
+          (set_field "dictionary"
+             (Json.Obj [ ("provenance", Json.String "martian") ])),
+        is_schema );
+      ("document is a list", "[1,2,3]", is_schema);
+      ("document is a string", {|"hoiho"|}, is_schema);
+    ]
+  in
+  List.iter
+    (fun (name, input, ok) ->
+      let result = Learned_io.decode input in
+      if not (ok result) then
+        Alcotest.failf "%s: expected a matching typed error, got %s" name
+          (match result with
+          | Ok _ -> "Ok _"
+          | Error e -> Learned_io.error_to_string e))
+    cases
+
+let patch_suffix patch json =
+  match Json.member "suffixes" json with
+  | Some (Json.List [ sm ]) -> set_field "suffixes" (Json.List [ patch sm ]) json
+  | _ -> Alcotest.fail "sample shape changed"
+
+let nested_failures () =
+  let cases =
+    [
+      ( "uncompilable regex source",
+        patch_suffix (fun sm ->
+            set_field "cands"
+              (Json.List
+                 [
+                   Json.Obj
+                     [
+                       ("source", Json.String "^([a-z]+");
+                       ("plan", Json.List [ Json.String "iata" ]);
+                     ];
+                 ])
+              sm) );
+      ( "plan/group-count mismatch",
+        patch_suffix (fun sm ->
+            set_field "cands"
+              (Json.List
+                 [
+                   Json.Obj
+                     [
+                       ("source", Json.String {|^([a-z]+)\.x\.net$|});
+                       ("plan", Json.List []);
+                     ];
+                 ])
+              sm) );
+      ( "unknown plan element",
+        patch_suffix (fun sm ->
+            set_field "cands"
+              (Json.List
+                 [
+                   Json.Obj
+                     [
+                       ("source", Json.String {|^([a-z]+)\.x\.net$|});
+                       ("plan", Json.List [ Json.String "postcode" ]);
+                     ];
+                 ])
+              sm) );
+      ( "unknown classification",
+        patch_suffix (set_field "classification" (Json.String "stellar")) );
+      ( "learned entry of wrong type",
+        patch_suffix (set_field "learned" (Json.List [ Json.Int 5 ])) );
+      ("suffix of wrong type", patch_suffix (set_field "suffix" (Json.Int 5))) ;
+    ]
+  in
+  List.iter
+    (fun (name, patch) ->
+      match Learned_io.decode (reencode patch) with
+      | Error (Learned_io.Schema _) -> ()
+      | Error e ->
+          Alcotest.failf "%s: expected Schema error, got %s" name
+            (Learned_io.error_to_string e)
+      | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" name)
+    cases
+
+let load_missing () =
+  match Learned_io.load "no/such/model.hoiho.json" with
+  | Error (Learned_io.Syntax _) -> ()
+  | Error e -> Alcotest.failf "expected Syntax, got %s" (Learned_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "load of a missing file succeeded"
+
+let save_load_roundtrip () =
+  let m = sample_model () in
+  let path = Filename.temp_file "hoiho_model" ".hoiho.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Learned_io.save path m;
+      match Learned_io.load path with
+      | Ok m' -> Alcotest.(check bool) "equal" true (Learned_io.equal m m')
+      | Error e -> Alcotest.failf "load failed: %s" (Learned_io.error_to_string e))
+
+(* --- json primitive round-trip (the codec's foundation) --- *)
+
+let gen_json =
+  let open Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               return Json.Null;
+               map (fun b -> Json.Bool b) bool;
+               map (fun i -> Json.Int i) int;
+               map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+               map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 12));
+             ]
+         else
+           oneof
+             [
+               map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun kvs ->
+                   Json.Obj
+                     (List.mapi (fun i (k, v) -> (Printf.sprintf "%d%s" i k, v)) kvs))
+                 (list_size (int_bound 4)
+                    (tup2 (string_size ~gen:printable (int_bound 6)) (self (n / 2))));
+             ])
+
+let json_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (Test.make ~count:1000 ~name:"json parse o to_string = id"
+       (make ~print:Json.to_string gen_json)
+       (fun j ->
+         match Json.parse (Json.to_string j) with
+         | Ok j' -> Json.equal j j'
+         | Error m -> Test.fail_report m))
+
+let suites =
+  [
+    ( "learned_io",
+      [
+        Alcotest.test_case "decode failures are typed" `Quick decode_failures;
+        Alcotest.test_case "nested schema failures" `Quick nested_failures;
+        Alcotest.test_case "load of missing file" `Quick load_missing;
+        Alcotest.test_case "save/load round-trip" `Quick save_load_roundtrip;
+        roundtrip;
+        encode_stable;
+        json_roundtrip;
+      ] );
+  ]
