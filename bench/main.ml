@@ -799,8 +799,32 @@ let perf () =
      run must complete, surfacing faults as degraded suffix results
      rather than exceptions *)
   Obs.reset ();
-  let replay, _ = time (fun () -> Pipeline.run ~db ~jobs ds) in
+  let replay, replay_ms = time (fun () -> Pipeline.run ~db ~jobs ds) in
   let replay_identical = replay.Pipeline.results = par.Pipeline.results in
+  (* tracing overhead: the warm replay above is the untraced baseline;
+     run the same warm pipeline once more with span collection on. The
+     contract (DESIGN.md §10) is < 10% wall-clock overhead *)
+  let module Trace = Hoiho_obs.Trace in
+  Obs.reset ();
+  Trace.configure ~shards:16 ~capacity:(1 lsl 18) ();
+  Trace.set_enabled true;
+  let traced, traced_ms = time (fun () -> Pipeline.run ~db ~jobs ds) in
+  Trace.set_enabled false;
+  let trace_spans = List.length (Trace.spans ()) in
+  let trace_dropped = Trace.dropped () in
+  Trace.configure ();
+  let traced_identical = traced.Pipeline.results = par.Pipeline.results in
+  let trace_overhead = (traced_ms -. replay_ms) /. replay_ms in
+  let trace_ok = trace_overhead < 0.10 in
+  Report.note
+    "tracing: untraced %8.1f ms, traced %8.1f ms (overhead %+.1f%%, %d spans, %d dropped)"
+    replay_ms traced_ms (100.0 *. trace_overhead) trace_spans trace_dropped;
+  Report.note "traced results identical to untraced: %b" traced_identical;
+  Report.note "tracing overhead within the 10%% contract: %b" trace_ok;
+  if (not !quick) && not trace_ok then
+    failwith
+      (Printf.sprintf "tracing overhead %.1f%% exceeds the 10%% contract"
+         (100.0 *. trace_overhead));
   Obs.reset ();
   let cdb, cds = Chaos.apply (Chaos.config ~level:2 4242) db ds in
   let chaos_run, chaos_ms = time (fun () -> Pipeline.run ~db:cdb ~jobs cds) in
@@ -898,6 +922,15 @@ let perf () =
     "suffixes_total": %d,
     "wall_ms": %.2f
   },
+  "trace": {
+    "untraced_wall_ms": %.2f,
+    "traced_wall_ms": %.2f,
+    "overhead_frac": %.4f,
+    "spans": %d,
+    "spans_dropped": %d,
+    "results_identical": %b,
+    "ok": %b
+  },
   "apply": {
     "n_hostnames": %d,
     "jobs": %d,
@@ -924,7 +957,9 @@ let perf () =
       exec_miss_ns exec_unf_ns nfavm_ns pool_ns replay_identical chaos_injected
       chaos_degraded
       (List.length chaos_run.Pipeline.results)
-      chaos_ms n_apply jobs apply1_cold_ms apply1_warm_ms applyn_cold_ms
+      chaos_ms replay_ms traced_ms trace_overhead trace_spans trace_dropped
+      traced_identical trace_ok n_apply jobs apply1_cold_ms apply1_warm_ms
+      applyn_cold_ms
       applyn_warm_ms (hps apply1_cold_ms) (hps apply1_warm_ms)
       (hps applyn_cold_ms) (hps applyn_warm_ms) apply_identical
       apply_matches_inproc counters_identical

@@ -5,11 +5,48 @@
      learn       run the five-stage pipeline and report naming conventions
      save-model  learn, then snapshot the learned model to a file
      apply       serve geolocations from a saved model (no re-learning)
+     explain     trace one hostname's geolocation decision step by step
      geolocate   apply learned conventions to hostnames (re-learns; see apply)
      compare     evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
      lookup      consult the reference location dictionary *)
 
 open Cmdliner
+module Trace = Hoiho_obs.Trace
+
+(* --- tracing plumbing shared by learn / apply --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it to $(docv) as \
+           Chrome trace-event JSON, loadable in Perfetto or \
+           chrome://tracing.")
+
+(* enable tracing around [f], then export the collected spans; the
+   write happens even when [f] raises so a failed run still leaves a
+   trace to look at *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Trace.set_enabled true;
+      Trace.clear ();
+      let finish () =
+        Trace.set_enabled false;
+        let spans = Trace.spans () in
+        let oc = open_out path in
+        output_string oc (Trace.to_chrome_json spans);
+        close_out oc;
+        Printf.eprintf "hoiho: wrote %d span(s) to %s%s\n"
+          (List.length spans) path
+          (match Trace.dropped () with
+          | 0 -> ""
+          | n -> Printf.sprintf " (%d dropped: ring full)" n)
+      in
+      Fun.protect ~finally:finish f
 
 let preset_conv =
   let parse s =
@@ -125,13 +162,39 @@ let learn_cmd =
             "Chaos intensity: each level adds about 8 points of \
              per-item injection probability (default 1).")
   in
+  let openmetrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's metrics to $(docv) in OpenMetrics/\
+             Prometheus text exposition when done (and periodically \
+             during the run with $(b,--openmetrics-interval)).")
+  in
+  let openmetrics_interval =
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "openmetrics-interval" ] ~docv:"SEC"
+          ~doc:
+            "With $(b,--openmetrics): additionally rewrite the file \
+             every $(docv) seconds during the run, so long runs can be \
+             scraped live. 0 (the default) writes only at the end.")
+  in
   let run config seed input suffix_filter show_regexes metrics_out chaos_seed
-      chaos_level =
+      chaos_level trace_out openmetrics_out openmetrics_interval =
     let ds, db = dataset_of config seed input in
     (* scope the process-wide registry to this run so the snapshot in
        --metrics reflects exactly the work reported below (chaos
        injection volumes included) *)
     Hoiho_obs.Obs.reset ();
+    let emitter =
+      match (openmetrics_out, openmetrics_interval) with
+      | Some path, period_s when period_s > 0. ->
+          Some (Hoiho_obs.Obs.start_emitter ~period_s ~path ())
+      | _ -> None
+    in
     let db, ds =
       match chaos_seed with
       | None -> (db, ds)
@@ -140,7 +203,21 @@ let learn_cmd =
             (Hoiho_netsim.Chaos.config ~level:chaos_level cseed)
             db ds
     in
-    let pipeline = Hoiho.Pipeline.run ~db ds in
+    let pipeline = with_trace trace_out (fun () -> Hoiho.Pipeline.run ~db ds) in
+    (match emitter with
+    | Some e -> Hoiho_obs.Obs.stop_emitter e
+    | None -> (
+        (* no periodic emitter: one write at the end *)
+        match openmetrics_out with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            output_string oc
+              (Hoiho_obs.Obs.to_openmetrics (Hoiho_obs.Obs.snapshot ()));
+            close_out oc));
+    (match openmetrics_out with
+    | Some path -> Printf.printf "wrote OpenMetrics exposition to %s\n" path
+    | None -> ());
     let results =
       match suffix_filter with
       | None -> pipeline.Hoiho.Pipeline.results
@@ -212,7 +289,8 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Learn naming conventions from a dataset.")
     Term.(
       const run $ preset_arg $ seed_arg $ input_arg $ suffix_filter $ show_regexes
-      $ metrics_out $ chaos_seed $ chaos_level)
+      $ metrics_out $ chaos_seed $ chaos_level $ trace_arg $ openmetrics_out
+      $ openmetrics_interval)
 
 (* --- save-model / apply / geolocate --- *)
 
@@ -320,7 +398,10 @@ let apply_cmd =
     Arg.(
       value & flag
       & info [ "stats" ]
-          ~doc:"Print cache hit/miss counters to stderr when done.")
+          ~doc:
+            "Print serving statistics to stderr when done: cache \
+             hit/miss/eviction counts, the hit ratio, and a batch-time \
+             summary normalized per 1000 hostnames.")
   in
   let hostnames =
     Arg.(
@@ -328,24 +409,42 @@ let apply_cmd =
       & info [] ~docv:"HOSTNAME"
           ~doc:"Hostnames to locate (read from stdin when none are given).")
   in
-  let run model_path batch stats hostnames =
+  let run model_path batch stats trace_out hostnames =
     let model = load_model_or_die model_path in
     let serve = Hoiho_serve.Serve.create model in
     let hostnames =
       match hostnames with [] -> read_stdin_hostnames () | l -> l
     in
-    List.iter
-      (fun chunk ->
+    with_trace trace_out (fun () ->
         List.iter
-          (fun (hostname, answer) -> print_answer hostname answer)
-          (Hoiho_serve.Serve.apply_batch serve chunk))
-      (chunks (max 1 batch) hostnames);
+          (fun chunk ->
+            List.iter
+              (fun (hostname, answer) -> print_answer hostname answer)
+              (Hoiho_serve.Serve.apply_batch serve chunk))
+          (chunks (max 1 batch) hostnames));
     if stats then begin
       let s = Hoiho_obs.Obs.snapshot () in
       let c name = Option.value (Hoiho_obs.Obs.find_counter s name) ~default:0 in
-      Printf.eprintf "serve: %d applied, %d cache hits, %d misses, %d evictions\n"
-        (c "serve.applied") (c "serve.cache_hits") (c "serve.cache_misses")
-        (c "serve.cache_evictions")
+      let applied = c "serve.applied" in
+      let hits = c "serve.cache_hits" and misses = c "serve.cache_misses" in
+      let probes = hits + misses in
+      let ratio =
+        if probes = 0 then 0.0
+        else 100.0 *. float_of_int hits /. float_of_int probes
+      in
+      Printf.eprintf
+        "serve: %d applied, %d cache hits, %d misses, %d evictions \
+         (hit ratio %.1f%%)\n"
+        applied hits misses (c "serve.cache_evictions") ratio;
+      match Hoiho_obs.Obs.find_histogram s "serve.batch_ms" with
+      | Some h when applied > 0 ->
+          let per_1k = h.Hoiho_obs.Obs.total *. 1000.0 /. float_of_int applied in
+          Printf.eprintf
+            "serve: %d batch(es), %.1f ms total, %.2f ms per 1k hostnames \
+             (batch p50 %.2f ms, p95 %.2f ms)\n"
+            h.Hoiho_obs.Obs.n h.Hoiho_obs.Obs.total per_1k
+            h.Hoiho_obs.Obs.p50 h.Hoiho_obs.Obs.p95
+      | _ -> ()
     end
   in
   Cmd.v
@@ -353,7 +452,47 @@ let apply_cmd =
        ~doc:
          "Geolocate hostnames from a saved model — the high-throughput \
           serving path: no learning run, answers cached in a sharded LRU.")
-    Term.(const run $ model_path $ batch $ stats $ hostnames)
+    Term.(const run $ model_path $ batch $ stats $ trace_arg $ hostnames)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let model_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Model snapshot written by $(b,save-model).")
+  in
+  let hostname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HOSTNAME" ~doc:"The hostname to explain.")
+  in
+  let run model_path hostname =
+    let serve = Hoiho_serve.Serve.create (load_model_or_die model_path) in
+    (* the decision trace IS the span tree of this one geolocate call:
+       PSL split, cache probe, each candidate regex with its capture
+       groups and decoded hint, the dictionary consultation (collision
+       losers included), and the final answer with provenance *)
+    Trace.set_enabled true;
+    Trace.clear ();
+    let answer = Hoiho_serve.Serve.geolocate serve hostname in
+    Trace.set_enabled false;
+    print_answer hostname answer;
+    print_newline ();
+    print_string (Trace.render_text (Trace.spans ()))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Geolocate one hostname from a saved model and print the full \
+          decision trace: the registered-suffix split, every candidate \
+          regex tried with its capture groups, the dictionary entries \
+          consulted (with collision losers), and the final geohint with \
+          the rule that produced it.")
+    Term.(const run $ model_path $ hostname)
 
 let geolocate_cmd =
   let hostnames =
@@ -459,4 +598,5 @@ let () =
   let doc = "learn geographic naming conventions from router hostnames" in
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
                     [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
-                      geolocate_cmd; compare_cmd; report_cmd; lookup_cmd ]))
+                      explain_cmd; geolocate_cmd; compare_cmd; report_cmd;
+                      lookup_cmd ]))

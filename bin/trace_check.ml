@@ -1,0 +1,63 @@
+(* Validates a --trace output file: it must be a complete Chrome
+   trace-event JSON document by the repo's own strict parser, with a
+   non-empty "traceEvents" array of complete-duration ("ph":"X") events
+   each carrying name/ts/dur/pid/tid. Exits non-zero with a diagnostic
+   otherwise — wired into `dune build @check` (see bin/dune). *)
+
+module Json = Hoiho_util.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("trace_check: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let number = function
+  | Some (Json.Int _) | Some (Json.Float _) -> true
+  | _ -> false
+
+let check_event i ev =
+  match ev with
+  | Json.Obj _ ->
+      (match Json.member "name" ev with
+      | Some (Json.String _) -> ()
+      | _ -> fail "event %d: missing string \"name\"" i);
+      (match Json.member "ph" ev with
+      | Some (Json.String "X") -> ()
+      | Some v -> fail "event %d: \"ph\" is %s, want \"X\"" i (Json.to_string v)
+      | None -> fail "event %d: missing \"ph\"" i);
+      if not (number (Json.member "ts" ev)) then
+        fail "event %d: missing numeric \"ts\"" i;
+      if not (number (Json.member "dur" ev)) then
+        fail "event %d: missing numeric \"dur\"" i;
+      if not (number (Json.member "pid" ev)) then
+        fail "event %d: missing numeric \"pid\"" i;
+      if not (number (Json.member "tid" ev)) then
+        fail "event %d: missing numeric \"tid\"" i
+  | other -> fail "event %d: %s, want object" i (Json.kind other)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: trace_check FILE";
+        exit 2
+  in
+  let doc =
+    match Json.parse (read_file path) with
+    | Ok doc -> doc
+    | Error e -> fail "%s does not parse as JSON: %s" path e
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> evs
+    | Some other -> fail "\"traceEvents\" is %s, want list" (Json.kind other)
+    | None -> fail "missing \"traceEvents\""
+  in
+  if events = [] then fail "\"traceEvents\" is empty";
+  List.iteri check_event events;
+  Printf.printf "trace_check: %s ok (%d events)\n" path (List.length events)

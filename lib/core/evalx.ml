@@ -28,7 +28,13 @@ type hit = {
   location : City.t option;
 }
 
-let resolve db ?learned (ex : Plan.extraction) =
+type provenance = Overlay | Dictionary
+
+let provenance_name = function
+  | Overlay -> "learned-overlay"
+  | Dictionary -> "dictionary"
+
+let resolve_explained db ?learned (ex : Plan.extraction) =
   let from_overlay =
     match learned with
     | None -> None
@@ -38,7 +44,7 @@ let resolve db ?learned (ex : Plan.extraction) =
         | None -> None)
   in
   match from_overlay with
-  | Some cities -> cities
+  | Some cities -> (cities, Overlay)
   | None ->
       let cities = Dicts.lookup db ex.Plan.hint_type ex.Plan.hint in
       let narrowed =
@@ -53,7 +59,9 @@ let resolve db ?learned (ex : Plan.extraction) =
             | None -> true)
           cities
       in
-      if narrowed <> [] then narrowed else cities
+      ((if narrowed <> [] then narrowed else cities), Dictionary)
+
+let resolve db ?learned ex = fst (resolve_explained db ?learned ex)
 
 (* the stage-2 expectation this extraction corresponds to, if any *)
 let matching_tag (sample : Apparent.sample) hint =

@@ -64,3 +64,15 @@ val resolve :
 (** Candidate locations for an extraction: the learned overlay first,
     then the reference dictionary filtered by any extracted country and
     state codes. *)
+
+type provenance = Overlay | Dictionary
+
+val provenance_name : provenance -> string
+
+val resolve_explained :
+  Hoiho_geodb.Db.t ->
+  ?learned:Learned.t ->
+  Plan.extraction ->
+  Hoiho_geodb.City.t list * provenance
+(** {!resolve} plus where the answer came from — the decision traces of
+    [hoiho explain] record which rule supplied the geohint. *)

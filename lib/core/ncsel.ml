@@ -1,4 +1,5 @@
 module Obs = Hoiho_obs.Obs
+module Trace = Hoiho_obs.Trace
 
 (* stage-4 selection metrics: candidates that reached the expensive
    per-sample evaluation, exact (source, plan) duplicates dropped
@@ -92,7 +93,18 @@ let dedupe_cands cands =
     cands
 
 let prepare ?(jobs = 1) consist db ?learned cands samples_arr =
+  (* per-candidate spans run on arbitrary pool domains; the explicit
+     parent (captured here, on the submitting domain) keeps them nested
+     under this build at every jobs setting *)
+  let parent = Trace.fanout_parent () in
   let eval cand =
+    Trace.with_span ~parent "ncsel.cand"
+      ~attrs:
+        [
+          ("source", cand.Cand.source);
+          ("plan", Format.asprintf "%a" Plan.pp cand.Cand.plan);
+        ]
+    @@ fun () ->
     let hits =
       Array.map (Evalx.eval_sample consist db ?learned cand) samples_arr
     in
@@ -101,6 +113,7 @@ let prepare ?(jobs = 1) consist db ?learned cands samples_arr =
         (fun c (h : Evalx.hit) -> Evalx.add_outcome c h.Evalx.outcome)
         Evalx.zero hits
     in
+    Trace.add_attr "atp" (string_of_int (Evalx.atp counts));
     { cand; hits; atp = Evalx.atp counts }
   in
   (* fault determinism: evaluate EVERY candidate (capturing failures
@@ -168,14 +181,24 @@ let build ?jobs consist db ?learned cands samples =
   let jobs = match jobs with Some j -> j | None -> Hoiho_util.Pool.default_jobs () in
   let samples_arr = Array.of_list samples in
   let n_raw = List.length cands in
+  Trace.with_span "ncsel.build"
+    ~attrs:
+      [
+        ("cands_in", string_of_int n_raw);
+        ("samples", string_of_int (Array.length samples_arr));
+      ]
+  @@ fun () ->
   let cands = dedupe_cands cands in
   Obs.add c_deduped (n_raw - List.length cands);
   Obs.add c_evaluated (List.length cands);
+  Trace.add_attr "deduped" (string_of_int (n_raw - List.length cands));
   let prepared = prepare ~jobs consist db ?learned cands samples_arr in
   let with_matches =
     List.filter (fun m -> Array.exists matched m.hits) prepared
   in
   Obs.add c_rejected (List.length prepared - List.length with_matches);
+  Trace.add_attr "rejected"
+    (string_of_int (List.length prepared - List.length with_matches));
   match with_matches with
   | [] -> None
   | _ ->

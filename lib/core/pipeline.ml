@@ -4,6 +4,7 @@ module Pool = Hoiho_util.Pool
 module Dataset = Hoiho_itdk.Dataset
 module Router = Hoiho_itdk.Router
 module Obs = Hoiho_obs.Obs
+module Trace = Hoiho_obs.Trace
 
 (* run-level observability (see DESIGN.md §7): per-stage and per-suffix
    wall time plus work counters. The counters are deterministic across
@@ -42,7 +43,7 @@ type suffix_result = {
 exception Stage_failed of string * exn
 
 let stage name f =
-  try f () with
+  try Trace.with_span ("pipeline.stage." ^ name) f with
   | Stage_failed _ as e -> raise e
   | e -> raise (Stage_failed (name, e))
 
@@ -63,6 +64,9 @@ let run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers =
   let tagged = List.filter (fun (s : Apparent.sample) -> s.Apparent.tags <> []) samples in
   Obs.add c_samples (List.length samples);
   Obs.add c_tagged (List.length tagged);
+  (* lands on the enclosing pipeline.suffix span when run under [run] *)
+  Trace.add_attr "samples" (string_of_int (List.length samples));
+  Trace.add_attr "tagged" (string_of_int (List.length tagged));
   let tagged_routers =
     List.sort_uniq compare
       (List.map (fun (s : Apparent.sample) -> s.Apparent.router.Router.id) tagged)
@@ -150,7 +154,19 @@ let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let consist = Consist.create dataset in
   let groups = Dataset.by_suffix dataset in
+  Trace.with_span "pipeline.run"
+    ~attrs:
+      [
+        ("dataset", dataset.Dataset.label);
+        ("suffix_groups", string_of_int (List.length groups));
+      ]
+  @@ fun () ->
+  (* suffix spans run on pool domains whose span stacks are empty; the
+     explicit parent keeps the tree identical at every jobs setting *)
+  let parent = Trace.fanout_parent () in
   let run_group (suffix, routers) =
+    Trace.with_span ~parent "pipeline.suffix" ~attrs:[ ("suffix", suffix) ]
+    @@ fun () ->
     Obs.time h_suffix (fun () ->
         let result = run_suffix consist db ~learn_geohints ~jobs ~suffix routers in
         if result.n_tagged < min_samples then
@@ -171,6 +187,28 @@ let usable r =
 
 let find t suffix = List.find_opt (fun r -> r.suffix = suffix) t.results
 
+(* decision-trace vocabulary shared with Serve.apply_norm (the serving
+   mirror of this function): span "geolocate" wraps the whole decision,
+   "geolocate.psl" the suffix split, one "geolocate.cand" per regex
+   tried, and "geolocate.resolve" the dictionary consultation — the
+   attrs together are exactly what [hoiho explain] pretty-prints *)
+
+let trace_groups groups =
+  String.concat ","
+    (List.map
+       (function Some g -> g | None -> "-")
+       (Array.to_list groups))
+
+let trace_resolve_result cities provenance =
+  Trace.add_attr "provenance" (Evalx.provenance_name provenance);
+  match cities with
+  | [] -> Trace.add_attr "resolved" "none"
+  | best :: losers ->
+      Trace.add_attr "resolved" (City.describe best);
+      if losers <> [] then
+        Trace.add_attr "collision_losers"
+          (String.concat " | " (List.map City.describe losers))
+
 let geolocate t hostname =
   (* the learned regexes speak normalized hostnames (lowercase, no
      whitespace, no root dot): the PSL lookup normalizes internally, so
@@ -180,26 +218,65 @@ let geolocate t hostname =
      record serves up, the answer is a location or [None] — never an
      exception *)
   try
-    match Hoiho_psl.Psl.registered_suffix hostname with
-    | None -> None
-    | Some suffix -> (
-        match find t suffix with
-        | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
-            let rec first = function
-              | [] -> None
-              | (cand : Cand.t) :: rest -> (
-                  match Hoiho_rx.Engine.exec cand.Cand.regex hostname with
-                  | None -> first rest
-                  | Some groups -> (
-                      match Plan.decode cand.Cand.plan groups with
-                      | None -> first rest
-                      | Some ex -> (
-                          match Evalx.resolve t.db ~learned ex with
+    Trace.with_span "geolocate" ~attrs:[ ("hostname", hostname) ]
+    @@ fun () ->
+    let answer =
+      match
+        Trace.with_span "geolocate.psl" (fun () ->
+            let s = Hoiho_psl.Psl.registered_suffix hostname in
+            Trace.add_attr "suffix" (Option.value s ~default:"-");
+            s)
+      with
+      | None -> None
+      | Some suffix -> (
+          match find t suffix with
+          | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
+              (* spans for successive candidates must be siblings, so
+                 the recursion steps OUTSIDE the current span before
+                 trying the next regex *)
+              let try_cand (cand : Cand.t) =
+                Trace.with_span "geolocate.cand"
+                  ~attrs:[ ("regex", cand.Cand.source) ]
+                @@ fun () ->
+                match Hoiho_rx.Engine.exec cand.Cand.regex hostname with
+                | None ->
+                    Trace.add_attr "matched" "false";
+                    `Next
+                | Some groups -> (
+                    Trace.add_attr "matched" "true";
+                    Trace.add_attr "groups" (trace_groups groups);
+                    match Plan.decode cand.Cand.plan groups with
+                    | None ->
+                        Trace.add_attr "decoded" "false";
+                        `Next
+                    | Some ex ->
+                        Trace.add_attr "hint" ex.Plan.hint;
+                        Trace.add_attr "hint_type"
+                          (Plan.hint_type_name ex.Plan.hint_type);
+                        Trace.with_span "geolocate.resolve"
+                        @@ fun () ->
+                        let cities, provenance =
+                          Evalx.resolve_explained t.db ~learned ex
+                        in
+                        trace_resolve_result cities provenance;
+                        `Done
+                          (match cities with
                           | best :: _ -> Some best
-                          | [] -> None)))
-            in
-            first nc.Ncsel.cands
-        | _ -> None)
+                          | [] -> None))
+              in
+              let rec first = function
+                | [] -> None
+                | cand :: rest -> (
+                    match try_cand cand with
+                    | `Done answer -> answer
+                    | `Next -> first rest)
+              in
+              first nc.Ncsel.cands
+          | _ -> None)
+    in
+    Trace.add_attr "answer"
+      (match answer with Some c -> City.describe c | None -> "none");
+    answer
   with _ -> None
 
 let geolocated_routers _t r =

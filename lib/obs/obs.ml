@@ -61,7 +61,16 @@ let observe h v =
   h.hlen <- h.hlen + 1;
   Mutex.unlock h.hlock
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+(* monotonic milliseconds (arbitrary epoch, differences only): a wall
+   clock stepping backwards under NTP used to push negative durations
+   into the histograms. OCaml's Unix module has no clock_gettime
+   binding, so the CLOCK_MONOTONIC read comes from the bechamel
+   monotonic-clock stub the bench harness already ships. *)
+let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
+
+(* wall-clock epoch milliseconds, kept only for values that leave the
+   process as absolute times (trace anchors, emitter timestamps) *)
+let epoch_ms () = Unix.gettimeofday () *. 1000.0
 
 let time h f =
   let t0 = now_ms () in
@@ -181,3 +190,105 @@ let to_json snap =
            s.n s.p50 s.p95 s.max s.total));
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
+
+(* --- OpenMetrics text exposition ---
+
+   The same snapshot, in the Prometheus/OpenMetrics exposition format:
+   counters as `<name>_total`, gauges verbatim, histograms as summaries
+   (count/sum plus p50/p95 quantile samples). Metric names are the
+   registry names with every non-[a-zA-Z0-9_] byte mapped to '_' and a
+   "hoiho_" namespace prefix. *)
+
+let om_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "hoiho_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let om_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.6g" v
+
+let to_openmetrics snap =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" n v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v))
+    snap.gauges;
+  List.iter
+    (fun (name, (s : histo_stats)) ->
+      let n = om_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" n (om_float s.p50));
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.95\"} %s\n" n (om_float s.p95));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n s.n);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (om_float s.total)))
+    snap.histograms;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* --- periodic exposition emitter ---
+
+   Opt-in: a long learn run can be scraped mid-flight from a file. The
+   emitter is one spare domain that rewrites [path] atomically
+   (tmp + rename) every [period_s], polling its stop flag at 50 ms so
+   shutdown is prompt; [stop_emitter] joins it and writes one final
+   snapshot so the file always ends complete. *)
+
+type emitter = {
+  stop : bool Atomic.t;
+  worker : unit Domain.t;
+  epath : string;
+}
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let emit_openmetrics path = write_file_atomic path (to_openmetrics (snapshot ()))
+
+let start_emitter ?(period_s = 5.0) ~path () =
+  let stop = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        let rec sleep remaining =
+          if (not (Atomic.get stop)) && remaining > 0.0 then begin
+            let nap = Float.min 0.05 remaining in
+            Unix.sleepf nap;
+            sleep (remaining -. nap)
+          end
+        in
+        let rec loop () =
+          sleep period_s;
+          if not (Atomic.get stop) then begin
+            (try emit_openmetrics path with Sys_error _ -> ());
+            loop ()
+          end
+        in
+        loop ())
+  in
+  { stop; worker; epath = path }
+
+let stop_emitter e =
+  Atomic.set e.stop true;
+  Domain.join e.worker;
+  emit_openmetrics e.epath

@@ -48,7 +48,13 @@ val observe : histogram -> float -> unit
 (** Record one duration (milliseconds). *)
 
 val now_ms : unit -> float
-(** Wall-clock milliseconds (epoch-based; use differences only). *)
+(** Monotonic milliseconds ([CLOCK_MONOTONIC]; arbitrary epoch — use
+    differences only). Immune to wall-clock steps, so histogram
+    durations are never negative. *)
+
+val epoch_ms : unit -> float
+(** Wall-clock epoch milliseconds ([gettimeofday]) — only for values
+    that leave the process as absolute times (JSON anchors). *)
 
 val time : histogram -> (unit -> 'a) -> 'a
 (** [time h f] runs [f] and records its wall-clock duration in [h],
@@ -87,3 +93,29 @@ val to_json : snapshot -> string
     [{"counters": {..}, "gauges": {..}, "histograms": {"name":
     {"count": n, "p50_ms": x, "p95_ms": x, "max_ms": x, "total_ms":
     x}}}]. Keys are sorted, so equal snapshots render equal strings. *)
+
+val to_openmetrics : snapshot -> string
+(** The snapshot in OpenMetrics/Prometheus text exposition: counters
+    as [hoiho_<name>_total], gauges verbatim, histograms as summaries
+    with p50/p95 quantile samples, terminated by [# EOF]. Names are
+    sanitized (non-alphanumeric bytes become ['_']) and prefixed with
+    [hoiho_]; keys are sorted, so equal snapshots render equal
+    strings. *)
+
+val json_escape : string -> string
+(** RFC 8259 string-body escaping (quotes, backslash, control bytes)
+    shared with {!Trace.to_chrome_json}. *)
+
+(** {1 Periodic exposition} *)
+
+type emitter
+
+val start_emitter : ?period_s:float -> path:string -> unit -> emitter
+(** Spawn a domain that rewrites [path] (atomically: tmp + rename)
+    with {!to_openmetrics} of a fresh {!snapshot} every [period_s]
+    seconds (default 5.0), so long runs can be scraped from the
+    file. *)
+
+val stop_emitter : emitter -> unit
+(** Stop and join the emitter, then write one final snapshot — the
+    file always ends with the run's complete metrics. *)

@@ -229,11 +229,25 @@ let extract t st =
       if st_i < 0 || en < st_i || en > st.slen then None
       else Some (String.sub st.str st_i (en - st_i)))
 
+module Trace = Hoiho_obs.Trace
+
+let exec_raw t s =
+  let st = mstate_of t s in
+  if search t st then Some (extract t st) else None
+
+(* tracing exec is far too hot to span every call; when tracing is on,
+   a deterministic 1-in-64 sample keyed on the subject's bytes (never
+   on scheduling) records the regex, subject and verdict *)
 let exec t s =
   if not (subject_ok s) then None
-  else
-    let st = mstate_of t s in
-    if search t st then Some (extract t st) else None
+  else if Trace.enabled () && Trace.sampled s then
+    Trace.with_span "rx.exec"
+      ~attrs:[ ("regex", source t); ("subject", s) ]
+      (fun () ->
+        let r = exec_raw t s in
+        Trace.add_attr "matched" (string_of_bool (r <> None));
+        r)
+  else exec_raw t s
 
 let exec_unfiltered t s =
   if not (subject_ok s) then None

@@ -5,10 +5,12 @@ module Evalx = Hoiho.Evalx
 module Engine = Hoiho_rx.Engine
 module Pool = Hoiho_util.Pool
 module Obs = Hoiho_obs.Obs
+module Trace = Hoiho_obs.Trace
 
 let c_hits = Obs.counter "serve.cache_hits"
 let c_misses = Obs.counter "serve.cache_misses"
 let c_applied = Obs.counter "serve.applied"
+let h_batch = Obs.histogram "serve.batch_ms"
 
 type t = {
   model : Learned_io.t;
@@ -37,33 +39,93 @@ let usable = function
   | Ncsel.Good | Ncsel.Promising -> true
   | Ncsel.Poor -> false
 
+(* decision-trace attrs, same vocabulary as Pipeline.geolocate *)
+let trace_groups groups =
+  String.concat ","
+    (List.map (function Some g -> g | None -> "-") (Array.to_list groups))
+
+let trace_resolve_result cities provenance =
+  Trace.add_attr "provenance" (Evalx.provenance_name provenance);
+  match cities with
+  | [] -> Trace.add_attr "resolved" "none"
+  | best :: losers ->
+      Trace.add_attr "resolved" (Hoiho_geodb.City.describe best);
+      if losers <> [] then
+        Trace.add_attr "collision_losers"
+          (String.concat " | "
+             (List.map Hoiho_geodb.City.describe losers))
+
 (* the apply path, on an already-normalized hostname: a step-for-step
    mirror of Pipeline.geolocate, so a served answer is byte-identical to
-   the in-process one on the run the model was saved from *)
-let apply_norm t hostname =
+   the in-process one on the run the model was saved from. The spans it
+   emits are the serving half of the decision trace: "serve.apply" wraps
+   the call; "serve.psl", one "serve.cand" per regex tried, and
+   "serve.resolve" record the split, captures, and dictionary
+   consultation that [hoiho explain] pretty-prints. *)
+let apply_norm ?parent t hostname =
   try
-    match Hoiho_psl.Psl.registered_suffix hostname with
-    | None -> None
-    | Some suffix -> (
-        match Hashtbl.find_opt t.by_suffix suffix with
-        | Some sm when usable sm.Learned_io.classification ->
-            let rec first = function
-              | [] -> None
-              | (c : Learned_io.cand) :: rest -> (
-                  match Engine.exec c.Learned_io.regex hostname with
-                  | None -> first rest
-                  | Some groups -> (
-                      match Plan.decode c.Learned_io.plan groups with
-                      | None -> first rest
-                      | Some ex -> (
-                          match
-                            Evalx.resolve t.db ~learned:sm.Learned_io.learned ex
-                          with
+    Trace.with_span ?parent "serve.apply" ~attrs:[ ("hostname", hostname) ]
+    @@ fun () ->
+    let answer =
+      match
+        Trace.with_span "serve.psl" (fun () ->
+            let s = Hoiho_psl.Psl.registered_suffix hostname in
+            Trace.add_attr "suffix" (Option.value s ~default:"-");
+            s)
+      with
+      | None -> None
+      | Some suffix -> (
+          match Hashtbl.find_opt t.by_suffix suffix with
+          | Some sm when usable sm.Learned_io.classification ->
+              (* spans for successive candidates must be siblings, so
+                 the recursion steps OUTSIDE the current span before
+                 trying the next regex *)
+              let try_cand (c : Learned_io.cand) =
+                Trace.with_span "serve.cand"
+                  ~attrs:[ ("regex", c.Learned_io.source) ]
+                @@ fun () ->
+                match Engine.exec c.Learned_io.regex hostname with
+                | None ->
+                    Trace.add_attr "matched" "false";
+                    `Next
+                | Some groups -> (
+                    Trace.add_attr "matched" "true";
+                    Trace.add_attr "groups" (trace_groups groups);
+                    match Plan.decode c.Learned_io.plan groups with
+                    | None ->
+                        Trace.add_attr "decoded" "false";
+                        `Next
+                    | Some ex ->
+                        Trace.add_attr "hint" ex.Plan.hint;
+                        Trace.add_attr "hint_type"
+                          (Plan.hint_type_name ex.Plan.hint_type);
+                        Trace.with_span "serve.resolve"
+                        @@ fun () ->
+                        let cities, provenance =
+                          Evalx.resolve_explained t.db
+                            ~learned:sm.Learned_io.learned ex
+                        in
+                        trace_resolve_result cities provenance;
+                        `Done
+                          (match cities with
                           | best :: _ -> Some best
-                          | [] -> None)))
-            in
-            first sm.Learned_io.cands
-        | _ -> None)
+                          | [] -> None))
+              in
+              let rec first = function
+                | [] -> None
+                | c :: rest -> (
+                    match try_cand c with
+                    | `Done answer -> answer
+                    | `Next -> first rest)
+              in
+              first sm.Learned_io.cands
+          | _ -> None)
+    in
+    Trace.add_attr "answer"
+      (match answer with
+      | Some c -> Hoiho_geodb.City.describe c
+      | None -> "none");
+    answer
   with _ -> None
 
 let geolocate_uncached t hostname =
@@ -73,7 +135,15 @@ let geolocate_uncached t hostname =
 let geolocate t hostname =
   Obs.incr c_applied;
   let key = Hoiho_util.Strutil.normalize_hostname hostname in
-  match Lru.find t.cache key with
+  Trace.with_span "serve.geolocate" ~attrs:[ ("hostname", key) ]
+  @@ fun () ->
+  let probe () =
+    Trace.with_span "serve.cache" @@ fun () ->
+    let r = Lru.find t.cache key in
+    Trace.add_attr "outcome" (match r with Some _ -> "hit" | None -> "miss");
+    r
+  in
+  match probe () with
   | Some answer ->
       Obs.incr c_hits;
       answer
@@ -86,6 +156,14 @@ let geolocate t hostname =
 let apply_batch ?jobs t hostnames =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let keys = List.map Hoiho_util.Strutil.normalize_hostname hostnames in
+  Trace.with_span "serve.batch"
+    ~attrs:[ ("hostnames", string_of_int (List.length keys)) ]
+  @@ fun () ->
+  Obs.time h_batch
+  @@ fun () ->
+  (* per-miss serve.apply spans run on pool domains; the explicit parent
+     keeps them under this batch at every jobs setting *)
+  let parent = Trace.fanout_parent () in
   Obs.add c_applied (List.length keys);
   (* one sequential cache probe per distinct key, in first-appearance
      order: hit/miss counts and eviction order are then functions of the
@@ -109,10 +187,11 @@ let apply_batch ?jobs t hostnames =
   let misses = List.rev !misses in
   (* the per-miss computation is pure; fan it out *)
   let computed =
-    let f key = (key, apply_norm t key) in
+    let f key = (key, apply_norm ~parent t key) in
     if jobs <= 1 then List.map f misses
     else Pool.parallel_map (Pool.get jobs) f misses
   in
+  Trace.add_attr "misses" (string_of_int (List.length misses));
   List.iter
     (fun (key, answer) ->
       Hashtbl.replace answers key answer;

@@ -8,7 +8,15 @@
 
     Counters: [serve.cache_hits], [serve.cache_misses] (one per distinct
     probe), [serve.cache_evictions] (from {!Lru}), and [serve.applied]
-    (hostnames answered, cached or not).
+    (hostnames answered, cached or not). {!apply_batch} wall time lands
+    in the [serve.batch_ms] histogram.
+
+    When {!Hoiho_obs.Trace} is enabled the serving path emits decision
+    traces: [serve.geolocate]/[serve.cache] around the cached path,
+    [serve.batch] around a batch, and per-application [serve.apply]
+    with [serve.psl], [serve.cand] (regex, capture groups, decoded
+    hint), and [serve.resolve] (dictionary entries consulted, collision
+    losers, provenance) children — the tree [hoiho explain] renders.
 
     Determinism: {!apply_batch} produces results — and cache-work
     counters — identical at any [jobs] setting: the cache is probed

@@ -91,7 +91,14 @@ type batch = {
   mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
+(* the batch span is scheduling-dependent by nature (it only exists when
+   jobs > 1, and its duration reflects queue contention), so it carries
+   the "sched" category and is exempt — like the pool.* counters — from
+   the cross-jobs determinism contract (DESIGN.md §10) *)
 let run_batch t (thunks : (unit -> unit) array) =
+  Hoiho_obs.Trace.with_span ~cat:"sched" "pool.batch"
+    ~attrs:[ ("thunks", string_of_int (Array.length thunks)) ]
+  @@ fun () ->
   let b =
     { pending = Array.length thunks; finished = Condition.create (); error = None }
   in
