@@ -1,0 +1,62 @@
+(* CI gate for the parallel learn path (part of `dune build @check`).
+
+   Learns the fixed-seed tiny preset at jobs=1 and jobs=4, best of
+   three runs each, and enforces:
+
+   - results and non-pool work counters byte-identical across the two
+     settings — the determinism contract, on every host;
+   - on hosts with >= 4 cores, parallel learn no slower than
+     sequential (5% noise tolerance): the regression this pins down is
+     the fine-grained scheduling + allocation work making parallel
+     learn a net loss, which is exactly what shipped once before;
+   - on smaller hosts real speedup is physically impossible and
+     wall-clock gating would flake, so only a catastrophic-overhead
+     bound (3x) applies, and the report says which mode ran. *)
+
+module Pipeline = Hoiho.Pipeline
+module Generate = Hoiho_netsim.Generate
+module Presets = Hoiho_netsim.Presets
+module Truth = Hoiho_netsim.Truth
+module Obs = Hoiho_obs.Obs
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("perf_check: " ^ msg); exit 1) fmt
+
+let work_counters (s : Obs.snapshot) =
+  List.filter
+    (fun (name, _) ->
+      not (String.length name >= 5 && String.sub name 0 5 = "pool."))
+    s.Obs.counters
+
+let () =
+  let ds, truth = Generate.generate (Presets.tiny ~seed:42 ()) in
+  let db = Truth.db truth in
+  let timed jobs =
+    Obs.reset ();
+    let t0 = Unix.gettimeofday () in
+    let p = Pipeline.run ~db ~jobs ds in
+    (p, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let best_of_3 jobs =
+    let p0, ms0 = timed jobs in
+    let _, ms1 = timed jobs in
+    let _, ms2 = timed jobs in
+    (p0, min ms0 (min ms1 ms2))
+  in
+  let seq, seq_ms = best_of_3 1 in
+  let par, par_ms = best_of_3 4 in
+  if seq.Pipeline.results <> par.Pipeline.results then
+    fail "results differ between jobs=1 and jobs=4";
+  if work_counters seq.Pipeline.metrics <> work_counters par.Pipeline.metrics
+  then fail "work counters differ between jobs=1 and jobs=4";
+  let cores = Domain.recommended_domain_count () in
+  let enforced = cores >= 4 in
+  if enforced && par_ms > seq_ms *. 1.05 then
+    fail "parallel learn slower than sequential on %d cores: jobs=4 %.1f ms vs jobs=1 %.1f ms"
+      cores par_ms seq_ms;
+  if (not enforced) && par_ms > seq_ms *. 3.0 then
+    fail "catastrophic parallel overhead on %d core(s): jobs=4 %.1f ms vs jobs=1 %.1f ms"
+      cores par_ms seq_ms;
+  Printf.printf
+    "perf_check ok: jobs=1 %.1f ms, jobs=4 %.1f ms (%.2fx) on %d core(s), %s; results and counters identical\n"
+    seq_ms par_ms (seq_ms /. par_ms) cores
+    (if enforced then "par<=seq enforced" else "speedup not enforced (<4 cores)")

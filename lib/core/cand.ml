@@ -47,6 +47,30 @@ let build ~suffix body =
   let regex = Engine.compile ast in
   { body; suffix; plan = plan_of body; regex; source = Ast.to_string ast }
 
+let source_of ~suffix body = Ast.to_string (ast_of ~capture_fillers:false ~suffix body)
+
+let build_many ?(jobs = 1) ~suffix bodies =
+  (* rendering a body's source is cheap; compiling it (prefilter
+     analysis, class bitmaps) is not. Deduplicate on the rendered
+     source BEFORE compiling — the generation phases emit the same
+     pattern from many samples — then fan the distinct compiles out
+     over the shared pool. Keeps first occurrences in order, exactly
+     like [dedup] over per-body [build] results. *)
+  let seen = Hashtbl.create 64 in
+  let distinct =
+    List.filter
+      (fun body ->
+        let src = source_of ~suffix body in
+        if Hashtbl.mem seen src then false
+        else begin
+          Hashtbl.replace seen src ();
+          true
+        end)
+      bodies
+  in
+  if jobs <= 1 then List.map (build ~suffix) distinct
+  else Hoiho_util.Pool.parallel_map (Hoiho_util.Pool.get jobs) (build ~suffix) distinct
+
 let analysis_regex t =
   let ast = ast_of ~capture_fillers:true ~suffix:t.suffix t.body in
   let regex = Engine.compile ast in

@@ -29,6 +29,17 @@ val build : suffix:string -> comp list -> t
 (** Compile components into an anchored regex ending in the literal
     suffix; derives the plan from the [Cap] components in order. *)
 
+val source_of : suffix:string -> comp list -> string
+(** The concrete syntax [build] would give this body, without
+    compiling it. *)
+
+val build_many : ?jobs:int -> suffix:string -> comp list list -> t list
+(** Batched compilation: deduplicates bodies on their rendered source
+    (keeping first occurrences, like {!dedup}) before compiling, and
+    fans the distinct compiles out over the shared pool when
+    [jobs > 1]. Equivalent to [dedup (List.map (build ~suffix) bodies)]
+    at a fraction of the compile work. *)
+
 val analysis_regex :
   t -> Hoiho_rx.Engine.t * [ `Fill of int | `Plan of Plan.elem ] list
 (** A variant where every filler is additionally captured, for phase 3:

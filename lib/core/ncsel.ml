@@ -120,9 +120,12 @@ let prepare ?(jobs = 1) consist db ?learned cands samples_arr =
      per job) and re-raise the first error in candidate order, not
      completion order — so a poisoned sample aborts the suffix with the
      same work counters and the same attributed exception whether the
-     fan-out ran on one lane or eight *)
+     fan-out ran on one lane or eight. chunk:1 makes each candidate its
+     own stealable job: a fat suffix's evaluation tail is then drained
+     by whichever lanes fall idle, instead of serializing on the lane
+     that happened to dequeue its chunk. *)
   let results =
-    Hoiho_util.Pool.map_results (Hoiho_util.Pool.get jobs) eval cands
+    Hoiho_util.Pool.map_results (Hoiho_util.Pool.get jobs) ~chunk:1 eval cands
   in
   let rec unwrap = function
     | [] -> []
@@ -206,7 +209,17 @@ let build ?jobs consist db ?learned cands samples =
         List.sort (fun a b -> compare b.atp a.atp) with_matches
       in
       let seeds = List.filteri (fun i _ -> i < seed_count) ranked in
-      let ncs = List.map (grow samples_arr ranked) seeds in
+      (* the greedy grow from each seed is independent and reads only
+         precomputed hits; growing the 8 seeds as stealable sub-jobs
+         parallelizes the set-building tail that used to serialize a
+         fat suffix. [grow] is pure and touches no Obs counter, so the
+         order-preserving map keeps results jobs-invariant. *)
+      let ncs =
+        if jobs <= 1 then List.map (grow samples_arr ranked) seeds
+        else
+          Hoiho_util.Pool.parallel_map (Hoiho_util.Pool.get jobs) ~chunk:1
+            (grow samples_arr ranked) seeds
+      in
       let by_atp =
         List.sort
           (fun a b -> compare (Evalx.atp b.counts) (Evalx.atp a.counts))

@@ -88,7 +88,7 @@ let run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers =
   else begin
     let cands =
       stage "regen" (fun () ->
-          Obs.time h_stage_regen (fun () -> Regen.candidates ~suffix tagged))
+          Obs.time h_stage_regen (fun () -> Regen.candidates ?jobs ~suffix tagged))
     in
     match
       stage "ncsel" (fun () ->
@@ -176,7 +176,28 @@ let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
   let results =
     Obs.time h_run (fun () ->
         if jobs <= 1 then List.map run_group groups
-        else Pool.parallel_map (Pool.get jobs) run_group groups)
+        else begin
+          (* LPT submission order: the fattest groups go onto the queue
+             first so one huge suffix can't land last and serialize the
+             tail of the run; chunk:1 makes every group its own
+             stealable job, and each group's internal stages fan out
+             over the same pool, so idle lanes help with a fat group
+             instead of waiting behind it. Results land back in their
+             original slots — output order, and everything downstream,
+             is unchanged. *)
+          let arr = Array.of_list groups in
+          let n = Array.length arr in
+          let order = Array.init n (fun i -> i) in
+          Array.sort
+            (fun a b ->
+              compare (List.length (snd arr.(b))) (List.length (snd arr.(a))))
+            order;
+          let slots = Array.make n None in
+          Pool.parallel_for (Pool.get jobs) ~chunk:1 n (fun k ->
+              let i = order.(k) in
+              slots.(i) <- Some (run_group arr.(i)));
+          Array.to_list (Array.map Option.get slots)
+        end)
   in
   { dataset; consist; db; results; metrics = Obs.snapshot () }
 

@@ -9,16 +9,23 @@
     sequences (or literal) they actually matched. Phase 4 — assembling
     regexes into naming conventions — lives in {!Ncsel}. *)
 
-val phase1 : suffix:string -> Apparent.sample list -> Cand.t list
+val phase1 : ?jobs:int -> suffix:string -> Apparent.sample list -> Cand.t list
 
-val phase2 : Cand.t list -> Cand.t list
+val phase2 : ?jobs:int -> Cand.t list -> Cand.t list
 (** Newly created merged candidates (not including the inputs). *)
 
-val phase3 : Apparent.sample list -> Cand.t list -> Cand.t list
+val phase3 : ?jobs:int -> Apparent.sample list -> Cand.t list -> Cand.t list
 (** Newly created specialized candidates (not including the inputs). *)
 
-val candidates : suffix:string -> Apparent.sample list -> Cand.t list
-(** All phases, deduplicated: phase1 ∪ phase2 ∪ phase3 output. *)
+val candidates : ?jobs:int -> suffix:string -> Apparent.sample list -> Cand.t list
+(** All phases, deduplicated: phase1 ∪ phase2 ∪ phase3 output.
+
+    [jobs] (default 1) fans the heavy per-phase work — body generation
+    per hostname, distinct-pattern compilation, per-candidate filler
+    analysis — out over the shared domain pool as independently
+    stealable sub-jobs. The candidate list is identical at every [jobs]
+    setting: every fan-out is an order-preserving map of a pure
+    function, so dedup keeps the same first occurrences. *)
 
 val max_candidates : int
 (** Safety cap on the candidate pool per suffix. *)

@@ -7,6 +7,13 @@ val ipv4_mar21 : ?scale:float -> unit -> Generate.config
 val ipv6_nov20 : ?scale:float -> unit -> Generate.config
 val ipv6_mar21 : ?scale:float -> unit -> Generate.config
 
+val paper : ?scale:float -> unit -> Generate.config
+(** The Aug '20 IPv4 ITDK at the paper's magnitude: [scale = 1.0]
+    generates ≈ 2.56 million routers (table 1), i.e. 35× the
+    {!ipv4_aug20} default. Fractional scales give proportional slices
+    — the perf bench picks its slice via [HOIHO_BENCH_SCALE] so small
+    hosts can still run the jobs sweep. *)
+
 val tiny : ?seed:int -> unit -> Generate.config
 (** A small configuration for unit tests: validation operators plus a
     handful of random ones. *)

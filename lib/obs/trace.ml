@@ -106,16 +106,51 @@ let fresh_id () = Atomic.fetch_and_add next_id 1
 let stack_key : live list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* ambient parent: the span context a pool job was submitted under,
+   installed by [with_ctx] on whichever domain executes the job. It is
+   consulted only when the domain's own stack is empty, so synchronous
+   nesting always wins. *)
+let ambient_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let now_ns () = Monotonic_clock.now ()
 
 type parent = Stack | Root | Span of int
 
 let current () =
   if not (enabled ()) then None
-  else match !(Domain.DLS.get stack_key) with l :: _ -> Some l.lid | [] -> None
+  else
+    match !(Domain.DLS.get stack_key) with
+    | l :: _ -> Some l.lid
+    | [] -> !(Domain.DLS.get ambient_key)
 
 let fanout_parent () =
   match current () with Some id -> Span id | None -> Root
+
+(* --- span-context propagation across pool fan-out --- *)
+
+type ctx = int option
+
+let capture () = current ()
+
+let with_ctx ctx f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let amb = Domain.DLS.get ambient_key in
+    let saved_stack = !stack and saved_amb = !amb in
+    (* mask the executing domain's own stack: a helping submitter runs
+       other batches' jobs from inside its own live spans, and those
+       jobs must nest under the span they were SUBMITTED from, not
+       under whatever the executor happened to be doing *)
+    stack := [];
+    amb := ctx;
+    Fun.protect
+      ~finally:(fun () ->
+        stack := saved_stack;
+        amb := saved_amb)
+      f
+  end
 
 let domain_id () = (Domain.self () :> int)
 
@@ -125,7 +160,10 @@ let with_span ?(cat = "work") ?(parent = Stack) ?(attrs = []) name f =
     let stack = Domain.DLS.get stack_key in
     let parent_id =
       match parent with
-      | Stack -> ( match !stack with l :: _ -> Some l.lid | [] -> None)
+      | Stack -> (
+          match !stack with
+          | l :: _ -> Some l.lid
+          | [] -> !(Domain.DLS.get ambient_key))
       | Root -> None
       | Span id -> Some id
     in

@@ -12,9 +12,13 @@
     Nesting: each domain keeps its own stack of live spans
     ({!Domain.DLS}), so synchronous callees nest under their caller
     automatically. Work fanned out over {!Hoiho_util.Pool} runs on
-    other domains whose stacks are empty — the fan-out site captures
-    {!fanout_parent} and passes it explicitly, which keeps the span
-    tree identical at every [HOIHO_JOBS] setting.
+    other domains whose stacks are empty — the pool {!capture}s the
+    submitter's context and installs it ({!with_ctx}) around each job,
+    so implicit-parent spans created inside a job nest under the span
+    the job was submitted from, keeping the span tree identical at
+    every [HOIHO_JOBS] setting. Fan-out sites that open one span per
+    job can still pass {!fanout_parent} explicitly; both roads lead to
+    the same parent.
 
     Determinism: for a fixed-seed run, the canonical forest
     ({!canonical}) is byte-identical across jobs settings as long as
@@ -76,6 +80,21 @@ val fanout_parent : unit -> parent
 (** The parent to pass to spans created on other domains on this
     span's behalf: [Span (current ())] when inside a span, [Root]
     otherwise. *)
+
+type ctx
+(** A captured span context: the innermost live span at capture time. *)
+
+val capture : unit -> ctx
+(** Capture the calling domain's current span context, to be installed
+    around work executed later and/or elsewhere ({!with_ctx}). *)
+
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+(** [with_ctx ctx f] runs [f] with [ctx] as the ambient span parent:
+    spans [f] opens with [parent:Stack] and an empty local stack nest
+    under the captured span. The executing domain's own live spans are
+    masked for the duration, so a helping submitter's current work
+    never becomes the accidental parent of another batch's job. Used
+    by {!Hoiho_util.Pool} around every job. *)
 
 val sampled : string -> bool
 (** Deterministic 1-in-64 subject sampling for very hot call sites

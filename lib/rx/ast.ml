@@ -55,6 +55,13 @@ let cls_mem { neg; ranges } c =
   let inside = List.exists (fun (a, b) -> c >= a && c <= b) ranges in
   if neg then not inside else inside
 
+let cls_bitmap cls =
+  let b = Bytes.make 256 '\000' in
+  for i = 0 to 255 do
+    if cls_mem cls (Char.chr i) then Bytes.unsafe_set b i '\001'
+  done;
+  b
+
 let digit = { neg = false; ranges = [ ('0', '9') ] }
 let lower = { neg = false; ranges = [ ('a', 'z') ] }
 let not_char c = { neg = true; ranges = [ (c, c) ] }

@@ -37,6 +37,11 @@ val cls_of_string : string -> cls
 val cls_mem : cls -> char -> bool
 (** Membership test honoring negation. *)
 
+val cls_bitmap : cls -> Bytes.t
+(** A 256-byte membership table ([\000] = out, [\001] = in): one
+    bounds-free byte read per test on the matching hot paths, instead
+    of a range-list walk. *)
+
 val digit : cls
 (** The class [\d]. *)
 

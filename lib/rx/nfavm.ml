@@ -1,5 +1,5 @@
 type inst =
-  | IChar of Ast.cls option  (** [None] = any char *)
+  | IChar of Bytes.t option  (** class membership bitmap; [None] = any char *)
   | ILit of char
   | ISplit of int * int
   | IJump of int
@@ -39,7 +39,7 @@ let compile ast =
   let rec seq nodes = List.iter node nodes
   and node = function
     | Ast.Lit c -> ignore (emit (ILit c))
-    | Ast.Cls c -> ignore (emit (IChar (Some c)))
+    | Ast.Cls c -> ignore (emit (IChar (Some (Ast.cls_bitmap c))))
     | Ast.Any -> ignore (emit (IChar None))
     | Ast.Bol -> ignore (emit IBol)
     | Ast.Eol -> ignore (emit IEol)
@@ -127,12 +127,32 @@ let rec add_thread prog set pos len pc =
     | ILit _ | IChar _ | IMatch -> ()
   end
 
+(* per-domain scratch pair: the two thread sets survive across calls
+   (grown to the largest program seen on this domain) and are cleared
+   by a generation bump, so [matches] allocates nothing per call.
+   [matches] is not re-entrant within a domain — nothing here calls
+   back into user code — and distinct domains get distinct pairs. *)
+let scratch : (sset * sset) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (sset_make 1, sset_make 1))
+
 let matches t s =
   let prog = t.prog in
   let psize = Array.length prog in
   let len = String.length s in
-  let current = ref (sset_make psize) in
-  let next = ref (sset_make psize) in
+  let r = Domain.DLS.get scratch in
+  let a, b =
+    let a, _ = !r in
+    if Array.length a.dense < psize then begin
+      let pair = (sset_make psize, sset_make psize) in
+      r := pair;
+      pair
+    end
+    else !r
+  in
+  sset_clear a;
+  sset_clear b;
+  let current = ref a in
+  let next = ref b in
   let result = ref false in
   add_thread prog !current 0 len 0;
   let pos = ref 0 in
@@ -150,8 +170,9 @@ let matches t s =
           match Array.unsafe_get prog pc with
           | ILit l -> if l = c then add_thread prog nxt (!pos + 1) len (pc + 1)
           | IChar None -> add_thread prog nxt (!pos + 1) len (pc + 1)
-          | IChar (Some cls) ->
-              if Ast.cls_mem cls c then add_thread prog nxt (!pos + 1) len (pc + 1)
+          | IChar (Some bm) ->
+              if Bytes.unsafe_get bm (Char.code c) <> '\000' then
+                add_thread prog nxt (!pos + 1) len (pc + 1)
           | _ -> ()
         done;
         (* unanchored search: also start a fresh attempt at pos+1 *)

@@ -1,16 +1,26 @@
 (* Literal prefiltering for the backtracking engine.
 
-   From a pattern AST we extract a *required* literal: a contiguous run
-   of characters that appears verbatim in every string the pattern
-   matches. A fast substring scan for that literal then rejects most
-   non-matching inputs without entering the backtracker at all, and
-   when the literal sits at a statically known distance from the match
-   start, its occurrences enumerate the only start offsets worth
-   trying.
+   From a pattern AST we extract *necessary* conditions — facts that
+   hold of every string the pattern matches — cheap enough to check
+   with plain byte scans:
 
-   Everything here computes *necessary* conditions only: a possessive
+   - a [required] literal: a contiguous run of characters that appears
+     verbatim in every match, optionally at a statically known
+     [offset] from the match start (then its occurrences enumerate the
+     only start offsets worth trying);
+   - [extras]: further literals that must also appear somewhere, from
+     other mandatory runs and from alternations whose every branch
+     shares a common substring;
+   - a [tail] literal pinned at a fixed distance from the END of the
+     subject, for patterns anchored with [$] (the dominant shape here:
+     every learned regex ends in a literal domain suffix);
+   - [needs_digit]: the pattern contains a mandatory digit-class atom,
+     so a subject without any ASCII digit can never match.
+
+   Everything here computes necessary conditions only: a possessive
    quantifier matches a subset of what its greedy form matches, so
-   greedy-based requiredness stays sound for possessive patterns. *)
+   greedy-based requiredness stays sound for possessive patterns, and
+   an unsatisfiable pattern vacuously satisfies any claim. *)
 
 type t = {
   anchored : bool;  (* pattern begins with ^ *)
@@ -18,9 +28,24 @@ type t = {
   offset : int option;
       (* distance from match start to [required], when every atom
          before the literal has a statically fixed width *)
+  extras : string list;
+      (* other literals every match must contain somewhere (at most 2,
+         longest first, none implied by [required] or [tail]) *)
+  tail : (string * int) option;
+      (* (lit, dist): [lit] ends exactly [dist] bytes before the end of
+         the subject; only for patterns ending in $ *)
+  needs_digit : bool;  (* some mandatory atom matches only digits *)
 }
 
-let none = { anchored = false; required = ""; offset = None }
+let none =
+  {
+    anchored = false;
+    required = "";
+    offset = None;
+    extras = [];
+    tail = None;
+    needs_digit = false;
+  }
 
 (* --- static widths --- *)
 
@@ -45,92 +70,6 @@ and seq_width nodes =
       | Some a, Some w -> Some (a + w)
       | _ -> None)
     (Some 0) nodes
-
-(* --- literal-run extraction --- *)
-
-type walk = {
-  mutable runs : (string * int option) list;
-  buf : Buffer.t;
-  mutable run_off : int option;  (* offset of the run being built *)
-  mutable pos : int option;  (* current offset from match start *)
-}
-
-let flush w =
-  if Buffer.length w.buf > 0 then begin
-    w.runs <- (Buffer.contents w.buf, w.run_off) :: w.runs;
-    Buffer.clear w.buf
-  end
-
-let advance w = function
-  | Some d -> w.pos <- (match w.pos with Some p -> Some (p + d) | None -> None)
-  | None -> w.pos <- None
-
-let add_lit w c =
-  if Buffer.length w.buf = 0 then w.run_off <- w.pos;
-  Buffer.add_char w.buf c;
-  advance w (Some 1)
-
-(* repeating a fixed sub-pattern more than this many times is unrolled
-   no further; runs just break there *)
-let max_unroll = 8
-
-let rec walk_node w node =
-  match node with
-  | Ast.Lit c -> add_lit w c
-  | Ast.Cls _ | Ast.Any ->
-      flush w;
-      advance w (Some 1)
-  | Ast.Bol | Ast.Eol -> flush w
-  | Ast.Grp inner -> List.iter (walk_node w) inner
-  | Ast.Alt _ ->
-      (* a literal common to every branch is possible but rare in the
-         generator's output; contribute nothing, advance if fixed *)
-      flush w;
-      advance w (node_width node)
-  | Ast.Rep (n, min, max, _) -> (
-      match max with
-      | Some m when m = min ->
-          (* exactly [min] mandatory copies, contiguous *)
-          if min >= 1 && min <= max_unroll then
-            for _ = 1 to min do
-              walk_node w n
-            done
-          else begin
-            flush w;
-            advance w (node_width node)
-          end
-      | _ ->
-          (* [min] mandatory copies followed by a variable tail *)
-          if min >= 1 && min <= max_unroll then
-            for _ = 1 to min do
-              walk_node w n
-            done;
-          flush w;
-          w.pos <- None)
-
-let analyze (ast : Ast.t) =
-  let anchored = match ast with Ast.Bol :: _ -> true | _ -> false in
-  let w = { runs = []; buf = Buffer.create 16; run_off = None; pos = Some 0 } in
-  List.iter (walk_node w) ast;
-  flush w;
-  (* longest run wins; on ties prefer one with a known offset, then the
-     leftmost (runs are collected in reverse order) *)
-  let best =
-    List.fold_left
-      (fun acc (s, off) ->
-        match acc with
-        | None -> Some (s, off)
-        | Some (bs, boff) ->
-            let better =
-              String.length s > String.length bs
-              || (String.length s = String.length bs && boff = None && off <> None)
-            in
-            if better then Some (s, off) else acc)
-      None (List.rev w.runs)
-  in
-  match best with
-  | None -> { anchored; required = ""; offset = None }
-  | Some (required, offset) -> { anchored; required; offset }
 
 (* --- fast substring scan --- *)
 
@@ -169,3 +108,242 @@ let matches_at ~needle hay i =
   cmp 0
 
 let contains ~needle hay = find ~needle hay 0 >= 0
+
+(* --- literal-run extraction --- *)
+
+(* a class whose every range lies in '0'..'9' matches only digits; an
+   empty positive class matches nothing at all, which makes the pattern
+   unsatisfiable — any claim about its matches is then vacuously true,
+   but we do not claim digits for it to keep reasoning local *)
+let cls_all_digits (c : Ast.cls) =
+  (not c.Ast.neg)
+  && c.Ast.ranges <> []
+  && List.for_all (fun (lo, hi) -> lo >= '0' && hi <= '9') c.Ast.ranges
+
+type walk = {
+  mutable runs : (string * int option) list;
+  buf : Buffer.t;
+  mutable run_off : int option;  (* offset of the run being built *)
+  mutable pos : int option;  (* current offset from match start *)
+  mutable digit : bool;  (* saw a mandatory digit-only atom *)
+}
+
+let fresh_walk pos =
+  { runs = []; buf = Buffer.create 16; run_off = None; pos; digit = false }
+
+let flush w =
+  if Buffer.length w.buf > 0 then begin
+    w.runs <- (Buffer.contents w.buf, w.run_off) :: w.runs;
+    Buffer.clear w.buf
+  end
+
+let advance w = function
+  | Some d -> w.pos <- (match w.pos with Some p -> Some (p + d) | None -> None)
+  | None -> w.pos <- None
+
+let add_lit w c =
+  if Buffer.length w.buf = 0 then w.run_off <- w.pos;
+  Buffer.add_char w.buf c;
+  advance w (Some 1)
+
+(* repeating a fixed sub-pattern more than this many times is unrolled
+   no further; runs just break there *)
+let max_unroll = 8
+
+(* literals an alternation requires: a substring common to the mandatory
+   runs of EVERY branch. Candidates are substrings of the first branch's
+   runs, longest first; a match through any branch contains one of that
+   branch's mandatory runs, hence the common substring. Bounded work:
+   literals are capped before substring enumeration. *)
+let max_common_src = 24
+
+let common_of_branches = function
+  | [] | [ _ ] -> None
+  | first :: rest ->
+      if List.exists (fun lits -> lits = []) rest || first = [] then None
+      else begin
+        let cap s =
+          if String.length s <= max_common_src then s
+          else String.sub s 0 max_common_src
+        in
+        let subs =
+          List.concat_map
+            (fun lit ->
+              let lit = cap lit in
+              let n = String.length lit in
+              let out = ref [] in
+              for len = n downto 2 do
+                for i = 0 to n - len do
+                  out := String.sub lit i len :: !out
+                done
+              done;
+              List.rev !out)
+            first
+          |> List.sort_uniq compare
+          |> List.sort (fun a b -> compare (String.length b) (String.length a))
+        in
+        List.find_opt
+          (fun c ->
+            List.for_all
+              (fun lits -> List.exists (fun l -> contains ~needle:c l) lits)
+              rest)
+          subs
+      end
+
+let rec walk_node w node =
+  match node with
+  | Ast.Lit c -> add_lit w c
+  | Ast.Cls c ->
+      if cls_all_digits c then w.digit <- true;
+      flush w;
+      advance w (Some 1)
+  | Ast.Any ->
+      flush w;
+      advance w (Some 1)
+  | Ast.Bol | Ast.Eol -> flush w
+  | Ast.Grp inner -> List.iter (walk_node w) inner
+  | Ast.Alt alts ->
+      flush w;
+      (* analyze each branch independently: a literal common to every
+         branch is required by the alternation as a whole, and a digit
+         mandatory in every branch is mandatory here too *)
+      (match alts with
+      | [] -> ()
+      | _ ->
+          let subs =
+            List.map
+              (fun branch ->
+                let sw = fresh_walk None in
+                List.iter (walk_node sw) branch;
+                flush sw;
+                sw)
+              alts
+          in
+          if List.for_all (fun sw -> sw.digit) subs then w.digit <- true;
+          (match common_of_branches (List.map (fun sw -> List.rev_map fst sw.runs) subs) with
+          | Some lit -> w.runs <- (lit, None) :: w.runs
+          | None -> ()));
+      advance w (node_width node)
+  | Ast.Rep (n, min, max, _) -> (
+      match max with
+      | Some m when m = min ->
+          (* exactly [min] mandatory copies, contiguous *)
+          if min >= 1 && min <= max_unroll then
+            for _ = 1 to min do
+              walk_node w n
+            done
+          else begin
+            (if min >= 1 then
+               (* not unrolled, but one mandatory copy still pins a
+                  digit requirement *)
+               let sw = fresh_walk None in
+               walk_node sw n;
+               if sw.digit then w.digit <- true);
+            flush w;
+            advance w (node_width node)
+          end
+      | _ ->
+          (* [min] mandatory copies followed by a variable tail *)
+          if min >= 1 && min <= max_unroll then
+            for _ = 1 to min do
+              walk_node w n
+            done
+          else if min >= 1 then begin
+            let sw = fresh_walk None in
+            walk_node sw n;
+            if sw.digit then w.digit <- true
+          end;
+          flush w;
+          w.pos <- None)
+
+(* --- tail extraction --- *)
+
+(* walk the pattern back-to-front from a trailing $, accumulating the
+   statically known distance to the subject's end, and return the
+   literal run nearest the end together with that distance. Zero-width
+   assertions are transparent (they never move the end distance); the
+   walk stops at the first variable-width construct. *)
+let tail_of ast =
+  match List.rev ast with
+  | Ast.Eol :: rev_nodes ->
+      let buf = Buffer.create 16 in
+      let dist = ref 0 in
+      let result = ref None in
+      let finalize () =
+        if !result = None && Buffer.length buf > 0 then begin
+          let n = Buffer.length buf in
+          (* the buffer holds the run's characters in reverse *)
+          let lit = String.init n (fun i -> Buffer.nth buf (n - 1 - i)) in
+          result := Some (lit, !dist)
+        end
+      in
+      let exception Stop in
+      let rec node n =
+        match n with
+        | Ast.Lit c -> Buffer.add_char buf c
+        | Ast.Bol | Ast.Eol -> ()
+        | Ast.Grp inner -> List.iter node (List.rev inner)
+        | Ast.Rep (inner, min, Some m, _) when m = min && min <= max_unroll ->
+            for _ = 1 to min do
+              node inner
+            done
+        | other -> (
+            match node_width other with
+            | Some w ->
+                if Buffer.length buf > 0 then begin
+                  finalize ();
+                  raise Stop
+                end
+                else dist := !dist + w
+            | None ->
+                finalize ();
+                raise Stop)
+      in
+      (try List.iter node rev_nodes with Stop -> ());
+      finalize ();
+      !result
+  | _ -> None
+
+(* --- analysis --- *)
+
+let max_extras = 2
+
+let analyze (ast : Ast.t) =
+  let anchored = match ast with Ast.Bol :: _ -> true | _ -> false in
+  let w = fresh_walk (Some 0) in
+  List.iter (walk_node w) ast;
+  flush w;
+  let runs = List.rev w.runs in
+  (* longest run wins; on ties prefer one with a known offset, then the
+     leftmost *)
+  let best =
+    List.fold_left
+      (fun acc (s, off) ->
+        match acc with
+        | None -> Some (s, off)
+        | Some (bs, boff) ->
+            let better =
+              String.length s > String.length bs
+              || (String.length s = String.length bs && boff = None && off <> None)
+            in
+            if better then Some (s, off) else acc)
+      None runs
+  in
+  let required, offset =
+    match best with None -> ("", None) | Some (r, o) -> (r, o)
+  in
+  let tail = tail_of ast in
+  let tail_lit = match tail with Some (l, _) -> l | None -> "" in
+  (* a run contained in [required] or in the tail literal is implied by
+     those checks already; keep the longest independent ones *)
+  let extras =
+    List.map fst runs
+    |> List.sort_uniq compare
+    |> List.filter (fun l ->
+           String.length l >= 2
+           && (required = "" || not (contains ~needle:l required))
+           && (tail_lit = "" || not (contains ~needle:l tail_lit)))
+    |> List.sort (fun a b -> compare (String.length b) (String.length a))
+    |> List.filteri (fun i _ -> i < max_extras)
+  in
+  { anchored; required; offset; extras; tail; needs_digit = w.digit }

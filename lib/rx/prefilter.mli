@@ -1,12 +1,16 @@
 (** Literal prefiltering for the backtracking engine.
 
-    [analyze] extracts from a pattern AST a literal substring that is
-    *required*: it appears verbatim in every string the pattern
-    matches. {!Engine.exec} scans for that literal with {!find} and
-    rejects non-matching inputs without entering the backtracker; when
-    the literal additionally sits at a statically known distance from
-    the match start ([offset]), its occurrences enumerate the only
-    start offsets the backtracker needs to try.
+    [analyze] extracts from a pattern AST several *necessary*
+    conditions cheap enough to check with plain byte scans: a
+    [required] literal appearing verbatim in every match (when it sits
+    at a statically known distance from the match start, [offset], its
+    occurrences enumerate the only start offsets the backtracker needs
+    to try); further [extras] literals, including substrings common to
+    every branch of an alternation; a [tail] literal pinned at a fixed
+    distance from the subject's end for [$]-terminated patterns; and a
+    [needs_digit] flag when some mandatory atom matches only digits.
+    {!Engine.exec} checks these before entering the backtracker and
+    rejects most non-matching inputs outright.
 
     All conditions computed here are necessary, never sufficient, so a
     prefiltered search accepts exactly the same strings (with the same
@@ -19,6 +23,14 @@ type t = {
   offset : int option;
       (** distance from match start to [required], when every atom
           before the literal has a statically fixed width *)
+  extras : string list;
+      (** other literals every match must contain somewhere (at most
+          two, longest first, none implied by [required] or [tail]) *)
+  tail : (string * int) option;
+      (** [(lit, dist)]: [lit] ends exactly [dist] bytes before the
+          subject's end; only for patterns ending in [$] *)
+  needs_digit : bool;
+      (** some mandatory atom matches only ASCII digits *)
 }
 
 val none : t

@@ -184,16 +184,34 @@ let apply_batch ?jobs t hostnames =
             Hashtbl.replace answers key None;
             misses := key :: !misses)
     keys;
-  let misses = List.rev !misses in
-  (* the per-miss computation is pure; fan it out *)
-  let computed =
-    let f key = (key, apply_norm ~parent t key) in
-    if jobs <= 1 then List.map f misses
-    else Pool.parallel_map (Pool.get jobs) f misses
+  let misses = Array.of_list (List.rev !misses) in
+  let n_misses = Array.length misses in
+  (* the per-miss computation is pure (~1µs each after the exec-path
+     allocation work); fanning each miss out as its own pool job costs
+     more in queue traffic than the work saves, which is how the cold
+     path used to run SLOWER in parallel. Batch the misses into chunks
+     of at least [min_chunk] and stay sequential below one chunk's
+     worth — the pool then only ever sees jobs big enough to pay for
+     themselves. *)
+  let min_chunk = 64 in
+  let computed = Array.make n_misses None in
+  let compute i =
+    let key = misses.(i) in
+    computed.(i) <- Some (apply_norm ~parent t key)
   in
-  Trace.add_attr "misses" (string_of_int (List.length misses));
-  List.iter
-    (fun (key, answer) ->
+  if jobs <= 1 || n_misses <= min_chunk then
+    for i = 0 to n_misses - 1 do compute i done
+  else begin
+    let chunk = max min_chunk (n_misses / (jobs * 4)) in
+    Pool.parallel_for (Pool.get jobs) ~chunk n_misses compute
+  end;
+  Trace.add_attr "misses" (string_of_int n_misses);
+  (* inserts stay sequential and in first-appearance order, so cache
+     contents and eviction order are jobs-invariant *)
+  Array.iteri
+    (fun i answer_opt ->
+      let key = misses.(i) in
+      let answer = Option.get answer_opt in
       Hashtbl.replace answers key answer;
       Lru.add t.cache key answer)
     computed;

@@ -86,66 +86,103 @@ let shutdown t =
 (* a batch of tasks submitted together; completion is tracked under the
    pool mutex so the submitter can sleep on [finished] *)
 type batch = {
+  size : int;
   mutable pending : int;
   finished : Condition.t;
   mutable error : (exn * Printexc.raw_backtrace) option;
 }
 
+(* non-blocking half of a batch: enqueue every thunk and wake the
+   workers, but return to the caller immediately. The caller settles the
+   batch later with [await]; between the two it is free to do unrelated
+   work (or submit further batches), which is how a stage can overlap
+   its own tail with the next stage's head. *)
+let submit t (thunks : (unit -> unit) array) =
+  let b =
+    {
+      size = Array.length thunks;
+      pending = Array.length thunks;
+      finished = Condition.create ();
+      error = None;
+    }
+  in
+  if b.size > 0 then begin
+    (* jobs carry the span context of their submission site: spans a job
+       opens then nest under the submitting span on ANY executing
+       domain, which keeps the trace tree jobs-invariant without every
+       fan-out site having to thread a parent through by hand *)
+    let ctx = Hoiho_obs.Trace.capture () in
+    let wrapped thunk () =
+      (try Hoiho_obs.Trace.with_ctx ctx thunk
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         if b.error = None then b.error <- Some (e, bt);
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      b.pending <- b.pending - 1;
+      if b.pending = 0 then Condition.broadcast b.finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    Array.iter (fun th -> Queue.push (wrapped th) t.queue) thunks;
+    Obs.add c_submitted b.size;
+    Obs.observe_gauge g_depth (Queue.length t.queue);
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex
+  end;
+  b
+
 (* the batch span is scheduling-dependent by nature (it only exists when
    jobs > 1, and its duration reflects queue contention), so it carries
    the "sched" category and is exempt — like the pool.* counters — from
    the cross-jobs determinism contract (DESIGN.md §10) *)
-let run_batch t (thunks : (unit -> unit) array) =
-  Hoiho_obs.Trace.with_span ~cat:"sched" "pool.batch"
-    ~attrs:[ ("thunks", string_of_int (Array.length thunks)) ]
-  @@ fun () ->
-  let b =
-    { pending = Array.length thunks; finished = Condition.create (); error = None }
-  in
-  let wrapped thunk () =
-    (try thunk ()
-     with e ->
-       let bt = Printexc.get_raw_backtrace () in
-       Mutex.lock t.mutex;
-       if b.error = None then b.error <- Some (e, bt);
-       Mutex.unlock t.mutex);
+let await t b =
+  if b.size = 0 then ()
+  else
+    Hoiho_obs.Trace.with_span ~cat:"sched" "pool.batch"
+      ~attrs:[ ("thunks", string_of_int b.size) ]
+    @@ fun () ->
     Mutex.lock t.mutex;
-    b.pending <- b.pending - 1;
-    if b.pending = 0 then Condition.broadcast b.finished;
-    Mutex.unlock t.mutex
-  in
-  Mutex.lock t.mutex;
-  Array.iter (fun th -> Queue.push (wrapped th) t.queue) thunks;
-  Obs.add c_submitted (Array.length thunks);
-  Obs.observe_gauge g_depth (Queue.length t.queue);
-  Condition.broadcast t.nonempty;
-  (* help drain the queue until this batch completes; only sleep when
-     there is nothing at all to run *)
-  let rec help () =
-    if b.pending > 0 then
-      match Queue.take_opt t.queue with
-      | Some task ->
-          Mutex.unlock t.mutex;
-          Obs.incr c_steals;
-          task ();
-          Mutex.lock t.mutex;
-          help ()
-      | None ->
-          Condition.wait b.finished t.mutex;
-          help ()
-  in
-  help ();
-  let error = b.error in
-  Mutex.unlock t.mutex;
-  match error with
-  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-  | None -> ()
+    (* help drain the queue until this batch completes; only sleep when
+       there is nothing at all to run. The queue is shared, so a blocked
+       submitter may execute thunks from other batches — that is the
+       point: every waiter is a worker. *)
+    let rec help () =
+      if b.pending > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.mutex;
+            Obs.incr c_steals;
+            task ();
+            Mutex.lock t.mutex;
+            help ()
+        | None ->
+            Condition.wait b.finished t.mutex;
+            help ()
+    in
+    help ();
+    let error = b.error in
+    Mutex.unlock t.mutex;
+    match error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
 
-(* split [0, n) into contiguous chunks, a few per lane, so per-task
-   queueing overhead stays small relative to work *)
-let chunk_ranges n jobs =
-  let target = jobs * 4 in
-  let size = max 1 ((n + target - 1) / target) in
+let run_batch t thunks = await t (submit t thunks)
+
+(* split [0, n) into contiguous chunks — an explicit [chunk] size, or a
+   few chunks per lane so per-task queueing overhead stays small
+   relative to work. [chunk:1] maximizes stealability: every item is an
+   independent job, the right trade when items are heavy and unevenly
+   sized (suffix groups, candidate evaluations). *)
+let chunk_ranges ?chunk n jobs =
+  let size =
+    match chunk with
+    | Some c -> max 1 c
+    | None ->
+        let target = jobs * 4 in
+        max 1 ((n + target - 1) / target)
+  in
   let rec go lo acc =
     if lo >= n then List.rev acc
     else
@@ -154,30 +191,38 @@ let chunk_ranges n jobs =
   in
   go 0 []
 
-let parallel_map_array t f arr =
+let parallel_for t ?chunk n f =
+  if t.jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else
+    let thunks =
+      chunk_ranges ?chunk n t.jobs
+      |> List.map (fun (lo, hi) () ->
+             for i = lo to hi - 1 do
+               f i
+             done)
+      |> Array.of_list
+    in
+    run_batch t thunks
+
+let parallel_map_array t ?chunk f arr =
   let n = Array.length arr in
   if t.jobs <= 1 || n <= 1 then Array.map f arr
   else begin
     let results = Array.make n None in
-    let thunks =
-      chunk_ranges n t.jobs
-      |> List.map (fun (lo, hi) () ->
-             for i = lo to hi - 1 do
-               results.(i) <- Some (f arr.(i))
-             done)
-      |> Array.of_list
-    in
-    run_batch t thunks;
+    parallel_for t ?chunk n (fun i -> results.(i) <- Some (f arr.(i)));
     Array.map
       (function Some v -> v | None -> assert false (* run_batch raised *))
       results
   end
 
-let parallel_map t f xs =
-  Array.to_list (parallel_map_array t f (Array.of_list xs))
+let parallel_map t ?chunk f xs =
+  Array.to_list (parallel_map_array t ?chunk f (Array.of_list xs))
 
-let parallel_iter t f xs =
-  ignore (parallel_map_array t (fun x -> f x) (Array.of_list xs))
+let parallel_iter t ?chunk f xs =
+  ignore (parallel_map_array t ?chunk (fun x -> f x) (Array.of_list xs))
 
 (* job-level fault capture: unlike [parallel_map], whose batch aborts
    on the first exception by completion time (a scheduling-dependent
@@ -203,7 +248,7 @@ let run_one deadline f x =
         Obs.incr c_job_exns;
         Error (Exn (e, bt)))
 
-let map_results t ?timeout_ms f xs =
+let map_results t ?chunk ?timeout_ms f xs =
   (* the timeout is cooperative: the deadline is checked before each
      item starts, never preempting one mid-flight — an item that began
      before the deadline runs to completion. This bounds a batch of n
@@ -220,7 +265,7 @@ let map_results t ?timeout_ms f xs =
     done
   else begin
     let thunks =
-      chunk_ranges n t.jobs
+      chunk_ranges ?chunk n t.jobs
       |> List.map (fun (lo, hi) () ->
              for i = lo to hi - 1 do
                exec i

@@ -31,14 +31,37 @@ val get : int -> t
     and reused afterwards. Prefer this to [create] on hot paths so
     domains are spawned once per process. *)
 
-val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving map. If any application raises, the first
     exception (by completion time) is re-raised in the caller after the
-    batch drains. *)
+    batch drains. [chunk] fixes the number of items per pool job;
+    unset, items are split into a few chunks per lane. [chunk:1] makes
+    every item an independently stealable job — the right trade for
+    heavy, unevenly sized items. The result never depends on [chunk]. *)
 
-val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map_array : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
-val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+val parallel_iter : t -> ?chunk:int -> ('a -> unit) -> 'a list -> unit
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for t n f] runs [f 0 .. f (n-1)], fanned out in contiguous
+    index chunks. With [jobs <= 1] it is a plain ascending [for] loop.
+    [f] must tolerate concurrent invocations on distinct indices (write
+    to disjoint slots, or only to atomics). *)
+
+type batch
+(** A set of thunks submitted together; settled by {!await}. *)
+
+val submit : t -> (unit -> unit) array -> batch
+(** Enqueue every thunk and return without waiting. Thunks may begin
+    running (on worker domains) before [submit] returns. *)
+
+val await : t -> batch -> unit
+(** Block until every thunk of the batch has completed, helping drain
+    the pool's shared queue while waiting (so [await] from inside a pool
+    task cannot deadlock, and an idle waiter speeds other batches). If
+    any thunk raised, the first exception by completion time is
+    re-raised here. Each batch must be awaited at most once. *)
 
 type job_error =
   | Exn of exn * Printexc.raw_backtrace
@@ -50,7 +73,8 @@ type job_error =
 exception Job_timeout
 (** Raised by {!raise_job_error} for a {!Timed_out} job. *)
 
-val map_results : t -> ?timeout_ms:float -> ('a -> 'b) -> 'a list -> ('b, job_error) result list
+val map_results :
+  t -> ?chunk:int -> ?timeout_ms:float -> ('a -> 'b) -> 'a list -> ('b, job_error) result list
 (** Order-preserving map with job-level fault capture: every item runs
     to completion (or is skipped past the deadline) and yields its own
     [Ok]/[Error] — no item's failure aborts the batch, and the result

@@ -1,0 +1,131 @@
+(* Fine-grained scheduling determinism (DESIGN.md §"Parallel
+   execution"): with stage sub-jobs (per-candidate, per-shard) stealable
+   across domains, the determinism contract must hold at every jobs
+   setting — not just the jobs=4 exercised elsewhere. These tests push
+   to jobs=8 (heavier oversubscription than the pool has lanes for on
+   most hosts), add a chaos-seeded run, and add a skewed corpus where
+   one suffix holds ~80% of all hostnames, the shape that makes
+   coarse-grained (suffix-only) scheduling degenerate to sequential. *)
+
+module Chaos = Hoiho_netsim.Chaos
+module Generate = Hoiho_netsim.Generate
+module Presets = Hoiho_netsim.Presets
+module Truth = Hoiho_netsim.Truth
+module Pipeline = Hoiho.Pipeline
+module Obs = Hoiho_obs.Obs
+
+let tc = Helpers.tc
+
+let degraded_set (p : Pipeline.t) =
+  List.filter_map
+    (fun (r : Pipeline.suffix_result) ->
+      match r.Pipeline.degraded with
+      | Some d -> Some (r.Pipeline.suffix, d.Pipeline.stage, d.Pipeline.error)
+      | None -> None)
+    p.Pipeline.results
+
+let work_counters (s : Obs.snapshot) =
+  List.filter
+    (fun (name, _) -> not (String.length name >= 5 && String.sub name 0 5 = "pool."))
+    s.Obs.counters
+
+let check_identical label (seq : Pipeline.t) (par : Pipeline.t) =
+  Alcotest.(check bool) (label ^ ": results identical") true
+    (seq.Pipeline.results = par.Pipeline.results);
+  Alcotest.(check (list (triple string string string)))
+    (label ^ ": degraded sets identical")
+    (degraded_set seq) (degraded_set par);
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": work counters identical")
+    (work_counters seq.Pipeline.metrics)
+    (work_counters par.Pipeline.metrics)
+
+let test_jobs8_identity () =
+  let ds, truth = Generate.generate (Presets.tiny ~seed:2468 ()) in
+  let db = Truth.db truth in
+  Obs.reset ();
+  let seq = Pipeline.run ~db ~jobs:1 ds in
+  Obs.reset ();
+  let par = Pipeline.run ~db ~jobs:8 ds in
+  Alcotest.(check bool) "several suffixes exercised" true
+    (List.length seq.Pipeline.results > 1);
+  check_identical "jobs=8" seq par
+
+let test_chaos_jobs8_identity () =
+  (* chaos-mangled inputs at heavy oversubscription: reuses the chaos
+     suite's fixture so the faulty corpus is the one the fault matrix
+     already pins at jobs=4 *)
+  let seq = Test_chaos.run_chaos ~classes:Chaos.all_classes ~jobs:1 () in
+  let par = Test_chaos.run_chaos ~classes:Chaos.all_classes ~jobs:8 () in
+  check_identical "chaos jobs=8" seq par
+
+(* one dominant suffix (~80% of hostnames) plus two small ones: with
+   only whole-suffix jobs this corpus serializes on the big group, so it
+   is exactly where candidate- and shard-level sub-jobs must still give
+   byte-identical output *)
+let skewed_dataset () =
+  let vps = Helpers.std_vps () in
+  let id = ref 0 in
+  let mk ~suffix sites =
+    List.concat_map
+      (fun (c, code, n_routers) ->
+        List.init n_routers (fun r ->
+            let hostnames =
+              List.init 2 (fun h ->
+                  Printf.sprintf "ae%d.cr%d.%s%d.%s" h
+                    ((r mod 3) + 1)
+                    code (r + 1) suffix)
+            in
+            let rid = !id in
+            incr id;
+            Helpers.router ~id:rid ~at:c ~vps ~hostnames ()))
+      sites
+  in
+  let lhr = Helpers.city "london" "gb"
+  and fra = Helpers.city "frankfurt" "de"
+  and sea = Helpers.city_st "seattle" "us" "wa"
+  and ord = Helpers.city_st "chicago" "us" "il" in
+  let big =
+    mk ~suffix:"bignet.net"
+      [ (lhr, "lhr", 8); (fra, "fra", 8); (sea, "sea", 8); (ord, "ord", 8) ]
+  in
+  let alpha = mk ~suffix:"alpha.net" [ (lhr, "lhr", 2); (fra, "fra", 2) ] in
+  let beta = mk ~suffix:"beta.net" [ (sea, "sea", 2); (ord, "ord", 2) ] in
+  Helpers.dataset ~label:"skewed" (big @ alpha @ beta) vps
+
+let test_skewed_corpus_identity () =
+  let ds = skewed_dataset () in
+  let db = Helpers.db in
+  Obs.reset ();
+  let seq = Pipeline.run ~db ~jobs:1 ds in
+  Obs.reset ();
+  let par = Pipeline.run ~db ~jobs:8 ds in
+  (* the skew premise holds: three groups, the largest ~80% of samples *)
+  Alcotest.(check int) "three suffix groups" 3
+    (List.length seq.Pipeline.results);
+  let samples =
+    List.map (fun (r : Pipeline.suffix_result) -> r.Pipeline.n_samples)
+      seq.Pipeline.results
+  in
+  let total = List.fold_left ( + ) 0 samples in
+  let biggest = List.fold_left max 0 samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "dominant suffix holds >= 3/4 of hostnames (%d/%d)"
+       biggest total)
+    true
+    (float_of_int biggest >= 0.75 *. float_of_int total);
+  (* the dominant group actually learned something, so sub-job fan-out
+     ran for real work, not an empty group *)
+  Alcotest.(check bool) "some suffix usable" true
+    (List.exists Pipeline.usable seq.Pipeline.results);
+  check_identical "skewed jobs=8" seq par
+
+let suites =
+  [
+    ( "granularity",
+      [
+        tc "jobs=1 equals jobs=8" test_jobs8_identity;
+        tc "chaos-seeded jobs=8 identity" test_chaos_jobs8_identity;
+        tc "skewed corpus jobs=8 identity" test_skewed_corpus_identity;
+      ] );
+  ]

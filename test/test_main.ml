@@ -7,4 +7,5 @@ let () =
    @ Test_stale.suites @ Test_asnconv.suites @ Test_rname.suites @ Test_tbg.suites @ Test_vpfilter.suites @ Test_baselines.suites
    @ Test_validate.suites @ Test_webreport.suites @ Test_chaos.suites
    @ Test_props.suites @ Test_learned_io.suites @ Test_serve.suites
+   @ Test_granularity.suites
    @ Test_golden.suites @ Test_trace.suites)

@@ -165,6 +165,96 @@ let test_map_results_timeout () =
   Alcotest.check_raises "timeout rethrows as Job_timeout" Pool.Job_timeout (fun () ->
       List.iter (function Error e -> Pool.raise_job_error e | Ok _ -> ()) results)
 
+let test_parallel_for_covers () =
+  (* every index runs exactly once, at any chunking *)
+  with_pool 4 @@ fun pool ->
+  List.iter
+    (fun chunk ->
+      let n = 257 in
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for pool ?chunk n (fun i -> Atomic.incr hits.(i));
+      Array.iteri
+        (fun i a ->
+          Alcotest.(check int)
+            (Printf.sprintf "index %d ran once (chunk=%s)" i
+               (match chunk with Some c -> string_of_int c | None -> "auto"))
+            1 (Atomic.get a))
+        hits)
+    [ None; Some 1; Some 7; Some 1000 ]
+
+let test_parallel_for_jobs1_ascending () =
+  (* the sequential fallback is a plain ascending for loop *)
+  with_pool 1 @@ fun pool ->
+  let seen = ref [] in
+  Pool.parallel_for pool 10 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "ascending" (List.init 10 Fun.id) (List.rev !seen)
+
+let test_chunk_never_changes_results () =
+  (* the documented contract: [chunk] is a scheduling knob only *)
+  with_pool 4 @@ fun pool ->
+  let input = List.init 300 Fun.id in
+  let expect = List.map (fun x -> x * x) input in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (list int))
+        "map result independent of chunk" expect
+        (Pool.parallel_map pool ?chunk (fun x -> x * x) input))
+    [ None; Some 1; Some 3; Some 512 ]
+
+let test_submit_await () =
+  (* thunks write to disjoint slots; await is the completion barrier *)
+  with_pool 4 @@ fun pool ->
+  let n = 64 in
+  let out = Array.make n (-1) in
+  let batch =
+    Pool.submit pool (Array.init n (fun i () -> out.(i) <- i * 10))
+  in
+  Pool.await pool batch;
+  Alcotest.(check (array int))
+    "all thunks completed"
+    (Array.init n (fun i -> i * 10))
+    out;
+  (* two in-flight batches settle independently *)
+  let a = Array.make 8 0 and b = Array.make 8 0 in
+  let ba = Pool.submit pool (Array.init 8 (fun i () -> a.(i) <- 1)) in
+  let bb = Pool.submit pool (Array.init 8 (fun i () -> b.(i) <- 2)) in
+  Pool.await pool bb;
+  Pool.await pool ba;
+  Alcotest.(check int) "batch a done" 8 (Array.fold_left ( + ) 0 a);
+  Alcotest.(check int) "batch b done" 16 (Array.fold_left ( + ) 0 b)
+
+let test_await_reraises () =
+  with_pool 4 @@ fun pool ->
+  let batch =
+    Pool.submit pool
+      (Array.init 16 (fun i () -> if i = 11 then failwith "thunk boom"))
+  in
+  Alcotest.check_raises "await re-raises the thunk's exception"
+    (Failure "thunk boom")
+    (fun () -> Pool.await pool batch);
+  (* the pool survives the failed batch *)
+  Alcotest.(check (list int)) "pool usable after failure" [ 4; 5 ]
+    (Pool.parallel_map pool (fun x -> x + 1) [ 3; 4 ])
+
+let test_submit_await_nested () =
+  (* awaiting from inside a pool task must help drain, not deadlock *)
+  with_pool 2 @@ fun pool ->
+  let out =
+    Pool.parallel_map pool ~chunk:1
+      (fun i ->
+        let acc = Array.make 4 0 in
+        let batch =
+          Pool.submit pool (Array.init 4 (fun j () -> acc.(j) <- (i * 10) + j))
+        in
+        Pool.await pool batch;
+        Array.fold_left ( + ) 0 acc)
+      (List.init 12 Fun.id)
+  in
+  Alcotest.(check (list int))
+    "nested submit/await results"
+    (List.init 12 (fun i -> (i * 40) + 6))
+    out
+
 let test_map_results_no_timeout_by_default () =
   with_pool 2 @@ fun pool ->
   let results = Pool.map_results pool (fun x -> x * x) (List.init 50 Fun.id) in
@@ -187,6 +277,12 @@ let suites =
         tc "jobs=1 sequential fallback" test_jobs1_fallback;
         tc "nested map no deadlock" test_nested_map;
         tc "default jobs positive" test_default_jobs_positive;
+        tc "parallel_for covers every index" test_parallel_for_covers;
+        tc "parallel_for jobs=1 ascending" test_parallel_for_jobs1_ascending;
+        tc "chunk never changes results" test_chunk_never_changes_results;
+        tc "submit and await" test_submit_await;
+        tc "await re-raises" test_await_reraises;
+        tc "nested submit/await no deadlock" test_submit_await_nested;
         tc "map_results captures per job" test_map_results_captures;
         tc "map_results jobs-agnostic verdicts" test_map_results_jobs_agnostic;
         tc "map_results cooperative timeout" test_map_results_timeout;

@@ -164,6 +164,35 @@ let test_prefilter_analysis () =
   check "length tie prefers leftmost" {|^ab(c|d)ef$|} (true, "ab", Some 0);
   check "no required literal" {|^([a-z]{3})\d+$|} (true, "", None)
 
+let test_prefilter_shapes () =
+  (* alternation: "core" is common to both branches and must survive as
+     a scannable literal (required or extra) *)
+  let p = pf {|^ae\d\.(core1|core2)\.example\.com$|} in
+  let lits = p.Prefilter.required :: p.Prefilter.extras in
+  Alcotest.(check bool) "alt common literal extracted" true
+    (List.exists (fun l -> Prefilter.contains ~needle:"core" l) lits);
+  (* needs_digit: set by a mandatory digit-only atom, not an optional one *)
+  Alcotest.(check bool) "mandatory digit flagged" true
+    (pf {|^[a-z]+\d{2}\.example$|}).Prefilter.needs_digit;
+  Alcotest.(check bool) "optional digit not flagged" false
+    (pf {|^[a-z]+\d*$|}).Prefilter.needs_digit;
+  Alcotest.(check bool) "digit in every alt branch flagged" true
+    (pf {|^(xe\d|ge\d\d)\.example$|}).Prefilter.needs_digit;
+  (* tail: a $-terminated pattern pins its last literal at a fixed
+     distance from the subject end *)
+  Alcotest.(check (option (pair string int)))
+    "tail at end"
+    (Some (".zayo.com", 0))
+    (pf {|^.+\.zayo\.com$|}).Prefilter.tail;
+  Alcotest.(check (option (pair string int)))
+    "tail before fixed-width atoms"
+    (Some ("-ge", 2))
+    (pf {|^.+-ge[a-z]{2}$|}).Prefilter.tail;
+  (* no $ means no tail pin *)
+  Alcotest.(check (option (pair string int)))
+    "unanchored end has no tail" None
+    (pf {|^.+\.zayo\.com|}).Prefilter.tail
+
 let test_prefilter_find () =
   Alcotest.(check int) "found" 2 (Prefilter.find ~needle:"cd" "abcdcd" 0);
   Alcotest.(check int) "from start offset" 4 (Prefilter.find ~needle:"cd" "abcdcd" 3);
@@ -332,6 +361,7 @@ let suites =
     ( "rx.prefilter",
       [
         tc "literal analysis" test_prefilter_analysis;
+        tc "plan shapes" test_prefilter_shapes;
         tc "substring scan" test_prefilter_find;
         Test_props.q ~count:1200 "prefiltered exec = unfiltered exec" arb_pf
           prop_prefilter_equiv;
