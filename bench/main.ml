@@ -893,6 +893,134 @@ let perf () =
     jobs applyn_cold_ms (hps applyn_cold_ms) applyn_warm_ms (hps applyn_warm_ms);
   Report.note "  results identical across jobs settings: %b" apply_identical;
   Report.note "  byte-identical to in-process geolocate: %b" apply_matches_inproc;
+  (* serve: the same snapshot behind the network daemon — sustained
+     req/s and latency quantiles over a real loopback socket, with as
+     many keep-alive clients as serving domains *)
+  let serve_bench ~jobs =
+    let module Server = Hoiho_net.Server in
+    let cfg = { Server.default_config with Server.jobs } in
+    let server = Server.start ~config:cfg model in
+    let port = Server.port server in
+    let per_client = if !quick then 200 else 1000 in
+    let hosts = Array.of_list hostnames in
+    let nh = Array.length hosts in
+    let write_all fd s =
+      let n = String.length s in
+      let rec go off =
+        if off < n then
+          match Unix.write_substring fd s off (n - off) with
+          | w -> go (off + w)
+          | exception Unix.Unix_error (EINTR, _, _) -> go off
+      in
+      go 0
+    in
+    let find_crlfcrlf s =
+      let n = String.length s in
+      let rec go i =
+        if i + 3 >= n then None
+        else if
+          s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+        then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let content_length head =
+      let low = String.lowercase_ascii head in
+      let key = "content-length:" in
+      let rec find i =
+        if i + String.length key > String.length low then
+          failwith "serve bench: response without content-length"
+        else if String.sub low i (String.length key) = key then begin
+          let rest =
+            String.sub low
+              (i + String.length key)
+              (String.length low - i - String.length key)
+          in
+          let line =
+            match String.index_opt rest '\r' with
+            | Some e -> String.sub rest 0 e
+            | None -> rest
+          in
+          int_of_string (String.trim line)
+        end
+        else find (i + 1)
+      in
+      find 0
+    in
+    let t0 = Obs.now_ms () in
+    let clients =
+      List.init jobs (fun cid ->
+          Domain.spawn (fun () ->
+              let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+              Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              let pending = ref "" in
+              let rbuf = Bytes.create 8192 in
+              let fill () =
+                match Unix.read fd rbuf 0 (Bytes.length rbuf) with
+                | 0 -> failwith "serve bench: server closed the connection"
+                | n -> pending := !pending ^ Bytes.sub_string rbuf 0 n
+                | exception Unix.Unix_error (EINTR, _, _) -> ()
+              in
+              let read_response () =
+                let rec hdr () =
+                  match find_crlfcrlf !pending with
+                  | Some i -> i
+                  | None ->
+                      fill ();
+                      hdr ()
+                in
+                let he = hdr () in
+                let clen = content_length (String.sub !pending 0 he) in
+                let total = he + 4 + clen in
+                while String.length !pending < total do
+                  fill ()
+                done;
+                pending :=
+                  String.sub !pending total (String.length !pending - total)
+              in
+              let lat = Array.make per_client 0.0 in
+              for i = 0 to per_client - 1 do
+                let h = hosts.((cid + (i * jobs)) mod nh) in
+                let t = Obs.now_ms () in
+                write_all fd
+                  (Printf.sprintf "GET /geolocate?h=%s HTTP/1.1\r\nHost: b\r\n\r\n"
+                     (Hoiho_net.Http.pct_encode h));
+                read_response ();
+                lat.(i) <- Obs.now_ms () -. t
+              done;
+              Unix.close fd;
+              lat))
+    in
+    let lats = List.concat_map (fun d -> Array.to_list (Domain.join d)) clients in
+    let wall_ms = Obs.now_ms () -. t0 in
+    Server.stop server;
+    let sorted = Array.of_list (List.sort compare lats) in
+    let n = Array.length sorted in
+    let pct p =
+      if n = 0 then 0.0
+      else
+        let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+        sorted.(max 1 (min n rank) - 1)
+    in
+    let rps = float_of_int n /. (wall_ms /. 1000.0) in
+    (n, rps, pct 50.0, pct 95.0, pct 99.0, wall_ms)
+  in
+  let serve1_n, serve1_rps, serve1_p50, serve1_p95, serve1_p99, serve1_wall =
+    serve_bench ~jobs:1
+  in
+  let serve4_n, serve4_rps, serve4_p50, serve4_p95, serve4_p99, serve4_wall =
+    serve_bench ~jobs:4
+  in
+  Report.note "serve (daemon on a loopback socket, keep-alive clients = jobs):";
+  Report.note
+    "  jobs=1: %d requests, %8.0f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms"
+    serve1_n serve1_rps serve1_p50 serve1_p95 serve1_p99;
+  Report.note
+    "  jobs=4: %d requests, %8.0f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms"
+    serve4_n serve4_rps serve4_p50 serve4_p95 serve4_p99;
   (* allocation on the exec fast path: with the per-domain capture arena
      a miss should allocate nothing beyond the (minor, 5-word) matcher
      state — the cross-domain minor-GC synchronization this avoids is
@@ -1077,6 +1205,11 @@ let perf () =
     "results_identical_across_jobs": %b,
     "matches_in_process_geolocate": %b
   },
+  "serve": {
+    "clients_per_run": "jobs",
+    "jobs1": { "n_requests": %d, "req_per_sec": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "wall_ms": %.2f },
+    "jobs4": { "n_requests": %d, "req_per_sec": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "wall_ms": %.2f }
+  },
   "metrics": {
     "counters_identical_across_jobs": %b,
     "seq": %s,
@@ -1117,7 +1250,9 @@ let perf () =
       applyn_cold_ms
       applyn_warm_ms (hps apply1_cold_ms) (hps apply1_warm_ms)
       (hps applyn_cold_ms) (hps applyn_warm_ms) apply_identical
-      apply_matches_inproc counters_identical
+      apply_matches_inproc serve1_n serve1_rps serve1_p50 serve1_p95 serve1_p99
+      serve1_wall serve4_n serve4_rps serve4_p50 serve4_p95 serve4_p99
+      serve4_wall counters_identical
       (String.trim (Obs.to_json seq_metrics))
       (String.trim (Obs.to_json par_metrics))
   in

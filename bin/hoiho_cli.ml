@@ -5,6 +5,7 @@
      learn       run the five-stage pipeline and report naming conventions
      save-model  learn, then snapshot the learned model to a file
      apply       serve geolocations from a saved model (no re-learning)
+     serve       the same serving path as a network daemon (HTTP)
      explain     trace one hostname's geolocation decision step by step
      geolocate   apply learned conventions to hostnames (re-learns; see apply)
      compare     evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
@@ -205,16 +206,17 @@ let learn_cmd =
     in
     let pipeline = with_trace trace_out (fun () -> Hoiho.Pipeline.run ~db ds) in
     (match emitter with
-    | Some e -> Hoiho_obs.Obs.stop_emitter e
+    | Some e ->
+        (* joins the emitter domain, then writes the final snapshot
+           itself — the periodic rewrites can never race or clobber
+           the end-of-run file *)
+        Hoiho_obs.Obs.stop_emitter e
     | None -> (
-        (* no periodic emitter: one write at the end *)
+        (* no periodic emitter: the same atomic writer, once, so both
+           modes produce the final file the same way *)
         match openmetrics_out with
         | None -> ()
-        | Some path ->
-            let oc = open_out path in
-            output_string oc
-              (Hoiho_obs.Obs.to_openmetrics (Hoiho_obs.Obs.snapshot ()));
-            close_out oc));
+        | Some path -> Hoiho_obs.Obs.write_openmetrics path));
     (match openmetrics_out with
     | Some path -> Printf.printf "wrote OpenMetrics exposition to %s\n" path
     | None -> ());
@@ -454,6 +456,129 @@ let apply_cmd =
           serving path: no learning run, answers cached in a sharded LRU.")
     Term.(const run $ model_path $ batch $ stats $ trace_arg $ hostnames)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let model_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Model snapshot written by $(b,save-model).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0, the default, picks an ephemeral \
+                port and prints it).")
+  in
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Accept-loop domains (and apply parallelism). Defaults to the \
+             worker-pool default (HOIHO_JOBS or the core count).")
+  in
+  let batch_max =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:"Coalesce at most $(docv) hostnames into one apply batch.")
+  in
+  let batch_wait =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "batch-wait-ms" ] ~docv:"MS"
+          ~doc:
+            "Hold a forming batch open for up to $(docv) ms after its first \
+             hostname while more requests are in flight.")
+  in
+  let max_pending =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: with $(docv) hostnames already queued, new \
+             requests are shed with 503 instead of joining an unbounded \
+             backlog.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-request read deadline: a client that has not delivered a \
+             full request within $(docv) seconds is answered 408 and \
+             disconnected (slow-loris defense).")
+  in
+  let run model_path port host jobs batch_max batch_wait max_pending timeout =
+    let model = load_model_or_die model_path in
+    let config =
+      {
+        Hoiho_net.Server.default_config with
+        Hoiho_net.Server.host;
+        port;
+        jobs =
+          (match jobs with
+          | Some j -> max 1 j
+          | None -> Hoiho_util.Pool.default_jobs ());
+        max_batch = max 1 batch_max;
+        max_wait_ms = Float.max 0.0 batch_wait;
+        max_pending = max 1 max_pending;
+        request_timeout_s = Float.max 0.05 timeout;
+        model_path = Some model_path;
+      }
+    in
+    let server = Hoiho_net.Server.start ~config model in
+    let stop = Atomic.make false in
+    let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm handle;
+    Sys.set_signal Sys.sigint handle;
+    (* SIGHUP = hot reload: the handler only flips an atomic; the
+       server's housekeeping domain re-decodes the snapshot off-path
+       and swaps it in (fresh cache included), so serving never stops *)
+    Sys.set_signal Sys.sighup
+      (Sys.Signal_handle (fun _ -> Hoiho_net.Server.request_reload server));
+    Printf.printf "hoiho: serving %s on %s:%d (jobs=%d)\n%!" model_path
+      config.Hoiho_net.Server.host
+      (Hoiho_net.Server.port server)
+      config.Hoiho_net.Server.jobs;
+    Printf.printf
+      "hoiho: GET /geolocate?h= /explain?h= /metrics /healthz; POST /batch \
+       /reload; SIGHUP reloads, SIGTERM stops\n%!";
+    while not (Atomic.get stop) do
+      (* sleepf returns early on EINTR when a signal lands *)
+      try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
+    done;
+    Hoiho_net.Server.stop server;
+    Printf.printf "hoiho: shut down cleanly\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve geolocations from a saved model over HTTP: a multi-domain \
+          TCP daemon with request batching, bounded admission (503 under \
+          backlog), OpenMetrics at /metrics, decision traces at /explain, \
+          and hot model reload (SIGHUP or POST /reload) that swaps the \
+          snapshot atomically without dropping traffic.")
+    Term.(
+      const run $ model_path $ port $ host $ jobs $ batch_max $ batch_wait
+      $ max_pending $ timeout)
+
 (* --- explain --- *)
 
 let explain_cmd =
@@ -598,5 +723,5 @@ let () =
   let doc = "learn geographic naming conventions from router hostnames" in
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
                     [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
-                      explain_cmd; geolocate_cmd; compare_cmd; report_cmd;
-                      lookup_cmd ]))
+                      serve_cmd; explain_cmd; geolocate_cmd; compare_cmd;
+                      report_cmd; lookup_cmd ]))

@@ -359,6 +359,26 @@ let of_json json =
       Result.bind (field "$" "suffixes" json) (as_list "$.suffixes")
     in
     let* suffixes = map_items "$.suffixes" suffix_of_json suffix_items in
+    (* duplicate suffixes are a corrupt snapshot: a server indexing
+       by suffix would silently drop one model's regexes and learned
+       hints, and which half survives would depend on load order *)
+    let* () =
+      let seen = Hashtbl.create 16 in
+      let rec unique i = function
+        | [] -> Ok ()
+        | sm :: rest ->
+            if Hashtbl.mem seen sm.suffix then
+              schema
+                (Printf.sprintf "$.suffixes[%d].suffix" i)
+                "unique suffix"
+                (Printf.sprintf "duplicate %S" sm.suffix)
+            else begin
+              Hashtbl.add seen sm.suffix ();
+              unique (i + 1) rest
+            end
+      in
+      unique 0 suffixes
+    in
     let metrics =
       match Json.member "metrics" json with Some m -> m | None -> Json.Obj []
     in

@@ -1,0 +1,448 @@
+module Serve = Hoiho_serve.Serve
+module Learned_io = Hoiho.Learned_io
+module City = Hoiho_geodb.City
+module Strutil = Hoiho_util.Strutil
+module Engine = Hoiho_rx.Engine
+module Pool = Hoiho_util.Pool
+module Obs = Hoiho_obs.Obs
+module Trace = Hoiho_obs.Trace
+
+let c_conns = Obs.counter "net.connections"
+let c_requests = Obs.counter "net.requests"
+let c_ok = Obs.counter "net.responses_2xx"
+let c_client_err = Obs.counter "net.responses_4xx"
+let c_server_err = Obs.counter "net.responses_5xx"
+let c_unavailable = Obs.counter "net.responses_503"
+let c_invalid_hostnames = Obs.counter "net.invalid_hostnames"
+let c_timeouts = Obs.counter "net.request_timeouts"
+let c_reloads = Obs.counter "net.reloads"
+let c_reload_failures = Obs.counter "net.reload_failures"
+let h_request = Obs.histogram "net.request_ms"
+
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  max_batch : int;
+  max_wait_ms : float;
+  max_pending : int;
+  request_timeout_s : float;
+  max_body : int;
+  model_path : string option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    jobs = Pool.default_jobs ();
+    max_batch = 64;
+    max_wait_ms = 1.0;
+    max_pending = 1024;
+    request_timeout_s = 5.0;
+    max_body = 1 lsl 20;
+    model_path = None;
+  }
+
+type t = {
+  cfg : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  serve : Serve.t Atomic.t;
+  batcher : City.t option Batcher.t;
+  stop_flag : bool Atomic.t;
+  reload_flag : bool Atomic.t;
+  (* producers currently inside a request handler; the batcher's
+     coalescing hint *)
+  active : int Atomic.t;
+  explain_mutex : Mutex.t;
+  mutable accepters : unit Domain.t list;
+  mutable housekeeper : unit Domain.t option;
+  mutable stopped : bool;
+  stop_mutex : Mutex.t;
+}
+
+(* --- the input boundary (DESIGN.md §11) ---
+
+   Raw bytes from the network are normalized exactly once, here, and
+   guarded before they reach the serve layer: an empty or
+   dot-malformed name would make label-positional methods misbehave,
+   and a subject over the regex engine's bound can only ever miss.
+   Everything downstream runs with [~normalized:true]. *)
+
+let boundary raw =
+  let key = Strutil.normalize_hostname raw in
+  if
+    key = ""
+    || Strutil.has_empty_dns_label key
+    || String.length key > Engine.max_subject_len
+  then begin
+    Obs.incr c_invalid_hostnames;
+    Error `Invalid
+  end
+  else Ok key
+
+let describe = function Some c -> City.describe c | None -> "-"
+
+(* --- responses --- *)
+
+let count_status status =
+  Obs.incr c_requests;
+  if status >= 200 && status < 300 then Obs.incr c_ok
+  else if status = 503 then begin
+    Obs.incr c_unavailable;
+    Obs.incr c_server_err
+  end
+  else if status >= 500 then Obs.incr c_server_err
+  else if status >= 400 then Obs.incr c_client_err
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond fd ?headers ?content_type ~status body =
+  count_status status;
+  write_all fd (Http.response ?headers ?content_type ~status body)
+
+(* --- handlers --- *)
+
+let handle_geolocate t fd req =
+  match Http.query_param req "h" with
+  | None -> respond fd ~status:400 "missing query parameter h\n"
+  | Some raw -> (
+      match boundary raw with
+      | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
+      | Ok key -> (
+          match Batcher.submit t.batcher [ key ] with
+          | Ok [ answer ] -> respond fd ~status:200 (describe answer ^ "\n")
+          | Ok _ -> respond fd ~status:500 "internal error\n"
+          | Error `Overloaded ->
+              respond fd
+                ~headers:[ ("Retry-After", "1") ]
+                ~status:503 "overloaded, retry later\n"
+          | Error (`Stopped | `Failed) ->
+              respond fd ~status:503 "shutting down\n"))
+
+let handle_batch t fd req =
+  let lines =
+    String.split_on_char '\n' req.Http.body
+    |> List.map (fun l ->
+           let l = String.trim l in
+           l)
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then respond fd ~status:400 "empty batch\n"
+  else begin
+    (* boundary-normalize every line once; invalid lines keep their
+       slot so the response aligns line-for-line with the request *)
+    let keyed = List.map (fun raw -> (raw, boundary raw)) lines in
+    let keys = List.filter_map (fun (_, k) -> Result.to_option k) keyed in
+    let submitted =
+      if keys = [] then Ok [] else Batcher.submit t.batcher keys
+    in
+    match submitted with
+    | Error `Overloaded ->
+        respond fd
+          ~headers:[ ("Retry-After", "1") ]
+          ~status:503 "overloaded, retry later\n"
+    | Error (`Stopped | `Failed) -> respond fd ~status:503 "shutting down\n"
+    | Ok answers ->
+        let buf = Buffer.create 4096 in
+        let rec render answers = function
+          | [] -> ()
+          | (raw, Error `Invalid) :: rest ->
+              Buffer.add_string buf (raw ^ "\t!invalid\n");
+              render answers rest
+          | (raw, Ok _) :: rest -> (
+              match answers with
+              | a :: answers ->
+                  Buffer.add_string buf (raw ^ "\t" ^ describe a ^ "\n");
+                  render answers rest
+              | [] -> ())
+        in
+        render answers keyed;
+        respond fd ~status:200 (Buffer.contents buf)
+  end
+
+(* the /explain decision trace: serialize explains (the tracer is
+   process-global) and render only the span tree rooted at this
+   application, so concurrent traffic that records spans while tracing
+   is briefly enabled cannot leak into the answer *)
+let handle_explain t fd req =
+  match Http.query_param req "h" with
+  | None -> respond fd ~status:400 "missing query parameter h\n"
+  | Some raw -> (
+      match boundary raw with
+      | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
+      | Ok key ->
+          let answer, rendered =
+            Mutex.lock t.explain_mutex;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock t.explain_mutex)
+              (fun () ->
+                let was = Trace.enabled () in
+                Trace.set_enabled true;
+                Trace.clear ();
+                let answer =
+                  Serve.geolocate_uncached (Atomic.get t.serve) key
+                in
+                Trace.set_enabled was;
+                let spans = Trace.spans () in
+                (* keep the serve.apply root for [key] and its subtree *)
+                let root =
+                  List.find_opt
+                    (fun (s : Trace.span) ->
+                      s.Trace.name = "serve.apply"
+                      && s.Trace.parent = None
+                      && List.assoc_opt "hostname" s.Trace.attrs = Some key)
+                    spans
+                in
+                let mine =
+                  match root with
+                  | None -> []
+                  | Some root ->
+                      let keep = Hashtbl.create 64 in
+                      Hashtbl.add keep root.Trace.id ();
+                      (* spans are sorted by start time, parents first *)
+                      List.filter
+                        (fun (s : Trace.span) ->
+                          s.Trace.id = root.Trace.id
+                          ||
+                          match s.Trace.parent with
+                          | Some p when Hashtbl.mem keep p ->
+                              Hashtbl.add keep s.Trace.id ();
+                              true
+                          | _ -> false)
+                        spans
+                in
+                (answer, Trace.render_text mine))
+          in
+          respond fd ~status:200
+            (Printf.sprintf "%s\t%s\n\n%s" key (describe answer) rendered))
+
+let handle_metrics fd =
+  respond fd
+    ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
+    ~status:200
+    (Obs.to_openmetrics (Obs.snapshot ()))
+
+let do_reload t path =
+  match Learned_io.load path with
+  | Error e ->
+      Obs.incr c_reload_failures;
+      Error (Learned_io.error_to_string e)
+  | Ok model ->
+      (* build the new server (dictionary resolution, suffix index,
+         fresh LRU) before the swap: serving never blocks on a decode,
+         and no cache entry learned under the old model survives *)
+      Atomic.set t.serve (Serve.create model);
+      Obs.incr c_reloads;
+      Ok ()
+
+let handle_reload t fd req =
+  let path =
+    match Http.query_param req "model" with
+    | Some p when p <> "" -> Some p
+    | _ -> t.cfg.model_path
+  in
+  match path with
+  | None -> respond fd ~status:400 "no model path configured\n"
+  | Some path -> (
+      match do_reload t path with
+      | Ok () -> respond fd ~status:200 ("reloaded " ^ path ^ "\n")
+      | Error msg -> respond fd ~status:500 ("reload failed: " ^ msg ^ "\n"))
+
+let dispatch t fd (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> respond fd ~status:200 "ok\n"
+  | "GET", "/metrics" -> handle_metrics fd
+  | "GET", "/geolocate" -> handle_geolocate t fd req
+  | "GET", "/explain" -> handle_explain t fd req
+  | "POST", "/batch" -> handle_batch t fd req
+  | "POST", "/reload" -> handle_reload t fd req
+  | ("GET" | "POST" | "HEAD"), _ -> respond fd ~status:404 "not found\n"
+  | _ -> respond fd ~status:405 "method not allowed\n"
+
+(* --- per-connection loop --- *)
+
+let handle_connection t fd =
+  Obs.incr c_conns;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.request_timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.request_timeout_s
+   with Unix.Unix_error _ -> ());
+  let limits =
+    {
+      Http.default_limits with
+      Http.max_body = t.cfg.max_body;
+      deadline_ms = t.cfg.request_timeout_s *. 1000.0;
+    }
+  in
+  let reader = Http.reader_of_fd fd in
+  let rec serve_requests () =
+    if not (Atomic.get t.stop_flag) then begin
+      match Http.read_request ~limits reader with
+      | Error Http.Closed -> ()
+      | Error Http.Timeout ->
+          (* distinguishable from an idle keep-alive close only in
+             that we already read part of a request; answering 408 on
+             a dead drip-feed is best-effort either way *)
+          Obs.incr c_timeouts;
+          (try respond fd ~status:408 "request timeout\n" with _ -> ())
+      | Error (Http.Bad_request msg) ->
+          (try respond fd ~status:400 (msg ^ "\n") with _ -> ())
+      | Error (Http.Too_large msg) ->
+          (try respond fd ~status:413 (msg ^ "\n") with _ -> ())
+      | Ok req ->
+          let again =
+            Atomic.incr t.active;
+            Fun.protect
+              ~finally:(fun () -> Atomic.decr t.active)
+              (fun () ->
+                let t0 = Obs.now_ms () in
+                let ok =
+                  match dispatch t fd req with
+                  | () -> true
+                  | exception _ ->
+                      (try respond fd ~status:500 "internal error\n"
+                       with _ -> ());
+                      false
+                in
+                Obs.observe h_request (Obs.now_ms () -. t0);
+                ok && Http.keep_alive req)
+          in
+          if again then serve_requests ()
+    end
+  in
+  (try serve_requests () with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- accept loop (one per domain) --- *)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      (match Unix.select [ t.listener ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+          (* the listener is non-blocking: several domains may race
+             for the same readiness; losers get EAGAIN and re-select *)
+          match Unix.accept ~cloexec:true t.listener with
+          | fd, _ -> handle_connection t fd
+          | exception
+              Unix.Unix_error
+                ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+              ())
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (EBADF, _, _) -> Atomic.set t.stop_flag true);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- housekeeping (reload requests from signals) --- *)
+
+let housekeeping_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      if Atomic.compare_and_set t.reload_flag true false then
+        (match t.cfg.model_path with
+        | Some path -> ignore (do_reload t path)
+        | None -> Obs.incr c_reload_failures);
+      Unix.sleepf 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let start ?(config = default_config) model =
+  (* a peer that disconnects mid-response must surface as EPIPE on the
+     write, not kill the process with the default SIGPIPE disposition *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listener = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listener Unix.SO_REUSEADDR true;
+     Unix.set_nonblock listener;
+     Unix.bind listener
+       (ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listener 128
+   with e ->
+     (try Unix.close listener with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname listener with
+    | ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let serve = Atomic.make (Serve.create model) in
+  let active = Atomic.make 0 in
+  let batcher =
+    Batcher.create ~max_batch:config.max_batch ~max_wait_ms:config.max_wait_ms
+      ~max_pending:config.max_pending
+      ~more_hint:(fun () -> Atomic.get active)
+      ~apply:(fun keys ->
+        List.map snd
+          (Serve.apply_batch ~jobs:config.jobs ~normalized:true
+             (Atomic.get serve) keys))
+      ()
+  in
+  let t =
+    {
+      cfg = config;
+      listener;
+      bound_port;
+      serve;
+      batcher;
+      stop_flag = Atomic.make false;
+      reload_flag = Atomic.make false;
+      active;
+      explain_mutex = Mutex.create ();
+      accepters = [];
+      housekeeper = None;
+      stopped = false;
+      stop_mutex = Mutex.create ();
+    }
+  in
+  t.accepters <-
+    List.init (max 1 config.jobs) (fun _ ->
+        Domain.spawn (fun () -> accept_loop t));
+  t.housekeeper <- Some (Domain.spawn (fun () -> housekeeping_loop t));
+  t
+
+let port t = t.bound_port
+
+let reload t model =
+  Atomic.set t.serve (Serve.create model);
+  Obs.incr c_reloads
+
+let reload_from_path t path = do_reload t path
+
+let request_reload t = Atomic.set t.reload_flag true
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  let first = not t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_mutex;
+  if first then begin
+    Atomic.set t.stop_flag true;
+    List.iter Domain.join t.accepters;
+    t.accepters <- [];
+    (match t.housekeeper with
+    | Some d ->
+        Domain.join d;
+        t.housekeeper <- None
+    | None -> ());
+    Batcher.stop t.batcher;
+    try Unix.close t.listener with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,81 @@
+(** The `hoiho serve` network daemon: a multi-domain TCP/HTTP server
+    over {!Hoiho_serve.Serve} — the snapshot apply path behind a
+    socket.
+
+    Threading model: [jobs] accept domains share one listening socket;
+    each accepted connection is served to completion (keep-alive) on
+    its accept domain with a per-request read deadline, so a
+    slow-loris client costs at most one domain for one deadline. A
+    batcher domain ({!Batcher}) coalesces concurrent lookups into
+    {!Hoiho_serve.Serve.apply_batch} calls, and a housekeeping domain
+    applies reload requests off the serving path.
+
+    Endpoints:
+    - [GET /geolocate?h=HOSTNAME] — one answer: [City.describe] text
+      or ["-"], batched with concurrent requests.
+    - [POST /batch] — newline-separated hostnames in the body; one
+      [hostname<TAB>answer] line per input line, in order (["!invalid"]
+      for names rejected at the boundary).
+    - [GET /explain?h=HOSTNAME] — the answer plus the rendered
+      decision trace of this one application (uncached).
+    - [GET /metrics] — OpenMetrics exposition of the process registry.
+    - [GET /healthz] — liveness ([200 ok]).
+    - [POST /reload[?model=PATH]] — hot model reload, see below.
+
+    Input boundary: every hostname is normalized exactly once, with
+    {!Hoiho_util.Strutil.normalize_hostname}, at the request boundary,
+    then guarded ({!Hoiho_util.Strutil.has_empty_dns_label}, the regex
+    engine's {!Hoiho_rx.Engine.max_subject_len}); what passes is fed
+    to the serve layer pre-normalized, so a served answer is
+    byte-identical to in-process {!Hoiho.Pipeline.geolocate} on the
+    same raw string.
+
+    Hot reload: the new snapshot is decoded and a fresh
+    {!Hoiho_serve.Serve.t} built off-path, then swapped in with one
+    atomic store. The LRU lives inside the [Serve.t], so the swap
+    also replaces the cache — stale entries (negative ones included)
+    cannot survive a model change. In-flight batches finish on the
+    server they started with. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port, see {!port} *)
+  jobs : int;  (** accept domains; also the apply parallelism *)
+  max_batch : int;  (** coalescing cap, hostnames per batch *)
+  max_wait_ms : float;  (** coalescing window after the first ticket *)
+  max_pending : int;  (** admission bound; beyond it requests get 503 *)
+  request_timeout_s : float;  (** per-request read deadline *)
+  max_body : int;  (** request body cap, bytes *)
+  model_path : string option;  (** snapshot to re-read on reload *)
+}
+
+val default_config : config
+(** 127.0.0.1:0, jobs = {!Hoiho_util.Pool.default_jobs}, max_batch 64,
+    max_wait_ms 1.0, max_pending 1024, request_timeout_s 5.0,
+    max_body 1 MiB, no model path. *)
+
+type t
+
+val start : ?config:config -> Hoiho.Learned_io.t -> t
+(** Bind, listen, and spawn the accept/batcher/housekeeping domains.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when [config.port] was 0). *)
+
+val reload : t -> Hoiho.Learned_io.t -> unit
+(** Swap in an already-decoded model (fresh [Serve.t], fresh cache). *)
+
+val reload_from_path : t -> string -> (unit, string) result
+(** Decode [path] off-path and swap it in; on any decode error the
+    old model keeps serving and the error text is returned. *)
+
+val request_reload : t -> unit
+(** Mark a reload wanted (what a SIGHUP handler calls — async-signal
+    safe: one atomic store). The housekeeping domain performs
+    {!reload_from_path} with [config.model_path] shortly after. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, let in-flight requests finish,
+    drain the batcher, join every domain, close the listener.
+    Idempotent. *)

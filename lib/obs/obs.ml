@@ -257,14 +257,19 @@ type emitter = {
   epath : string;
 }
 
+(* pid-unique tmp name: two processes pointed at the same exposition
+   path (or an emitter racing a final end-of-run writer) can never
+   tear each other's tmp file; the rename stays the atomic commit *)
 let write_file_atomic path contents =
-  let tmp = path ^ ".tmp" in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   output_string oc contents;
   close_out oc;
   Sys.rename tmp path
 
-let emit_openmetrics path = write_file_atomic path (to_openmetrics (snapshot ()))
+let write_openmetrics path = write_file_atomic path (to_openmetrics (snapshot ()))
+
+let emit_openmetrics = write_openmetrics
 
 let start_emitter ?(period_s = 5.0) ~path () =
   let stop = Atomic.make false in
@@ -288,6 +293,9 @@ let start_emitter ?(period_s = 5.0) ~path () =
   in
   { stop; worker; epath = path }
 
+(* join BEFORE the final write: with the worker still running, its
+   last periodic rewrite could land after (and clobber) the final
+   snapshot, leaving a file missing the run's closing metrics *)
 let stop_emitter e =
   Atomic.set e.stop true;
   Domain.join e.worker;

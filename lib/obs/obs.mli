@@ -108,6 +108,13 @@ val json_escape : string -> string
 
 (** {1 Periodic exposition} *)
 
+val write_openmetrics : string -> unit
+(** Write {!to_openmetrics} of a fresh {!snapshot} to a file,
+    atomically (pid-unique tmp + rename). The one writer both the
+    periodic emitter and end-of-run callers use, so
+    [--openmetrics] with and without [--openmetrics-interval]
+    produce the same final file the same way. *)
+
 type emitter
 
 val start_emitter : ?period_s:float -> path:string -> unit -> emitter

@@ -23,8 +23,16 @@ let create ?(cache_capacity = 65536) ?(cache_shards = 8) model =
   let by_suffix = Hashtbl.create 64 in
   List.iter
     (fun (sm : Learned_io.suffix_model) ->
-      if not (Hashtbl.mem by_suffix sm.Learned_io.suffix) then
-        Hashtbl.add by_suffix sm.Learned_io.suffix sm)
+      (* duplicate suffixes are a corrupt model: silently keeping the
+         first (the old behavior) served answers from an arbitrary half
+         of the snapshot. Learned_io.decode now rejects them with a
+         typed Schema error; a hand-assembled model gets the same
+         refusal here. *)
+      if Hashtbl.mem by_suffix sm.Learned_io.suffix then
+        invalid_arg
+          (Printf.sprintf "Serve.create: duplicate suffix model %S"
+             sm.Learned_io.suffix);
+      Hashtbl.add by_suffix sm.Learned_io.suffix sm)
     model.Learned_io.suffixes;
   {
     model;
@@ -153,9 +161,15 @@ let geolocate t hostname =
       Lru.add t.cache key answer;
       answer
 
-let apply_batch ?jobs t hostnames =
+let apply_batch ?jobs ?(normalized = false) t hostnames =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  let keys = List.map Hoiho_util.Strutil.normalize_hostname hostnames in
+  (* [normalized] callers (the network daemon) have already run
+     Strutil.normalize_hostname at their input boundary — exactly once
+     per hostname, per the serving contract *)
+  let keys =
+    if normalized then hostnames
+    else List.map Hoiho_util.Strutil.normalize_hostname hostnames
+  in
   Trace.with_span "serve.batch"
     ~attrs:[ ("hostnames", string_of_int (List.length keys)) ]
   @@ fun () ->

@@ -30,7 +30,9 @@ type t
 val create : ?cache_capacity:int -> ?cache_shards:int -> Hoiho.Learned_io.t -> t
 (** Build a server: resolve the dictionary ({!Hoiho.Learned_io.db}),
     index suffixes, allocate the cache ([cache_capacity] entries,
-    default 65536, across [cache_shards] shards, default 8). *)
+    default 65536, across [cache_shards] shards, default 8).
+    Raises [Invalid_argument] if two suffix models share a suffix —
+    a corrupt model that {!Hoiho.Learned_io.decode} also rejects. *)
 
 val model : t -> Hoiho.Learned_io.t
 
@@ -41,11 +43,19 @@ val geolocate : t -> string -> Hoiho_geodb.City.t option
 val geolocate_uncached : t -> string -> Hoiho_geodb.City.t option
 (** The pure apply path, bypassing the cache (still never raises). *)
 
-val apply_batch : ?jobs:int -> t -> string list -> (string * Hoiho_geodb.City.t option) list
+val apply_batch :
+  ?jobs:int ->
+  ?normalized:bool ->
+  t ->
+  string list ->
+  (string * Hoiho_geodb.City.t option) list
 (** Answer a batch, in input order, each hostname paired with its
     geolocation. Distinct uncached hostnames are computed in parallel
     over the shared pool ([jobs] defaults to
     {!Hoiho_util.Pool.default_jobs}); duplicates within the batch are
-    computed once. *)
+    computed once. [normalized] (default false) promises every
+    hostname is already in {!Hoiho_util.Strutil.normalize_hostname}
+    form — the network boundary normalizes exactly once and sets it,
+    so hostnames are never normalized twice on the serving path. *)
 
 val cache_length : t -> int

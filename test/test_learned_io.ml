@@ -103,6 +103,19 @@ let gen_suffix_model =
 let gen_model =
   Gen.(
     map (fun (dict_cities, suffixes, metric_counts) ->
+        (* decode rejects duplicate suffixes (a corrupt snapshot), so a
+           valid generated model must carry each suffix once *)
+        let suffixes =
+          let seen = Hashtbl.create 8 in
+          List.filter
+            (fun (sm : Learned_io.suffix_model) ->
+              if Hashtbl.mem seen sm.Learned_io.suffix then false
+              else begin
+                Hashtbl.add seen sm.Learned_io.suffix ();
+                true
+              end)
+            suffixes
+        in
         {
           Learned_io.dictionary =
             (match dict_cities with
@@ -231,6 +244,11 @@ let patch_suffix patch json =
   | Some (Json.List [ sm ]) -> set_field "suffixes" (Json.List [ patch sm ]) json
   | _ -> Alcotest.fail "sample shape changed"
 
+let patch_suffix_list patch json =
+  match Json.member "suffixes" json with
+  | Some (Json.List sms) -> set_field "suffixes" (Json.List (patch sms)) json
+  | _ -> Alcotest.fail "sample shape changed"
+
 let nested_failures () =
   let cases =
     [
@@ -286,6 +304,27 @@ let nested_failures () =
             (Learned_io.error_to_string e)
       | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" name)
     cases
+
+(* the serving-boundary bugfix: a snapshot carrying the same suffix
+   twice used to decode fine and then be silently first-wins-indexed by
+   Serve.create; it must now be rejected at decode with a typed Schema
+   error naming the duplicate slot *)
+let duplicate_suffix_rejected () =
+  let input =
+    reencode
+      (patch_suffix_list (function
+        | [ sm ] -> [ sm; sm ]
+        | _ -> Alcotest.fail "sample shape changed"))
+  in
+  match Learned_io.decode input with
+  | Error (Learned_io.Schema { path; expected; got }) ->
+      Alcotest.(check string) "path names the slot" "$.suffixes[1].suffix" path;
+      Alcotest.(check string) "expected" "unique suffix" expected;
+      Alcotest.(check bool) "got names the suffix" true
+        (got = Printf.sprintf "duplicate %S" "example.net")
+  | Error e ->
+      Alcotest.failf "expected Schema, got %s" (Learned_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "duplicate suffix decoded successfully"
 
 let load_missing () =
   match Learned_io.load "no/such/model.hoiho.json" with
@@ -346,6 +385,8 @@ let suites =
       [
         Alcotest.test_case "decode failures are typed" `Quick decode_failures;
         Alcotest.test_case "nested schema failures" `Quick nested_failures;
+        Alcotest.test_case "duplicate suffix rejected" `Quick
+          duplicate_suffix_rejected;
         Alcotest.test_case "load of missing file" `Quick load_missing;
         Alcotest.test_case "save/load round-trip" `Quick save_load_roundtrip;
         roundtrip;

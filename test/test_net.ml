@@ -1,0 +1,704 @@
+(* The serving daemon, end to end: HTTP parser units, batcher units,
+   and a live multi-domain server on an ephemeral loopback port — the
+   72-hostname golden corpus queried over a real socket (including a
+   pass that straddles a hot reload), the single-normalization parity
+   proof, deterministic 503 shedding, reload failure semantics, and
+   the chaos net-fault plans from Hoiho_netsim.Chaos driven against a
+   short-deadline server.
+
+   Contract under test (DESIGN.md §11): a served answer is
+   byte-identical to in-process application of the same snapshot; the
+   server answers, sheds, or closes — it never crashes and never wedges
+   a connection past its deadline. *)
+
+module Http = Hoiho_net.Http
+module Batcher = Hoiho_net.Batcher
+module Server = Hoiho_net.Server
+module Chaos = Hoiho_netsim.Chaos
+module Pipeline = Hoiho.Pipeline
+module Learned_io = Hoiho.Learned_io
+module Serve = Hoiho_serve.Serve
+module City = Hoiho_geodb.City
+module Obs = Hoiho_obs.Obs
+
+let describe = function Some c -> City.describe c | None -> "-"
+
+(* --- fixture: the golden-corpus run, its snapshot, and a saved copy --- *)
+
+let fixture =
+  lazy
+    (let ds, _truth =
+       Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:42 ())
+     in
+     let p = Pipeline.run ds in
+     let model =
+       match Learned_io.decode (Learned_io.encode (Learned_io.of_pipeline p)) with
+       | Ok m -> m
+       | Error e ->
+           Alcotest.failf "fixture snapshot did not round-trip: %s"
+             (Learned_io.error_to_string e)
+     in
+     let path = Filename.temp_file "hoiho_net_model" ".hoiho.json" in
+     Learned_io.save path model;
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     (p, model, path))
+
+let corpus_path = "golden/corpus.tsv"
+
+let corpus_lines () =
+  let ic = open_in_bin corpus_path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  String.split_on_char '\n' raw
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun line ->
+         match String.index_opt line '\t' with
+         | Some i ->
+             ( String.sub line 0 i,
+               String.sub line (i + 1) (String.length line - i - 1) )
+         | None -> Alcotest.failf "golden corpus: malformed line %S" line)
+
+(* --- a small test HTTP client --- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let connect port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+let read_to_eof fd =
+  let buf = Bytes.create 4096 and b = Buffer.create 1024 in
+  let rec go () =
+    match Unix.read fd buf 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b buf 0 n;
+        go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception
+        Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET), _, _)
+      ->
+        ()
+  in
+  go ();
+  Buffer.contents b
+
+let find_crlfcrlf s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_status raw =
+  if String.length raw >= 12 && String.sub raw 0 9 = "HTTP/1.1 " then
+    Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+  else 0
+
+let split_response raw =
+  let body =
+    match find_crlfcrlf raw with
+    | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+    | None -> ""
+  in
+  (parse_status raw, body)
+
+(* one-shot request on its own connection *)
+let request ?(meth = "GET") ?(body = "") port target =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      let payload =
+        if meth = "GET" then
+          Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+            target
+        else
+          Printf.sprintf
+            "%s %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: %d\r\n\r\n%s"
+            meth target (String.length body) body
+      in
+      (try write_all fd payload with Unix.Unix_error _ -> ());
+      let raw = read_to_eof fd in
+      let status, body = split_response raw in
+      (status, body, raw))
+
+(* keep-alive client: many requests down one connection, responses
+   framed by Content-Length *)
+type kc = { fd : Unix.file_descr; mutable pending : string }
+
+let kc_connect port = { fd = connect port; pending = "" }
+let kc_close c = try Unix.close c.fd with _ -> ()
+
+let kc_fill c =
+  let buf = Bytes.create 4096 in
+  match Unix.read c.fd buf 0 4096 with
+  | 0 -> Alcotest.fail "keep-alive connection closed mid-response"
+  | n -> c.pending <- c.pending ^ Bytes.sub_string buf 0 n
+  | exception Unix.Unix_error (EINTR, _, _) -> ()
+
+let content_length head =
+  let low = String.lowercase_ascii head in
+  let key = "content-length:" in
+  let rec find i =
+    match String.index_from_opt low i 'c' with
+    | None -> Alcotest.fail "response without content-length"
+    | Some j ->
+        if
+          j + String.length key <= String.length low
+          && String.sub low j (String.length key) = key
+        then begin
+          let rest = String.sub low (j + String.length key)
+              (String.length low - j - String.length key) in
+          let line =
+            match String.index_opt rest '\r' with
+            | Some e -> String.sub rest 0 e
+            | None -> rest
+          in
+          match int_of_string_opt (String.trim line) with
+          | Some n -> n
+          | None -> Alcotest.fail "malformed content-length in response"
+        end
+        else find (j + 1)
+  in
+  find 0
+
+let kc_request c target =
+  write_all c.fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" target);
+  let rec header_end () =
+    match find_crlfcrlf c.pending with
+    | Some i -> i
+    | None ->
+        kc_fill c;
+        header_end ()
+  in
+  let he = header_end () in
+  let head = String.sub c.pending 0 he in
+  let clen = content_length head in
+  let total = he + 4 + clen in
+  while String.length c.pending < total do
+    kc_fill c
+  done;
+  let body = String.sub c.pending (he + 4) clen in
+  c.pending <-
+    String.sub c.pending total (String.length c.pending - total);
+  (parse_status head, body)
+
+let with_server ?(config = Server.default_config) model f =
+  let t = Server.start ~config model in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t (Server.port t))
+
+(* --- HTTP parser units --- *)
+
+let parse_str ?limits s = Http.read_request ?limits (Http.reader_of_string s)
+
+let test_http_parse_get () =
+  match parse_str "GET /geolocate?h=a.b%2Ec&x=1 HTTP/1.1\r\nHost: h\r\n\r\n" with
+  | Error _ -> Alcotest.fail "valid GET rejected"
+  | Ok req ->
+      Alcotest.(check string) "meth" "GET" req.Http.meth;
+      Alcotest.(check string) "path" "/geolocate" req.Http.path;
+      Alcotest.(check (option string)) "decoded param" (Some "a.b.c")
+        (Http.query_param req "h");
+      Alcotest.(check (option string)) "second param" (Some "1")
+        (Http.query_param req "x");
+      Alcotest.(check bool) "1.1 defaults to keep-alive" true
+        (Http.keep_alive req)
+
+let test_http_keep_alive_rules () =
+  let ka s =
+    match parse_str s with
+    | Ok req -> Http.keep_alive req
+    | Error _ -> Alcotest.fail "request rejected"
+  in
+  Alcotest.(check bool) "1.1 + close" false
+    (ka "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Alcotest.(check bool) "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 + keep-alive" true
+    (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+let test_http_rejects () =
+  let expect name input check =
+    match parse_str input with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error e ->
+        if not (check e) then Alcotest.failf "%s: wrong error" name
+  in
+  let is_bad = function Http.Bad_request _ -> true | _ -> false in
+  let is_large = function Http.Too_large _ -> true | _ -> false in
+  expect "control byte in request line" "GET /a\x01b HTTP/1.1\r\n\r\n" is_bad;
+  expect "unknown version" "GET / HTTP/2.0\r\n\r\n" is_bad;
+  expect "malformed request line" "GET /\r\n\r\n" is_bad;
+  expect "transfer-encoding" "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    is_bad;
+  expect "negative content-length" "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n"
+    is_bad;
+  expect "malformed content-length" "POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
+    is_bad;
+  expect "malformed header" "GET / HTTP/1.1\r\nno colon here\r\n\r\n" is_bad;
+  expect "clean EOF is Closed" "" (function Http.Closed -> true | _ -> false);
+  let tiny = { Http.default_limits with Http.max_line = 16 } in
+  (match parse_str ~limits:tiny ("GET /" ^ String.make 64 'a' ^ " HTTP/1.1\r\n\r\n")
+   with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "over-long line accepted");
+  let few = { Http.default_limits with Http.max_headers = 2 } in
+  (match
+     parse_str ~limits:few
+       "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\n\r\n"
+   with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "too many headers accepted");
+  let small = { Http.default_limits with Http.max_body = 8 } in
+  (match
+     parse_str ~limits:small "POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n"
+   with
+  | Error (Http.Too_large _) -> ()
+  | _ -> Alcotest.fail "oversized body accepted");
+  ignore is_large
+
+let test_http_body_and_pipelining () =
+  let r =
+    Http.reader_of_string
+      ("POST /batch HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde"
+     ^ "GET /healthz HTTP/1.1\r\n\r\n")
+  in
+  (match Http.read_request r with
+  | Ok req -> Alcotest.(check string) "body" "abcde" req.Http.body
+  | Error _ -> Alcotest.fail "POST with body rejected");
+  (match Http.read_request r with
+  | Ok req -> Alcotest.(check string) "second request" "/healthz" req.Http.path
+  | Error _ -> Alcotest.fail "pipelined request rejected");
+  match Http.read_request r with
+  | Error Http.Closed -> ()
+  | _ -> Alcotest.fail "expected Closed at end of stream"
+
+let test_pct_codec () =
+  Alcotest.(check (option string)) "decode" (Some "a /b")
+    (Http.pct_decode "a+%2Fb");
+  Alcotest.(check (option string)) "malformed escape" None (Http.pct_decode "%g1");
+  Alcotest.(check (option string)) "truncated escape" None (Http.pct_decode "ab%2");
+  let raw = " FOO.Example.COM. " in
+  Alcotest.(check (option string)) "encode o decode = id" (Some raw)
+    (Http.pct_decode (Http.pct_encode raw))
+
+(* --- batcher units --- *)
+
+let test_batcher_basic () =
+  let b = Batcher.create ~apply:(List.map String.uppercase_ascii) () in
+  Fun.protect
+    ~finally:(fun () -> Batcher.stop b)
+    (fun () ->
+      (match Batcher.submit b [ "a"; "b"; "c" ] with
+      | Ok answers ->
+          Alcotest.(check (list string)) "in order" [ "A"; "B"; "C" ] answers
+      | Error _ -> Alcotest.fail "submit failed");
+      match Batcher.submit b [] with
+      | Ok [] -> ()
+      | _ -> Alcotest.fail "empty submit should be Ok []")
+
+let test_batcher_concurrent () =
+  let b = Batcher.create ~max_batch:8 ~max_wait_ms:2.0 ~apply:(List.map String.uppercase_ascii) () in
+  Fun.protect
+    ~finally:(fun () -> Batcher.stop b)
+    (fun () ->
+      let workers =
+        List.init 8 (fun i ->
+            Domain.spawn (fun () ->
+                let key = Printf.sprintf "host%d" i in
+                match Batcher.submit b [ key ] with
+                | Ok [ a ] -> a = String.uppercase_ascii key
+                | _ -> false))
+      in
+      let oks = List.map Domain.join workers in
+      Alcotest.(check bool) "all concurrent submits answered correctly" true
+        (List.for_all Fun.id oks))
+
+let test_batcher_shed () =
+  let b = Batcher.create ~max_pending:4 ~apply:(List.map Fun.id) () in
+  Fun.protect
+    ~finally:(fun () -> Batcher.stop b)
+    (fun () ->
+      let keys = List.init 20 (fun i -> string_of_int i) in
+      match Batcher.submit b keys with
+      | Error `Overloaded -> ()
+      | Ok _ -> Alcotest.fail "20 keys admitted past max_pending=4"
+      | Error _ -> Alcotest.fail "wrong rejection")
+
+let test_batcher_failed_apply_recovers () =
+  let b =
+    Batcher.create
+      ~apply:(fun keys ->
+        if List.mem "boom" keys then failwith "apply exploded"
+        else List.map String.uppercase_ascii keys)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Batcher.stop b)
+    (fun () ->
+      (match Batcher.submit b [ "boom" ] with
+      | Error `Failed -> ()
+      | _ -> Alcotest.fail "raising apply must fail its waiters");
+      match Batcher.submit b [ "ok" ] with
+      | Ok [ "OK" ] -> ()
+      | _ -> Alcotest.fail "batcher did not survive a failed apply")
+
+let test_batcher_stopped () =
+  let b = Batcher.create ~apply:(List.map Fun.id) () in
+  Batcher.stop b;
+  Batcher.stop b;
+  match Batcher.submit b [ "x" ] with
+  | Error `Stopped -> ()
+  | _ -> Alcotest.fail "submit after stop must be `Stopped"
+
+(* --- serve-layer regression: duplicate suffix must raise --- *)
+
+let test_serve_create_rejects_duplicate () =
+  let _, model, _ = Lazy.force fixture in
+  match model.Learned_io.suffixes with
+  | [] -> Alcotest.fail "fixture model has no suffixes"
+  | sm :: _ -> (
+      let dup =
+        { model with Learned_io.suffixes = model.Learned_io.suffixes @ [ sm ] }
+      in
+      match Serve.create dup with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "Serve.create accepted a duplicate suffix")
+
+(* --- the daemon over a real socket --- *)
+
+let small_config =
+  { Server.default_config with Server.jobs = 2; max_wait_ms = 0.5 }
+
+let test_server_basics () =
+  let _, model, model_path = Lazy.force fixture in
+  with_server
+    ~config:{ small_config with Server.model_path = Some model_path }
+    model
+    (fun t port ->
+      Alcotest.(check bool) "ephemeral port bound" true (port > 0);
+      let status, body, _ = request port "/healthz" in
+      Alcotest.(check int) "healthz status" 200 status;
+      Alcotest.(check string) "healthz body" "ok\n" body;
+      let status, _, _ = request port "/nosuch" in
+      Alcotest.(check int) "404" 404 status;
+      let status, _, _ = request ~meth:"DELETE" port "/healthz" in
+      Alcotest.(check int) "405" 405 status;
+      let status, _, _ = request port "/geolocate" in
+      Alcotest.(check int) "missing h is 400" 400 status;
+      let status, _, _ = request port "/geolocate?h=%20%20" in
+      Alcotest.(check int) "whitespace-only hostname is 400" 400 status;
+      let oversized = String.make 1500 'a' in
+      let status, _, _ = request port ("/geolocate?h=" ^ oversized) in
+      Alcotest.(check int) "oversized hostname is 400" 400 status;
+      (* double stop via Fun.protect + explicit: idempotent *)
+      ignore t)
+
+(* the single-normalization parity contract (DESIGN.md §11): what the
+   daemon serves for decorated raw input is byte-identical to what
+   in-process Pipeline.geolocate answers for the same raw string *)
+let test_boundary_parity () =
+  let p, model, _ = Lazy.force fixture in
+  let some_host =
+    match List.find_opt (fun (_, e) -> e <> "-") (corpus_lines ()) with
+    | Some (h, _) -> h
+    | None -> Alcotest.fail "corpus has no geolocated hostname"
+  in
+  let decorated =
+    [
+      " FOO.Example.COM. ";
+      " " ^ String.uppercase_ascii some_host ^ ". ";
+      String.uppercase_ascii some_host;
+      "\t" ^ some_host ^ " \t";
+    ]
+  in
+  with_server ~config:small_config model (fun _ port ->
+      List.iter
+        (fun raw ->
+          let expected = describe (Pipeline.geolocate p raw) ^ "\n" in
+          let status, body, _ =
+            request port ("/geolocate?h=" ^ Http.pct_encode raw)
+          in
+          Alcotest.(check int) ("status for " ^ raw) 200 status;
+          Alcotest.(check string) ("served = in-process for " ^ raw) expected
+            body)
+        decorated)
+
+(* the golden corpus over a real socket, one keep-alive connection,
+   straddling a hot reload: the same snapshot swapped in mid-pass must
+   not change a single answer (and the swap must not error) *)
+let test_corpus_over_socket_with_reload () =
+  let _, model, model_path = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length pinned >= 40);
+  with_server
+    ~config:{ small_config with Server.model_path = Some model_path }
+    model
+    (fun _ port ->
+      let c = kc_connect port in
+      Fun.protect
+        ~finally:(fun () -> kc_close c)
+        (fun () ->
+          let half = List.length pinned / 2 in
+          List.iteri
+            (fun i (h, expected) ->
+              if i = half then begin
+                (* hot reload mid-pass, same snapshot: on a separate
+                   connection, like a real operator would *)
+                let status, body, _ = request ~meth:"POST" port "/reload" in
+                if status <> 200 then
+                  Alcotest.failf "mid-pass reload failed (%d): %s" status body
+              end;
+              let status, body =
+                kc_request c ("/geolocate?h=" ^ Http.pct_encode h)
+              in
+              Alcotest.(check int) ("status for " ^ h) 200 status;
+              Alcotest.(check string) ("served answer for " ^ h)
+                (expected ^ "\n") body)
+            pinned))
+
+(* POST /batch: line-aligned answers, !invalid slots, and parity with
+   the pinned corpus *)
+let test_batch_endpoint () =
+  let _, model, _ = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let hosts = List.filteri (fun i _ -> i < 10) pinned in
+  with_server ~config:small_config model (fun _ port ->
+      let body =
+        String.concat "\n"
+          (List.map fst hosts @ [ "bad..name"; "" ])
+        ^ "\n"
+      in
+      let status, resp, _ = request ~meth:"POST" ~body port "/batch" in
+      Alcotest.(check int) "batch status" 200 status;
+      let expected =
+        String.concat ""
+          (List.map (fun (h, e) -> Printf.sprintf "%s\t%s\n" h e) hosts)
+        ^ "bad..name\t!invalid\n"
+      in
+      Alcotest.(check string) "line-aligned batch answers" expected resp;
+      let status, _, _ = request ~meth:"POST" ~body:"\n\n" port "/batch" in
+      Alcotest.(check int) "empty batch is 400" 400 status)
+
+(* deterministic shedding at the socket level: a batch bigger than the
+   admission bound must be refused with 503 + Retry-After, and the
+   server must keep serving afterwards *)
+let test_socket_shed_503 () =
+  let _, model, _ = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  with_server
+    ~config:{ small_config with Server.max_pending = 4 }
+    model
+    (fun _ port ->
+      let body =
+        String.concat "\n" (List.map fst (List.filteri (fun i _ -> i < 40) pinned))
+      in
+      let status, _, raw = request ~meth:"POST" ~body port "/batch" in
+      Alcotest.(check int) "oversized batch is shed with 503" 503 status;
+      Alcotest.(check bool) "Retry-After advertised" true
+        (let low = String.lowercase_ascii raw in
+         let rec contains i =
+           i + 11 <= String.length low
+           && (String.sub low i 11 = "retry-after" || contains (i + 1))
+         in
+         contains 0);
+      (* a request inside the bound still works *)
+      let h, expected = List.hd pinned in
+      let status, body, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "still serving" 200 status;
+      Alcotest.(check string) "still correct" (expected ^ "\n") body)
+
+let test_reload_semantics () =
+  let _, model, model_path = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let h, expected = List.hd pinned in
+  with_server
+    ~config:{ small_config with Server.model_path = Some model_path }
+    model
+    (fun _ port ->
+      (* a bad path must fail loudly and keep the old model serving *)
+      let status, _, _ =
+        request ~meth:"POST" port "/reload?model=/no/such/model.json"
+      in
+      Alcotest.(check int) "reload of missing file is 500" 500 status;
+      let status, body, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "old model still serving" 200 status;
+      Alcotest.(check string) "old model still correct" (expected ^ "\n") body;
+      (* the configured path reloads fine *)
+      let status, _, _ = request ~meth:"POST" port "/reload" in
+      Alcotest.(check int) "configured reload is 200" 200 status);
+  (* no model path configured anywhere: reload is a 400 *)
+  with_server ~config:small_config model (fun _ port ->
+      let status, _, _ = request ~meth:"POST" port "/reload" in
+      Alcotest.(check int) "unconfigured reload is 400" 400 status)
+
+let test_metrics_and_explain () =
+  let _, model, _ = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let h, expected =
+    match List.find_opt (fun (_, e) -> e <> "-") pinned with
+    | Some he -> he
+    | None -> Alcotest.fail "corpus has no geolocated hostname"
+  in
+  with_server ~config:small_config model (fun _ port ->
+      let status, _, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "warm-up request" 200 status;
+      let status, body, _ = request port "/metrics" in
+      Alcotest.(check int) "metrics status" 200 status;
+      Alcotest.(check bool) "exposes net counters" true
+        (let needle = "hoiho_net_requests_total" in
+         let rec contains i =
+           i + String.length needle <= String.length body
+           && (String.sub body i (String.length needle) = needle
+              || contains (i + 1))
+         in
+         contains 0);
+      Alcotest.(check bool) "ends with # EOF" true
+        (String.length body >= 6
+        && String.sub body (String.length body - 6) 6 = "# EOF\n");
+      let status, body, _ = request port ("/explain?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "explain status" 200 status;
+      Alcotest.(check bool) "explain carries the answer" true
+        (let prefix = Printf.sprintf "%s\t%s\n" h expected in
+         String.length body >= String.length prefix
+         && String.sub body 0 (String.length prefix) = prefix);
+      Alcotest.(check bool) "explain carries the decision trace" true
+        (let needle = "serve.apply" in
+         let rec contains i =
+           i + String.length needle <= String.length body
+           && (String.sub body i (String.length needle) = needle
+              || contains (i + 1))
+         in
+         contains 0))
+
+(* --- chaos: hostile clients against a short-deadline server --- *)
+
+let run_plan port (plan : Chaos.net_plan) =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 3.0
+       with Unix.Unix_error _ -> ());
+      let n = String.length plan.Chaos.payload in
+      let rec send off =
+        if off < n then
+          let len = min plan.Chaos.chunk (n - off) in
+          match Unix.write_substring fd plan.Chaos.payload off len with
+          | w ->
+              if plan.Chaos.pause_s > 0.0 then Unix.sleepf plan.Chaos.pause_s;
+              send (off + w)
+          | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+              (* the server already gave up on us — that is an allowed
+                 outcome for every fault class *)
+              ()
+          | exception Unix.Unix_error (EINTR, _, _) -> send off
+      in
+      send 0;
+      if plan.Chaos.expect_response then begin
+        let raw = read_to_eof fd in
+        let status = parse_status raw in
+        match plan.Chaos.fault with
+        | Chaos.Oversized_hostname | Chaos.Control_bytes ->
+            Alcotest.(check int)
+              (Chaos.net_fault_name plan.Chaos.fault ^ " is rejected with 400")
+              400 status
+        | Chaos.Slow_loris ->
+            (* fast enough to finish inside the deadline → 200; too
+               slow → 408 or a silent close. Never a hang, never a 5xx. *)
+            if raw <> "" && status <> 200 && status <> 408 then
+              Alcotest.failf "slow_loris: unexpected status %d" status
+        | _ -> ()
+      end)
+
+let test_chaos_clients () =
+  let _, model, model_path = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let h, expected = List.hd pinned in
+  let config =
+    {
+      small_config with
+      Server.model_path = Some model_path;
+      request_timeout_s = 0.4;
+    }
+  in
+  with_server ~config model (fun _ port ->
+      let plans = Chaos.net_plans ~n:25 7 in
+      Alcotest.(check bool) "every fault class planned" true
+        (List.for_all
+           (fun f -> List.exists (fun p -> p.Chaos.fault = f) plans)
+           Chaos.all_net_faults);
+      List.iteri
+        (fun i plan ->
+          (* mid-reload traffic: swap the model while hostile clients
+             are mid-connection *)
+          if i mod 7 = 3 then begin
+            let status, _, _ = request ~meth:"POST" port "/reload" in
+            Alcotest.(check int) "reload under fire" 200 status
+          end;
+          run_plan port plan)
+        plans;
+      (* determinism of the plan stream itself *)
+      Alcotest.(check bool) "plans are deterministic" true
+        (Chaos.net_plans ~n:25 7 = plans);
+      (* after all that, the server still answers, correctly *)
+      let status, body, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "alive after chaos" 200 status;
+      Alcotest.(check string) "still correct after chaos" (expected ^ "\n") body)
+
+let suites =
+  [
+    ( "net.http",
+      [
+        Helpers.tc "parses a GET with query" test_http_parse_get;
+        Helpers.tc "keep-alive rules" test_http_keep_alive_rules;
+        Helpers.tc "rejects malformed and oversized input" test_http_rejects;
+        Helpers.tc "bodies and pipelining" test_http_body_and_pipelining;
+        Helpers.tc "percent codec" test_pct_codec;
+      ] );
+    ( "net.batcher",
+      [
+        Helpers.tc "answers in order" test_batcher_basic;
+        Helpers.tc "concurrent submitters" test_batcher_concurrent;
+        Helpers.tc "sheds past the admission bound" test_batcher_shed;
+        Helpers.tc "survives a failing apply" test_batcher_failed_apply_recovers;
+        Helpers.tc "stop is terminal and idempotent" test_batcher_stopped;
+      ] );
+    ( "net.server",
+      [
+        Helpers.tc "duplicate suffix model is rejected"
+          test_serve_create_rejects_duplicate;
+        Helpers.tc "basics: healthz, 404, 405, boundary 400s"
+          test_server_basics;
+        Helpers.tc "single-normalization parity" test_boundary_parity;
+        Helpers.tc "golden corpus over a socket, straddling a reload"
+          test_corpus_over_socket_with_reload;
+        Helpers.tc "batch endpoint" test_batch_endpoint;
+        Helpers.tc "deterministic 503 shedding" test_socket_shed_503;
+        Helpers.tc "reload semantics" test_reload_semantics;
+        Helpers.tc "metrics and explain over the wire"
+          test_metrics_and_explain;
+        Helpers.tc "chaos clients" test_chaos_clients;
+      ] );
+  ]

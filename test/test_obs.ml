@@ -88,6 +88,46 @@ let test_find_counter () =
   Alcotest.(check (option int)) "absent" None
     (Obs.find_counter snap "test.obs.nonexistent")
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* the serving-boundary bugfix for periodic exposition: stop_emitter
+   joins the emitter domain BEFORE the final write, and both the
+   periodic and the end-of-run paths go through the same atomic
+   write_openmetrics — so the final file is identical whether an
+   emitter ran or not, and always carries the run's closing values *)
+let test_emitter_final_write () =
+  let c = Obs.counter "test.obs.emitter_final" in
+  Obs.set_counter c 0;
+  let with_om = Filename.temp_file "hoiho_obs" ".om" in
+  let without_om = Filename.temp_file "hoiho_obs" ".om" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ with_om; without_om ])
+    (fun () ->
+      (* emitter path: bump the counter after the last periodic write
+         could possibly have seen it, then stop — the final write must
+         still capture the closing value *)
+      let e = Obs.start_emitter ~period_s:0.05 ~path:with_om () in
+      Unix.sleepf 0.12;
+      Obs.add c 41;
+      Obs.incr c;
+      Obs.stop_emitter e;
+      (* no-emitter path: the same single writer, called once *)
+      Obs.write_openmetrics without_om;
+      let a = read_file with_om and b = read_file without_om in
+      Alcotest.(check string) "same final file with and without emitter" b a;
+      Alcotest.(check bool) "file is complete (# EOF)" true
+        (String.length a >= 6
+        && String.sub a (String.length a - 6) 6 = "# EOF\n");
+      Alcotest.(check bool) "closing counter value present" true
+        (contains a "hoiho_test_obs_emitter_final_total 42"))
+
 let suites =
   [
     ( "obs",
@@ -99,5 +139,7 @@ let suites =
         tc "time span" test_time_span;
         tc "snapshot sorted + json" test_snapshot_sorted_and_json;
         tc "find counter" test_find_counter;
+        tc "emitter final write is the shared atomic writer"
+          test_emitter_final_write;
       ] );
   ]
