@@ -1021,6 +1021,76 @@ let perf () =
   Report.note
     "  jobs=4: %d requests, %8.0f req/s, p50 %.3f ms, p95 %.3f ms, p99 %.3f ms"
     serve4_n serve4_rps serve4_p50 serve4_p95 serve4_p99;
+  (* incremental relearn (Delta) vs batch on a ~10%-dirty corpus: one
+     observation event per dirty group, then relearn only those groups
+     against the prior run — the output must encode byte-identically to
+     a from-scratch batch learn of the final corpus (metrics
+     normalized), and reusing the ~90% clean groups must be >= 3x
+     faster than redoing them *)
+  let groups = Dataset.by_suffix ds in
+  let n_groups = List.length groups in
+  let n_dirty = max 1 (n_groups / 10) in
+  let garr = Array.of_list groups in
+  (* by_suffix sorts descending by size: skip the fattest group and
+     stride across the rest so the dirty slice is representative *)
+  let stride = max 1 ((n_groups - 1) / n_dirty) in
+  let relearn_events =
+    List.init n_dirty (fun i ->
+        let suffix, routers = garr.(1 + (i * stride mod (n_groups - 1))) in
+        let r : Router.t = List.hd routers in
+        Hoiho.Delta.Add_hostname
+          {
+            router = r.Router.id;
+            hostname = Printf.sprintf "relearn%d-probe.cr1.%s" i suffix;
+          })
+  in
+  let best_of_3 f =
+    let x, ms0 = time f in
+    let ms = min ms0 (min (snd (time f)) (snd (time f))) in
+    (x, ms)
+  in
+  let (incr_run, incr_stats), incr_ms =
+    best_of_3 (fun () ->
+        match Hoiho.Delta.relearn ~jobs ~prior:par relearn_events with
+        | Ok pair -> pair
+        | Error e -> failwith (Hoiho.Delta.error_to_string e))
+  in
+  let batch_run, batch_ms =
+    best_of_3 (fun () -> Pipeline.run ~db ~jobs incr_run.Pipeline.dataset)
+  in
+  let normalize_model p =
+    {
+      (Hoiho.Learned_io.of_pipeline p) with
+      Hoiho.Learned_io.metrics = Hoiho_util.Json.Obj [];
+    }
+  in
+  let relearn_identical =
+    Hoiho.Learned_io.encode (normalize_model incr_run)
+    = Hoiho.Learned_io.encode (normalize_model batch_run)
+  in
+  if not relearn_identical then
+    failwith "relearn: incremental output diverges from batch";
+  let relearn_speedup = batch_ms /. incr_ms in
+  let dirty_frac =
+    float_of_int (List.length incr_stats.Hoiho.Delta.dirty)
+    /. float_of_int n_groups
+  in
+  let relearn_target = 3.0 in
+  let relearn_enforced = not !quick in
+  let relearn_ok =
+    relearn_identical && ((not relearn_enforced) || relearn_speedup >= relearn_target)
+  in
+  Report.note
+    "relearn: %d/%d groups dirty (%.1f%%), incremental %8.1f ms vs batch %8.1f \
+     ms (%.2fx, target %.1fx %s)"
+    incr_stats.Hoiho.Delta.groups_relearned n_groups (100.0 *. dirty_frac)
+    incr_ms batch_ms relearn_speedup relearn_target
+    (if relearn_enforced then "enforced" else "not enforced: --quick");
+  Report.note "relearn output byte-identical to batch: %b" relearn_identical;
+  if relearn_enforced && relearn_speedup < relearn_target then
+    failwith
+      (Printf.sprintf "relearn: speedup %.2fx below target %.1fx"
+         relearn_speedup relearn_target);
   (* allocation on the exec fast path: with the per-domain capture arena
      a miss should allocate nothing beyond the (minor, 5-word) matcher
      state — the cross-domain minor-GC synchronization this avoids is
@@ -1133,6 +1203,30 @@ let perf () =
     failwith
       (Printf.sprintf "jobs sweep: speedup %.2fx at jobs=4 below target %.1fx"
          (sweep_speedup_at 4) target_speedup);
+  let relearn_json =
+    Printf.sprintf
+      "{\n\
+      \    \"n_suffix_groups\": %d,\n\
+      \    \"dirty_groups\": %d,\n\
+      \    \"dirty_frac\": %.4f,\n\
+      \    \"events\": %d,\n\
+      \    \"incremental_ms\": %.2f,\n\
+      \    \"batch_ms\": %.2f,\n\
+      \    \"speedup\": %.3f,\n\
+      \    \"groups_relearned\": %d,\n\
+      \    \"groups_reused\": %d,\n\
+      \    \"identical_to_batch\": %b,\n\
+      \    \"target_speedup\": %.1f,\n\
+      \    \"enforced\": %b,\n\
+      \    \"ok\": %b\n\
+      \  }"
+      n_groups
+      (List.length incr_stats.Hoiho.Delta.dirty)
+      dirty_frac incr_stats.Hoiho.Delta.events incr_ms batch_ms relearn_speedup
+      incr_stats.Hoiho.Delta.groups_relearned
+      incr_stats.Hoiho.Delta.groups_reused relearn_identical relearn_target
+      relearn_enforced relearn_ok
+  in
   let json =
     Printf.sprintf
       {|{
@@ -1210,6 +1304,7 @@ let perf () =
     "jobs1": { "n_requests": %d, "req_per_sec": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "wall_ms": %.2f },
     "jobs4": { "n_requests": %d, "req_per_sec": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "wall_ms": %.2f }
   },
+  "relearn": %s,
   "metrics": {
     "counters_identical_across_jobs": %b,
     "seq": %s,
@@ -1252,7 +1347,7 @@ let perf () =
       (hps applyn_cold_ms) (hps applyn_warm_ms) apply_identical
       apply_matches_inproc serve1_n serve1_rps serve1_p50 serve1_p95 serve1_p99
       serve1_wall serve4_n serve4_rps serve4_p50 serve4_p95 serve4_p99
-      serve4_wall counters_identical
+      serve4_wall relearn_json counters_identical
       (String.trim (Obs.to_json seq_metrics))
       (String.trim (Obs.to_json par_metrics))
   in

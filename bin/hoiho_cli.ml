@@ -6,6 +6,8 @@
      save-model  learn, then snapshot the learned model to a file
      apply       serve geolocations from a saved model (no re-learning)
      serve       the same serving path as a network daemon (HTTP)
+     relearn     apply observation events to a corpus, relearn dirty suffixes
+     diff-model  diff two model snapshots (conventions, geohints, support)
      explain     trace one hostname's geolocation decision step by step
      geolocate   apply learned conventions to hostnames (re-learns; see apply)
      compare     evaluate Hoiho vs HLOC/DRoP/undns on validation suffixes
@@ -525,7 +527,17 @@ let serve_cmd =
              full request within $(docv) seconds is answered 408 and \
              disconnected (slow-loris defense).")
   in
-  let run model_path port host jobs batch_max batch_wait max_pending timeout =
+  let corpus =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "ITDK corpus the model was learned from; enables POST /observe \
+             (incremental relearn from observation events).")
+  in
+  let run model_path corpus port host jobs batch_max batch_wait max_pending
+      timeout =
     let model = load_model_or_die model_path in
     let config =
       {
@@ -541,6 +553,7 @@ let serve_cmd =
         max_pending = max 1 max_pending;
         request_timeout_s = Float.max 0.05 timeout;
         model_path = Some model_path;
+        corpus_path = corpus;
       }
     in
     let server = Hoiho_net.Server.start ~config model in
@@ -559,7 +572,8 @@ let serve_cmd =
       config.Hoiho_net.Server.jobs;
     Printf.printf
       "hoiho: GET /geolocate?h= /explain?h= /metrics /healthz; POST /batch \
-       /reload; SIGHUP reloads, SIGTERM stops\n%!";
+       /reload%s; SIGHUP reloads, SIGTERM stops\n%!"
+      (match corpus with Some _ -> " /observe" | None -> "");
     while not (Atomic.get stop) do
       (* sleepf returns early on EINTR when a signal lands *)
       try Unix.sleepf 0.2 with Unix.Unix_error (EINTR, _, _) -> ()
@@ -576,8 +590,8 @@ let serve_cmd =
           and hot model reload (SIGHUP or POST /reload) that swaps the \
           snapshot atomically without dropping traffic.")
     Term.(
-      const run $ model_path $ port $ host $ jobs $ batch_max $ batch_wait
-      $ max_pending $ timeout)
+      const run $ model_path $ corpus $ port $ host $ jobs $ batch_max
+      $ batch_wait $ max_pending $ timeout)
 
 (* --- explain --- *)
 
@@ -719,9 +733,117 @@ let lookup_cmd =
     (Cmd.info "lookup" ~doc:"Consult the reference location dictionary.")
     Term.(const run $ code)
 
+(* --- relearn --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let relearn_cmd =
+  let model_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "model" ] ~docv:"FILE"
+          ~doc:"Prior model snapshot (a default-options learn of the corpus).")
+  in
+  let events_path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:"Observation events in the $(b,hoiho) delta wire format.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Updated snapshot output path.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the dirty-group relearn.")
+  in
+  let run config seed input model_path events_path out jobs =
+    let model = load_model_or_die model_path in
+    (* The corpus the model was learned from; the model brings its own
+       dictionary, so dataset_of's db is irrelevant here. *)
+    let corpus, _db = dataset_of config seed input in
+    let events =
+      match Hoiho.Delta.events_of_string (read_file events_path) with
+      | Ok events -> events
+      | Error msg ->
+          Printf.eprintf "hoiho: bad events in %s: %s\n" events_path msg;
+          exit 1
+    in
+    match Hoiho.Delta.relearn_model ?jobs ~model ~corpus events with
+    | Error e ->
+        Printf.eprintf "hoiho: %s\n" (Hoiho.Delta.error_to_string e);
+        exit 1
+    | Ok (model', _corpus', stats) ->
+        Hoiho.Learned_io.save out model';
+        Printf.printf
+          "relearned: %d event(s), %d dirty suffix(es), %d group(s) \
+           relearned, %d reused\nwrote %s\n"
+          stats.Hoiho.Delta.events
+          (List.length stats.Hoiho.Delta.dirty)
+          stats.Hoiho.Delta.groups_relearned stats.Hoiho.Delta.groups_reused
+          out;
+        print_string (Hoiho.Model_diff.render_text
+                        (Hoiho.Model_diff.diff model model'))
+  in
+  Cmd.v
+    (Cmd.info "relearn"
+       ~doc:
+         "Apply observation events to a corpus and incrementally relearn \
+          only the dirty suffix groups, reusing the prior model for the \
+          rest.")
+    Term.(
+      const run $ preset_arg $ seed_arg $ input_arg $ model_path $ events_path
+      $ out $ jobs)
+
+(* --- diff-model --- *)
+
+let diff_model_cmd =
+  let before =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BEFORE" ~doc:"Earlier model snapshot.")
+  in
+  let after =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"AFTER" ~doc:"Later model snapshot.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the machine-readable JSON diff instead.")
+  in
+  let run before after json =
+    let diff =
+      Hoiho.Model_diff.diff (load_model_or_die before) (load_model_or_die after)
+    in
+    if json then print_endline (Hoiho.Model_diff.encode diff)
+    else print_string (Hoiho.Model_diff.render_text diff)
+  in
+  Cmd.v
+    (Cmd.info "diff-model"
+       ~doc:
+         "Diff two model snapshots: suffixes added, dropped, and changed, \
+          with per-hint geohint movement.")
+    Term.(const run $ before $ after $ json)
+
 let () =
   let doc = "learn geographic naming conventions from router hostnames" in
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
                     [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
                       serve_cmd; explain_cmd; geolocate_cmd; compare_cmd;
-                      report_cmd; lookup_cmd ]))
+                      report_cmd; lookup_cmd; relearn_cmd; diff_model_cmd ]))

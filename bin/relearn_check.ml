@@ -1,0 +1,28 @@
+(* Fixture writer for the relearn smoke in `dune build @check`: batch-
+   learn the fixed-seed tiny preset, evolve it one drift epoch, and
+   write (a) the epoch-1 model snapshot and (b) the Delta wire events
+   turning epoch 1 into epoch 2. The smoke then drives the CLI:
+   `hoiho relearn` over these files followed by `hoiho diff-model`,
+   with the combined stdout diffed against a checked-in expectation —
+   so the whole incremental path (wire decode, dirty-set relearn,
+   snapshot splice, model diff rendering) is pinned end to end.
+
+   Usage: relearn_check.exe MODEL_OUT EVENTS_OUT *)
+
+let () =
+  let model_out = Sys.argv.(1) and events_out = Sys.argv.(2) in
+  let ds1, truth1 =
+    Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:42 ())
+  in
+  let ds2, _ =
+    Hoiho_netsim.Evolve.epoch (Hoiho_netsim.Evolve.default ~seed:7) (ds1, truth1)
+  in
+  let model = Hoiho.Learned_io.of_pipeline (Hoiho.Pipeline.run ds1) in
+  Hoiho.Learned_io.save model_out model;
+  let events = Hoiho.Delta.events_between ds1 ds2 in
+  let oc = open_out_bin events_out in
+  output_string oc (Hoiho.Delta.events_to_string events);
+  close_out oc;
+  Printf.printf "wrote %s (%d suffix models) and %s (%d events)\n" model_out
+    (List.length model.Hoiho.Learned_io.suffixes)
+    events_out (List.length events)

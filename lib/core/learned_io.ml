@@ -395,30 +395,28 @@ let decode s =
 
 (* --- pipeline extraction / files --- *)
 
+let suffix_model_of_result (r : Pipeline.suffix_result) =
+  match (r.Pipeline.nc, r.Pipeline.classification) with
+  | Some nc, Some classification ->
+      Some
+        {
+          suffix = r.Pipeline.suffix;
+          classification;
+          cands =
+            List.map
+              (fun (c : Cand.t) ->
+                {
+                  source = c.Cand.source;
+                  plan = c.Cand.plan;
+                  regex = c.Cand.regex;
+                })
+              nc.Ncsel.cands;
+          learned = r.Pipeline.learned;
+        }
+  | _ -> None
+
 let of_pipeline (p : Pipeline.t) =
-  let suffixes =
-    List.filter_map
-      (fun (r : Pipeline.suffix_result) ->
-        match (r.Pipeline.nc, r.Pipeline.classification) with
-        | Some nc, Some classification ->
-            Some
-              {
-                suffix = r.Pipeline.suffix;
-                classification;
-                cands =
-                  List.map
-                    (fun (c : Cand.t) ->
-                      {
-                        source = c.Cand.source;
-                        plan = c.Cand.plan;
-                        regex = c.Cand.regex;
-                      })
-                    nc.Ncsel.cands;
-                learned = r.Pipeline.learned;
-              }
-        | _ -> None)
-      p.Pipeline.results
-  in
+  let suffixes = List.filter_map suffix_model_of_result p.Pipeline.results in
   let dictionary =
     (* Db.default is memoized, so physical equality identifies it *)
     if p.Pipeline.db == Db.default () then Default

@@ -56,6 +56,21 @@ type error =
 
 val error_to_string : error -> string
 
+val classification_wire : Ncsel.classification -> string
+(** "good" / "promising" / "poor" — the snapshot wire names, shared
+    with {!Model_diff} so both artifacts speak one vocabulary. *)
+
+val sorted_entries : Learned.t -> Learned.entry list
+(** Entries in (hint_type, hint) order — the stable order {!encode}
+    emits, exposed for deterministic diffing. *)
+
+val suffix_model_of_result : Pipeline.suffix_result -> suffix_model option
+(** The servable extract of one suffix result: [Some _] exactly when
+    the group selected an NC and was classified (the same filter
+    {!of_pipeline} applies per result). Exposed so incremental relearn
+    ({!Delta.relearn_model}) can rebuild snapshot entries for dirty
+    suffixes one at a time. *)
+
 val of_pipeline : Pipeline.t -> t
 (** Extract the servable model of a finished run: every suffix that
     selected an NC (with its classification, so apply can honor the

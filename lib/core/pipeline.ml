@@ -142,25 +142,17 @@ let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
   | exception Stage_failed (name, e) -> degrade name e
   | exception e -> degrade "suffix" e
 
-(* Suffix groups are mutually independent, so the run fans them out
+(* Suffix groups are mutually independent, so a set of them fans out
    over a shared domain pool; [consist] and [db] are read-only after
    construction (see Consist) and safe to share. Each worker may in
    turn fan its candidate evaluations out over the same pool — the
    pool's helping scheduler makes the nesting deadlock-free. Results
-   are returned in suffix order and are bit-identical across [jobs]
-   settings. *)
-let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
-  let db = match db with Some db -> db | None -> Db.default () in
+   are returned in input-group order and are bit-identical across
+   [jobs] settings. Shared by [run] (all groups) and
+   [Delta.relearn] (the dirty groups only). *)
+let run_groups consist db ?(learn_geohints = true) ?(min_samples = 1) ?jobs
+    groups =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
-  let consist = Consist.create dataset in
-  let groups = Dataset.by_suffix dataset in
-  Trace.with_span "pipeline.run"
-    ~attrs:
-      [
-        ("dataset", dataset.Dataset.label);
-        ("suffix_groups", string_of_int (List.length groups));
-      ]
-  @@ fun () ->
   (* suffix spans run on pool domains whose span stacks are empty; the
      explicit parent keeps the tree identical at every jobs setting *)
   let parent = Trace.fanout_parent () in
@@ -173,31 +165,45 @@ let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
           { result with nc = None; classification = None }
         else result)
   in
+  if jobs <= 1 then List.map run_group groups
+  else begin
+    (* LPT submission order: the fattest groups go onto the queue
+       first so one huge suffix can't land last and serialize the
+       tail of the run; chunk:1 makes every group its own
+       stealable job, and each group's internal stages fan out
+       over the same pool, so idle lanes help with a fat group
+       instead of waiting behind it. Results land back in their
+       original slots — output order, and everything downstream,
+       is unchanged. *)
+    let arr = Array.of_list groups in
+    let n = Array.length arr in
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        compare (List.length (snd arr.(b))) (List.length (snd arr.(a))))
+      order;
+    let slots = Array.make n None in
+    Pool.parallel_for (Pool.get jobs) ~chunk:1 n (fun k ->
+        let i = order.(k) in
+        slots.(i) <- Some (run_group arr.(i)));
+    Array.to_list (Array.map Option.get slots)
+  end
+
+let run ?db ?(learn_geohints = true) ?(min_samples = 1) ?jobs dataset =
+  let db = match db with Some db -> db | None -> Db.default () in
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let consist = Consist.create dataset in
+  let groups = Dataset.by_suffix dataset in
+  Trace.with_span "pipeline.run"
+    ~attrs:
+      [
+        ("dataset", dataset.Dataset.label);
+        ("suffix_groups", string_of_int (List.length groups));
+      ]
+  @@ fun () ->
   let results =
     Obs.time h_run (fun () ->
-        if jobs <= 1 then List.map run_group groups
-        else begin
-          (* LPT submission order: the fattest groups go onto the queue
-             first so one huge suffix can't land last and serialize the
-             tail of the run; chunk:1 makes every group its own
-             stealable job, and each group's internal stages fan out
-             over the same pool, so idle lanes help with a fat group
-             instead of waiting behind it. Results land back in their
-             original slots — output order, and everything downstream,
-             is unchanged. *)
-          let arr = Array.of_list groups in
-          let n = Array.length arr in
-          let order = Array.init n (fun i -> i) in
-          Array.sort
-            (fun a b ->
-              compare (List.length (snd arr.(b))) (List.length (snd arr.(a))))
-            order;
-          let slots = Array.make n None in
-          Pool.parallel_for (Pool.get jobs) ~chunk:1 n (fun k ->
-              let i = order.(k) in
-              slots.(i) <- Some (run_group arr.(i)));
-          Array.to_list (Array.map Option.get slots)
-        end)
+        run_groups consist db ~learn_geohints ~min_samples ~jobs groups)
   in
   { dataset; consist; db; results; metrics = Obs.snapshot () }
 

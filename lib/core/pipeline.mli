@@ -56,6 +56,23 @@ val run :
     shared domain pool. Results are deterministic: any [jobs] value
     produces results identical to [jobs:1]. *)
 
+val run_groups :
+  Consist.t ->
+  Hoiho_geodb.Db.t ->
+  ?learn_geohints:bool ->
+  ?min_samples:int ->
+  ?jobs:int ->
+  (string * Hoiho_itdk.Router.t list) list ->
+  suffix_result list
+(** Run the per-suffix pipeline over an explicit list of suffix groups,
+    returning results in input-group order. This is the fan-out core of
+    {!run}, exposed so {!Delta.relearn} can drive it over just the
+    dirty groups: given the same [consist]/[db]/options, each group's
+    result depends only on that group's routers (the per-suffix stages
+    never look across groups), so recomputing a subset yields results
+    byte-identical to the corresponding slice of a full {!run}.
+    Deterministic across [jobs] like {!run}. *)
+
 val run_suffix :
   Consist.t ->
   Hoiho_geodb.Db.t ->

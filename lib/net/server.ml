@@ -1,5 +1,8 @@
 module Serve = Hoiho_serve.Serve
 module Learned_io = Hoiho.Learned_io
+module Delta = Hoiho.Delta
+module Io = Hoiho_itdk.Io
+module Dataset = Hoiho_itdk.Dataset
 module City = Hoiho_geodb.City
 module Strutil = Hoiho_util.Strutil
 module Engine = Hoiho_rx.Engine
@@ -17,6 +20,9 @@ let c_invalid_hostnames = Obs.counter "net.invalid_hostnames"
 let c_timeouts = Obs.counter "net.request_timeouts"
 let c_reloads = Obs.counter "net.reloads"
 let c_reload_failures = Obs.counter "net.reload_failures"
+let c_observes = Obs.counter "net.observes"
+let c_observe_events = Obs.counter "net.observe_events"
+let c_observe_failures = Obs.counter "net.observe_failures"
 let h_request = Obs.histogram "net.request_ms"
 
 type config = {
@@ -29,6 +35,7 @@ type config = {
   request_timeout_s : float;
   max_body : int;
   model_path : string option;
+  corpus_path : string option;
 }
 
 let default_config =
@@ -42,6 +49,7 @@ let default_config =
     request_timeout_s = 5.0;
     max_body = 1 lsl 20;
     model_path = None;
+    corpus_path = None;
   }
 
 type t = {
@@ -56,6 +64,10 @@ type t = {
      coalescing hint *)
   active : int Atomic.t;
   explain_mutex : Mutex.t;
+  (* serializes /observe: relearn-and-swap must see a consistent
+     (corpus, model) pair. Guarded by [relearn_mutex]. *)
+  relearn_mutex : Mutex.t;
+  mutable corpus : Dataset.t option;
   mutable accepters : unit Domain.t list;
   mutable housekeeper : unit Domain.t option;
   mutable stopped : bool;
@@ -258,6 +270,48 @@ let handle_reload t fd req =
       | Ok () -> respond fd ~status:200 ("reloaded " ^ path ^ "\n")
       | Error msg -> respond fd ~status:500 ("reload failed: " ^ msg ^ "\n"))
 
+(* POST /observe: the streaming half of the serving story. A body of
+   Delta wire events is applied to the retained corpus, only the dirty
+   suffix groups are relearned against the serving model's own
+   dictionary, and the result is swapped in with the warm cache carried
+   over minus the dirty suffixes' entries (Serve.rebuild). The mutex
+   serializes observes so every relearn sees a consistent
+   (corpus, model) pair; lookups keep serving the old model
+   throughout — the swap is one atomic store, exactly like /reload. *)
+let handle_observe t fd req =
+  Mutex.lock t.relearn_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.relearn_mutex) @@ fun () ->
+  match t.corpus with
+  | None ->
+      Obs.incr c_observe_failures;
+      respond fd ~status:400 "no corpus configured (start with --corpus)\n"
+  | Some corpus -> (
+      match Delta.events_of_string req.Http.body with
+      | Error msg ->
+          Obs.incr c_observe_failures;
+          respond fd ~status:400 ("bad events: " ^ msg ^ "\n")
+      | Ok events -> (
+          let model = Serve.model (Atomic.get t.serve) in
+          match Delta.relearn_model ~jobs:t.cfg.jobs ~model ~corpus events with
+          | Error e ->
+              Obs.incr c_observe_failures;
+              respond fd ~status:400
+                ("bad events: " ^ Delta.error_to_string e ^ "\n")
+          | Ok (model', corpus', stats) ->
+              t.corpus <- Some corpus';
+              Atomic.set t.serve
+                (Serve.rebuild ~dirty:stats.Delta.dirty (Atomic.get t.serve)
+                   model');
+              Obs.incr c_observes;
+              Obs.add c_observe_events stats.Delta.events;
+              respond fd ~status:200
+                (Printf.sprintf
+                   "relearned: %d events, %d dirty suffixes, %d groups \
+                    relearned, %d reused\n"
+                   stats.Delta.events
+                   (List.length stats.Delta.dirty)
+                   stats.Delta.groups_relearned stats.Delta.groups_reused)))
+
 let dispatch t fd (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> respond fd ~status:200 "ok\n"
@@ -266,6 +320,7 @@ let dispatch t fd (req : Http.request) =
   | "GET", "/explain" -> handle_explain t fd req
   | "POST", "/batch" -> handle_batch t fd req
   | "POST", "/reload" -> handle_reload t fd req
+  | "POST", "/observe" -> handle_observe t fd req
   | ("GET" | "POST" | "HEAD"), _ -> respond fd ~status:404 "not found\n"
   | _ -> respond fd ~status:405 "method not allowed\n"
 
@@ -407,6 +462,10 @@ let start ?(config = default_config) model =
       reload_flag = Atomic.make false;
       active;
       explain_mutex = Mutex.create ();
+      relearn_mutex = Mutex.create ();
+      (* loaded before the accept domains spawn: an unreadable corpus
+         fails the start, not the first /observe *)
+      corpus = Option.map Io.load config.corpus_path;
       accepters = [];
       housekeeper = None;
       stopped = false;

@@ -21,6 +21,14 @@
     - [GET /metrics] — OpenMetrics exposition of the process registry.
     - [GET /healthz] — liveness ([200 ok]).
     - [POST /reload[?model=PATH]] — hot model reload, see below.
+    - [POST /observe] — a body of {!Hoiho.Delta} wire events: the
+      daemon applies them to its retained corpus ([corpus_path]),
+      incrementally relearns only the dirty suffix groups, and swaps
+      the result in with the warm cache carried over minus the dirty
+      suffixes' entries ({!Hoiho_serve.Serve.rebuild}). Malformed
+      bodies and unknown router ids get typed 400s; without a
+      configured corpus every /observe is a 400. Observes are
+      serialized; lookups keep serving the old model until the swap.
 
     Input boundary: every hostname is normalized exactly once, with
     {!Hoiho_util.Strutil.normalize_hostname}, at the request boundary,
@@ -47,12 +55,17 @@ type config = {
   request_timeout_s : float;  (** per-request read deadline *)
   max_body : int;  (** request body cap, bytes *)
   model_path : string option;  (** snapshot to re-read on reload *)
+  corpus_path : string option;
+      (** ITDK corpus backing [POST /observe]; must be the corpus the
+          served model was (default-options) learned from, or the
+          incremental-equivalence contract of {!Hoiho.Delta} does not
+          apply. [None] disables /observe. *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, jobs = {!Hoiho_util.Pool.default_jobs}, max_batch 64,
     max_wait_ms 1.0, max_pending 1024, request_timeout_s 5.0,
-    max_body 1 MiB, no model path. *)
+    max_body 1 MiB, no model or corpus path. *)
 
 type t
 

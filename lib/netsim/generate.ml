@@ -166,6 +166,43 @@ let router_hostnames rng (op : Oper.t) (site : Oper.site) =
 let customer_template =
   [ [ Conv.AsnTok; Conv.Junk ]; [ Conv.Role "gw" ]; [ Conv.GeoDig ] ]
 
+let fresh_router rng vps ~id (op : Oper.t) (site : Oper.site) =
+  let city = site.Oper.city in
+  let loc = city.City.coord in
+  let customer = Prng.float rng 1.0 < op.Oper.p_customer in
+  let asn =
+    if customer then 1000 + Prng.int rng 64000 else op.Oper.asn
+  in
+  let named =
+    if customer then begin
+      let hostname =
+        Conv.render rng customer_template ~geo:site.Oper.code
+          ~cc:city.City.cc ~state:city.City.state ~asn op.Oper.suffix
+      in
+      [ (hostname,
+         (if site.Oper.code = "" then None else Some site.Oper.code),
+         false) ]
+    end
+    else router_hostnames rng op site
+  in
+  let hostnames = List.map (fun (h, _, _) -> h) named in
+  let stale = List.exists (fun (_, _, st) -> st) named in
+  let hostname_hints = List.map (fun (h, hint, _) -> (h, hint)) named in
+  let responsive = Prng.float rng 1.0 < op.Oper.p_responsive in
+  let truth =
+    {
+      Router.city_key = City.key city;
+      coord = loc;
+      intended_hint = (if site.Oper.code = "" then None else Some site.Oper.code);
+      stale;
+      hostname_hints;
+    }
+  in
+  Router.make id ~hostnames ~asn
+    ~ping_rtts:(ping_rtts rng vps ~loc ~responsive)
+    ~trace_rtts:(trace_rtts rng vps ~loc)
+    ~truth
+
 let routers_of_operator rng vps next_id (op : Oper.t) =
   let site_router_lists =
     List.map
@@ -173,41 +210,7 @@ let routers_of_operator rng vps next_id (op : Oper.t) =
         List.init site.Oper.n_routers (fun _ ->
           let id = !next_id in
           incr next_id;
-          let city = site.Oper.city in
-          let loc = city.City.coord in
-          let customer = Prng.float rng 1.0 < op.Oper.p_customer in
-          let asn =
-            if customer then 1000 + Prng.int rng 64000 else op.Oper.asn
-          in
-          let named =
-            if customer then begin
-              let hostname =
-                Conv.render rng customer_template ~geo:site.Oper.code
-                  ~cc:city.City.cc ~state:city.City.state ~asn op.Oper.suffix
-              in
-              [ (hostname,
-                 (if site.Oper.code = "" then None else Some site.Oper.code),
-                 false) ]
-            end
-            else router_hostnames rng op site
-          in
-          let hostnames = List.map (fun (h, _, _) -> h) named in
-          let stale = List.exists (fun (_, _, st) -> st) named in
-          let hostname_hints = List.map (fun (h, hint, _) -> (h, hint)) named in
-          let responsive = Prng.float rng 1.0 < op.Oper.p_responsive in
-          let truth =
-            {
-              Router.city_key = City.key city;
-              coord = loc;
-              intended_hint = (if site.Oper.code = "" then None else Some site.Oper.code);
-              stale;
-              hostname_hints;
-            }
-          in
-            Router.make id ~hostnames ~asn
-              ~ping_rtts:(ping_rtts rng vps ~loc ~responsive)
-              ~trace_rtts:(trace_rtts rng vps ~loc)
-              ~truth))
+          fresh_router rng vps ~id op site))
       op.Oper.sites
   in
   (* traceroute-observed adjacency: a chain within each site (PoP), and

@@ -44,3 +44,25 @@ val generate : config -> Hoiho_itdk.Dataset.t * Truth.t
 val make_vps : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> int -> Hoiho_itdk.Vp.t array
 (** VPs placed in distinct population-weighted cities, named
     "iata-cc" Ark-style. *)
+
+val router_hostnames :
+  Hoiho_util.Prng.t ->
+  Oper.t ->
+  Oper.site ->
+  (string * string option * bool) list
+(** Render one router's hostnames under the operator's convention:
+    (hostname, embedded geohint code, stale) per interface — stale
+    names carry another site's code (§4.3). Exposed for {!Evolve},
+    which re-renders individual routers when conventions migrate or
+    stale names decay. *)
+
+val fresh_router :
+  Hoiho_util.Prng.t ->
+  Hoiho_itdk.Vp.t array ->
+  id:int ->
+  Oper.t ->
+  Oper.site ->
+  Hoiho_itdk.Router.t
+(** A complete new router at a site: hostnames, RTT observations from
+    every VP, and ground truth. Exposed for {!Evolve} (site growth
+    between epochs). *)

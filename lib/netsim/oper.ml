@@ -112,6 +112,26 @@ let nogeo_templates rng =
   in
   [ t ]
 
+(* Convention migration (the drift axis of ROADMAP open item 2): the
+   operator keeps its suffix, sites, and embedded codes but re-rolls
+   its hostname templates — new roles, delimiters, field order — as
+   happens after re-brandings and management-system changes. Site
+   template pins are cleared: the migrated fleet renders uniformly
+   under the new convention. *)
+let migrate rng t =
+  let templates =
+    match t.conv.Conv.hint_kind with
+    | None -> nogeo_templates rng
+    | Some hk ->
+        random_templates rng hk ~uses_cc:t.conv.Conv.uses_cc
+          ~uses_state:t.conv.Conv.uses_state
+  in
+  {
+    t with
+    conv = { t.conv with Conv.templates };
+    sites = List.map (fun s -> { s with tpl = None }) t.sites;
+  }
+
 let hint_kind_weights =
   [|
     (Conv.Iata, 0.47); (Conv.CityName, 0.36); (Conv.Clli, 0.12);

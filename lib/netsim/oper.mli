@@ -62,6 +62,12 @@ val random_compound : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t
 
 val random_nogeo : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t
 
+val migrate : Hoiho_util.Prng.t -> t -> t
+(** Convention migration: same suffix, sites, and codes, but freshly
+    rolled hostname templates of the same hint kind (site template
+    pins cleared) — the operator renamed its fleet. Used by
+    {!Evolve} to generate time-evolving corpora. *)
+
 val validation : Hoiho_util.Prng.t -> Hoiho_geodb.Db.t -> t list
 (** The 12 fixed validation operators: above.net, aorta.net, as8218.eu,
     geant.net, gtt.net, he.net, ntt.net, nysernet.net, retn.net,

@@ -107,6 +107,26 @@ let add t key value =
             Obs.incr c_evictions
         | None -> ())
 
+let remove_matching t pred =
+  Array.fold_left
+    (fun acc s ->
+      acc
+      + with_lock s (fun () ->
+            (* collect first: unlinking while Hashtbl.iter walks the
+               table would mutate under the iterator *)
+            let doomed =
+              Hashtbl.fold
+                (fun key node acc -> if pred key then node :: acc else acc)
+                s.tbl []
+            in
+            List.iter
+              (fun node ->
+                unlink s node;
+                Hashtbl.remove s.tbl node.key)
+              doomed;
+            List.length doomed))
+    0 t.shard_arr
+
 let length t =
   Array.fold_left
     (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.tbl))

@@ -36,6 +36,13 @@ val find : 'v t -> string -> 'v option
 val add : 'v t -> string -> 'v -> unit
 (** Insert or overwrite; may evict the shard's least-recent entry. *)
 
+val remove_matching : 'v t -> (string -> bool) -> int
+(** Drop every entry whose key satisfies the predicate, returning how
+    many were removed. Used by incremental model swaps to invalidate
+    exactly the dirty suffixes' entries (positive and negative alike)
+    while the rest of the warm cache survives. The predicate runs under
+    the shard lock — keep it pure and fast. *)
+
 val length : 'v t -> int
 (** Entries currently cached, over all shards. *)
 

@@ -10,6 +10,7 @@ module Trace = Hoiho_obs.Trace
 let c_hits = Obs.counter "serve.cache_hits"
 let c_misses = Obs.counter "serve.cache_misses"
 let c_applied = Obs.counter "serve.applied"
+let c_invalidated = Obs.counter "serve.cache_invalidated"
 let h_batch = Obs.histogram "serve.batch_ms"
 
 type t = {
@@ -19,7 +20,7 @@ type t = {
   cache : Hoiho_geodb.City.t option Lru.t;
 }
 
-let create ?(cache_capacity = 65536) ?(cache_shards = 8) model =
+let index_model model =
   let by_suffix = Hashtbl.create 64 in
   List.iter
     (fun (sm : Learned_io.suffix_model) ->
@@ -34,12 +35,37 @@ let create ?(cache_capacity = 65536) ?(cache_shards = 8) model =
              sm.Learned_io.suffix);
       Hashtbl.add by_suffix sm.Learned_io.suffix sm)
     model.Learned_io.suffixes;
+  by_suffix
+
+let create ?(cache_capacity = 65536) ?(cache_shards = 8) model =
   {
     model;
     db = Learned_io.db model;
-    by_suffix;
+    by_suffix = index_model model;
     cache = Lru.create ~shards:cache_shards ~capacity:cache_capacity ();
   }
+
+(* Incremental swap: reuse the warm cache, evicting only the entries an
+   incremental relearn could have changed. Cached answers — negative
+   ones included — are keyed by normalized hostname and determined by
+   that hostname's registered suffix's model, so an entry is stale
+   exactly when its suffix is dirty. Keys with no registered suffix
+   always answer [None] under every model and survive too. The
+   bugfix this encodes: a full-cache carry-over used to keep serving
+   cached negatives for hostnames that the new model *can* now answer
+   (unknown in epoch 1, named in epoch 2). *)
+let rebuild ?(dirty = []) t model =
+  if dirty <> [] then begin
+    let dirty_tbl = Hashtbl.create (List.length dirty) in
+    List.iter (fun s -> Hashtbl.replace dirty_tbl s ()) dirty;
+    let stale key =
+      match Hoiho_psl.Psl.registered_suffix key with
+      | Some s -> Hashtbl.mem dirty_tbl s
+      | None -> false
+    in
+    Obs.add c_invalidated (Lru.remove_matching t.cache stale)
+  end;
+  { model; db = Learned_io.db model; by_suffix = index_model model; cache = t.cache }
 
 let model t = t.model
 

@@ -34,6 +34,19 @@ val create : ?cache_capacity:int -> ?cache_shards:int -> Hoiho.Learned_io.t -> t
     Raises [Invalid_argument] if two suffix models share a suffix —
     a corrupt model that {!Hoiho.Learned_io.decode} also rejects. *)
 
+val rebuild : ?dirty:string list -> t -> Hoiho.Learned_io.t -> t
+(** Swap in a new model while carrying the warm cache over — the
+    incremental-relearn counterpart of {!create}. [dirty] names every
+    registered suffix whose model or corpus changed (the
+    {!Hoiho.Delta} dirty set): cached entries — negative answers
+    included — whose key falls under a dirty suffix are evicted
+    (counted under [serve.cache_invalidated]); everything else keeps
+    serving warm. Soundness is the caller's contract: an entry whose
+    suffix is not listed must answer identically under the new model.
+    With [dirty] omitted the cache carries over untouched (a swap known
+    to change nothing). For a full reload with unknown provenance use
+    {!create}, which starts cold. *)
+
 val model : t -> Hoiho.Learned_io.t
 
 val geolocate : t -> string -> Hoiho_geodb.City.t option

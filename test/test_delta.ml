@@ -1,0 +1,445 @@
+(* Incremental relearn (Hoiho.Delta) and model diffs (Hoiho.Model_diff).
+
+   The load-bearing property is the jobs-invariant equivalence
+   guarantee (DESIGN.md §12): for any event stream, relearning only
+   the dirty suffix groups over the prior run produces a model whose
+   metrics-normalized Learned_io encoding is byte-identical to a
+   from-scratch batch learn of the final corpus — at jobs 1 and at
+   jobs 4, with identical degraded sets and identical stats. A 500-case
+   qcheck property holds this over seeded random event streams; the
+   table-driven cases pin the conservative dirty-set contract, corpus
+   order preservation, the wire codec, and the serving-side
+   negative-cache invalidation that makes the incremental swap sound. *)
+
+module Delta = Hoiho.Delta
+module Pipeline = Hoiho.Pipeline
+module Learned_io = Hoiho.Learned_io
+module Model_diff = Hoiho.Model_diff
+module Serve = Hoiho_serve.Serve
+module Json = Hoiho_util.Json
+module Prng = Hoiho_util.Prng
+module Obs = Hoiho_obs.Obs
+module Router = Hoiho_itdk.Router
+module Dataset = Hoiho_itdk.Dataset
+module Generate = Hoiho_netsim.Generate
+module Truth = Hoiho_netsim.Truth
+
+(* --- fixture: a small but multi-operator synthetic corpus --- *)
+
+let small_config =
+  {
+    Generate.label = "delta";
+    seed = 4242;
+    n_geo_consistent = 3;
+    n_geo_small = 1;
+    n_geo_mixed = 1;
+    n_multikind = 0;
+    n_compound = 0;
+    n_nogeo = 2;
+    n_extra_towns = 0;
+    n_spoofing_vps = 0;
+    include_validation = false;
+    n_vps = 8;
+    hostname_fraction = 0.9;
+    p_responsive_unnamed = 0.8;
+  }
+
+let fixture =
+  lazy
+    (let ds, truth = Generate.generate small_config in
+     let db = Truth.db truth in
+     (ds, db, Pipeline.run ~db ~jobs:1 ds))
+
+let normalize m = { m with Learned_io.metrics = Json.Obj [] }
+let enc p = Learned_io.encode (normalize (Learned_io.of_pipeline p))
+
+let degraded_set (p : Pipeline.t) =
+  List.filter_map
+    (fun (r : Pipeline.suffix_result) ->
+      Option.map (fun d -> (r.Pipeline.suffix, d)) r.Pipeline.degraded)
+    p.Pipeline.results
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "relearn failed: %s" (Delta.error_to_string e)
+
+(* --- the property: incremental ≡ batch, at jobs 1 and 4 --- *)
+
+(* A seeded random event stream over the fixture corpus. Ids are
+   tracked through the stream so every non-Upsert event names a router
+   that is still alive when it is replayed; everything else — cross-
+   suffix renames, duplicate adds, RTT refreshes, churn — is fair
+   game. *)
+let gen_stream seed ds =
+  let rng = Prng.create seed in
+  let by_id = Hashtbl.create 64 in
+  Array.iter
+    (fun (r : Router.t) -> Hashtbl.replace by_id r.Router.id r)
+    ds.Dataset.routers;
+  let live =
+    ref
+      (Array.to_list
+         (Array.map (fun (r : Router.t) -> r.Router.id) ds.Dataset.routers))
+  in
+  let next_id =
+    ref
+      (1
+      + Array.fold_left
+          (fun a (r : Router.t) -> max a r.Router.id)
+          0 ds.Dataset.routers)
+  in
+  let suffixes = Array.of_list (List.map fst (Dataset.by_suffix ds)) in
+  let fresh_hostname () =
+    Printf.sprintf "probe%d.cr%d.%s" (Prng.int rng 100) (1 + Prng.int rng 3)
+      (Prng.pick rng suffixes)
+  in
+  let upsert_new template =
+    let nid = !next_id in
+    incr next_id;
+    let nr =
+      Router.make nid
+        ~hostnames:[ fresh_hostname () ]
+        ~ping_rtts:template.Router.ping_rtts
+        ~trace_rtts:template.Router.trace_rtts
+    in
+    live := !live @ [ nid ];
+    Hashtbl.replace by_id nid nr;
+    Delta.Upsert nr
+  in
+  let n = 1 + Prng.int rng 8 in
+  List.init n (fun _ ->
+      let id = Prng.pick_list rng !live in
+      let r = Hashtbl.find by_id id in
+      match Prng.int rng 6 with
+      | 0 -> Delta.Add_hostname { router = id; hostname = fresh_hostname () }
+      | 1 -> (
+          match r.Router.hostnames with
+          | [] -> Delta.Add_hostname { router = id; hostname = fresh_hostname () }
+          | hs -> Delta.Remove_hostname { router = id; hostname = Prng.pick_list rng hs })
+      | 2 ->
+          Delta.Set_hostnames
+            { router = id; hostnames = [ fresh_hostname (); fresh_hostname () ] }
+      | 3 ->
+          Delta.Set_rtts
+            {
+              router = id;
+              ping =
+                List.map
+                  (fun (v, ms) -> (v, ms +. Prng.float rng 2.0))
+                  r.Router.ping_rtts;
+              trace = r.Router.trace_rtts;
+            }
+      | 4 when List.length !live > 1 ->
+          live := List.filter (fun x -> x <> id) !live;
+          Delta.Remove id
+      | _ -> upsert_new r)
+
+let prop_incremental_equals_batch seed =
+  let _ds, db, prior = Lazy.force fixture in
+  let events = gen_stream seed prior.Pipeline.dataset in
+  (* the wire codec must be the identity on observable events *)
+  let events =
+    match Delta.events_of_string (Delta.events_to_string events) with
+    | Ok decoded ->
+        if decoded <> events then
+          QCheck.Test.fail_report "wire round-trip changed the events";
+        decoded
+    | Error msg -> QCheck.Test.fail_reportf "wire decode failed: %s" msg
+  in
+  let run jobs =
+    match Delta.relearn ~jobs ~prior events with
+    | Ok pair -> pair
+    | Error e ->
+        QCheck.Test.fail_reportf "relearn failed: %s" (Delta.error_to_string e)
+  in
+  let p1, s1 = run 1 in
+  let p4, s4 = run 4 in
+  if s1 <> s4 then QCheck.Test.fail_report "stats differ between jobs 1 and 4";
+  let batch = Pipeline.run ~db ~jobs:1 p1.Pipeline.dataset in
+  if degraded_set p1 <> degraded_set batch then
+    QCheck.Test.fail_report "degraded sets diverge from batch";
+  let e1 = enc p1 and e4 = enc p4 and eb = enc batch in
+  if e1 <> eb then
+    QCheck.Test.fail_reportf "incremental (jobs 1) diverges from batch\nevents: %s"
+      (Delta.events_to_string events);
+  if e4 <> eb then
+    QCheck.Test.fail_reportf "incremental (jobs 4) diverges from batch\nevents: %s"
+      (Delta.events_to_string events);
+  true
+
+let qcheck_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"incremental relearn ≡ batch (jobs 1 and 4)"
+       QCheck.small_nat prop_incremental_equals_batch)
+
+(* --- table-driven dirty-set cases --- *)
+
+let apply_ok ds events =
+  match Delta.apply ds events with
+  | Ok pair -> pair
+  | Error e -> Alcotest.failf "apply failed: %s" (Delta.error_to_string e)
+
+let test_dirty_sets () =
+  let ds, routers, _vps = Helpers.iata_fixture () in
+  let r0 = List.hd routers in
+  let h0 = List.hd r0.Router.hostnames in
+  let cases =
+    [
+      ( "add under the same suffix",
+        [ Delta.Add_hostname { router = r0.Router.id; hostname = "x.cr9.lhr9.example.net" } ],
+        [ "example.net" ] );
+      ( "add under a foreign suffix dirties both",
+        [ Delta.Add_hostname { router = r0.Router.id; hostname = "x.cr9.lhr9.other.net" } ],
+        [ "example.net"; "other.net" ] );
+      ( "remove a router",
+        [ Delta.Remove r0.Router.id ],
+        [ "example.net" ] );
+      ( "rename across suffixes dirties both",
+        [ Delta.Set_hostnames { router = r0.Router.id; hostnames = [ "a.cr1.fra1.other.net" ] } ],
+        [ "example.net"; "other.net" ] );
+      ( "upsert of a new router",
+        [ Delta.Upsert (Router.make 9001 ~hostnames:[ "a.cr1.lhr1.fresh.net" ]
+                          ~ping_rtts:r0.Router.ping_rtts) ],
+        [ "fresh.net" ] );
+      ( "duplicate add is a structural no-op",
+        [ Delta.Add_hostname { router = r0.Router.id; hostname = h0 } ],
+        [] );
+      ( "absent remove is a structural no-op",
+        [ Delta.Remove_hostname { router = r0.Router.id; hostname = "no.such.name.example.net" } ],
+        [] );
+      ( "identical rename is a structural no-op",
+        [ Delta.Set_hostnames { router = r0.Router.id; hostnames = r0.Router.hostnames } ],
+        [] );
+      ( "identical rtts are a structural no-op",
+        [ Delta.Set_rtts { router = r0.Router.id; ping = r0.Router.ping_rtts;
+                           trace = r0.Router.trace_rtts } ],
+        [] );
+      ( "structurally equal upsert is a no-op",
+        [ Delta.Upsert r0 ],
+        [] );
+    ]
+  in
+  List.iter
+    (fun (name, events, expected) ->
+      let _, dirty = apply_ok ds events in
+      Alcotest.(check (list string)) name expected dirty)
+    cases
+
+let test_unknown_router () =
+  let ds, routers, _ = Helpers.iata_fixture () in
+  let r0 = List.hd routers in
+  match
+    Delta.apply ds
+      [
+        Delta.Add_hostname { router = r0.Router.id; hostname = "x.example.net" };
+        Delta.Remove 77777;
+      ]
+  with
+  | Ok _ -> Alcotest.fail "unknown router accepted"
+  | Error (Delta.Unknown_router { event; id }) ->
+      Alcotest.(check int) "offending event index" 1 event;
+      Alcotest.(check int) "offending id" 77777 id;
+      Alcotest.(check bool) "error text names the id" true
+        (let s = Delta.error_to_string (Delta.Unknown_router { event; id }) in
+         String.length s > 0)
+
+let test_corpus_order_preserved () =
+  let ds, routers, _ = Helpers.iata_fixture () in
+  let ids = List.map (fun (r : Router.t) -> r.Router.id) routers in
+  let mid = List.nth ids (List.length ids / 2) in
+  let r0 = List.hd routers in
+  let fresh =
+    Router.make 9001 ~hostnames:[ "a.cr1.lhr1.fresh.net" ]
+      ~ping_rtts:r0.Router.ping_rtts
+  in
+  let ds', _ =
+    apply_ok ds
+      [
+        Delta.Remove mid;
+        Delta.Upsert fresh;
+        Delta.Set_hostnames { router = r0.Router.id; hostnames = [ "b.cr1.lhr1.example.net" ] };
+      ]
+  in
+  let ids' =
+    Array.to_list (Array.map (fun (r : Router.t) -> r.Router.id) ds'.Dataset.routers)
+  in
+  let expected = List.filter (fun i -> i <> mid) ids @ [ 9001 ] in
+  Alcotest.(check (list int))
+    "removals filter in place, upserts replace in place, new routers append"
+    expected ids'
+
+let test_events_between_roundtrip () =
+  let ds, routers, _ = Helpers.iata_fixture () in
+  let r0 = List.hd routers and r1 = List.nth routers 1 and r2 = List.nth routers 2 in
+  let events =
+    [
+      Delta.Remove r1.Router.id;
+      Delta.Set_hostnames { router = r0.Router.id; hostnames = [ "re.cr1.lhr1.example.net" ] };
+      Delta.Set_rtts
+        { router = r2.Router.id;
+          ping = List.map (fun (v, ms) -> (v, ms +. 0.25)) r2.Router.ping_rtts;
+          trace = r2.Router.trace_rtts };
+      Delta.Upsert (Router.make 9001 ~hostnames:[ "new.cr1.fra1.example.net" ]
+                      ~ping_rtts:r0.Router.ping_rtts);
+    ]
+  in
+  let ds', _ = apply_ok ds events in
+  let replayed = Delta.events_between ds ds' in
+  (* the inferred stream is minimal: one event per touched router *)
+  Alcotest.(check int) "minimal stream" 4 (List.length replayed);
+  let ds'', _ = apply_ok ds replayed in
+  Alcotest.(check bool) "apply (events_between a b) a reproduces b exactly" true
+    (ds' = ds'');
+  Alcotest.(check (list Alcotest.string)) "no-op stream between equal corpora"
+    [] (List.map (fun _ -> "event") (Delta.events_between ds ds))
+
+let test_wire_rejects_malformed () =
+  let expect name input =
+    match Delta.events_of_string input with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (name ^ ": error names an event or the parse") true
+          (String.length msg > 0)
+  in
+  expect "not json" "nope";
+  expect "not a list" "{}";
+  expect "unknown op" {|[{"op":"bogus"}]|};
+  expect "missing field" {|[{"op":"remove"}]|};
+  expect "mistyped field" {|[{"op":"add_hostname","router":"x","hostname":"h"}]|};
+  expect "mistyped rtts" {|[{"op":"set_rtts","router":1,"ping":[[1,"fast"]],"trace":[]}]|};
+  (* the index in the message points at the offending event *)
+  match
+    Delta.events_of_string {|[{"op":"remove","id":1},{"op":"bogus"}]|}
+  with
+  | Ok _ -> Alcotest.fail "second malformed event accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names event 1" true
+        (let needle = "event 1" in
+         let rec contains i =
+           i + String.length needle <= String.length msg
+           && (String.sub msg i (String.length needle) = needle || contains (i + 1))
+         in
+         contains 0)
+
+(* --- relearn stats and counters --- *)
+
+let test_relearn_stats_and_counters () =
+  let _ds, _db, prior = Lazy.force fixture in
+  let r0 = prior.Pipeline.dataset.Dataset.routers.(0) in
+  let suffix =
+    match Hoiho_psl.Psl.registered_suffix (List.hd r0.Router.hostnames) with
+    | Some s -> s
+    | None -> Alcotest.fail "fixture router 0 has no registered suffix"
+  in
+  let events =
+    [ Delta.Add_hostname
+        { router = r0.Router.id; hostname = "probe0.cr1." ^ suffix } ]
+  in
+  Obs.reset ();
+  let p', stats = ok_or_fail (Delta.relearn ~jobs:1 ~prior events) in
+  let n_groups = List.length prior.Pipeline.results in
+  Alcotest.(check int) "events counted" 1 stats.Delta.events;
+  Alcotest.(check (list string)) "dirty set" [ suffix ] stats.Delta.dirty;
+  Alcotest.(check int) "one group relearned" 1 stats.Delta.groups_relearned;
+  Alcotest.(check int) "the rest reused" (n_groups - 1) stats.Delta.groups_reused;
+  Alcotest.(check int) "result count unchanged" n_groups
+    (List.length p'.Pipeline.results);
+  let snap = Obs.snapshot () in
+  let counter name =
+    match Obs.find_counter snap name with
+    | Some v -> v
+    | None -> Alcotest.failf "counter %s not registered" name
+  in
+  Alcotest.(check int) "relearn.events" 1 (counter "relearn.events");
+  Alcotest.(check int) "relearn.dirty_suffixes" 1 (counter "relearn.dirty_suffixes");
+  Alcotest.(check int) "relearn.groups_relearned" 1 (counter "relearn.groups_relearned");
+  Alcotest.(check int) "relearn.groups_reused" (n_groups - 1)
+    (counter "relearn.groups_reused")
+
+let test_relearn_model_matches_batch () =
+  let _ds, db, prior = Lazy.force fixture in
+  let model = Learned_io.of_pipeline prior in
+  let events = gen_stream 7 prior.Pipeline.dataset in
+  let model', corpus', stats =
+    ok_or_fail
+      (Delta.relearn_model ~jobs:1 ~model ~corpus:prior.Pipeline.dataset events)
+  in
+  Alcotest.(check bool) "something was dirty" true (stats.Delta.dirty <> []);
+  let batch = Learned_io.of_pipeline (Pipeline.run ~db ~jobs:1 corpus') in
+  Alcotest.(check string) "snapshot-level incremental ≡ batch"
+    (Learned_io.encode (normalize batch))
+    (Learned_io.encode (normalize model'))
+
+(* --- satellite 4: negative-cache invalidation on incremental swap --- *)
+
+let test_serve_negative_cache_invalidation () =
+  (* epoch 1: only example.net exists; epoch 2 brings newcorp.net *)
+  let ds1, _, _ = Helpers.iata_fixture () in
+  let ds_new, new_routers, _ =
+    Helpers.suffix_fixture ~suffix:"newcorp.net"
+      [
+        (Helpers.city "london" "gb", "lhr", 3);
+        (Helpers.city "frankfurt" "de", "fra", 3);
+        (Helpers.city_st "seattle" "us" "wa", "sea", 3);
+        (Helpers.city_st "chicago" "us" "il", "ord", 3);
+      ]
+  in
+  ignore ds_new;
+  let events =
+    List.map
+      (fun (r : Router.t) ->
+        Delta.Upsert
+          (Router.make (r.Router.id + 1000) ~hostnames:r.Router.hostnames
+             ~ping_rtts:r.Router.ping_rtts ~trace_rtts:r.Router.trace_rtts
+             ?truth:r.Router.truth))
+      new_routers
+  in
+  let p1 = Pipeline.run ~jobs:1 ds1 in
+  let m1 = Learned_io.of_pipeline p1 in
+  let known =
+    (List.hd (List.filter (fun (r : Router.t) -> r.Router.hostnames <> [])
+                (Array.to_list ds1.Dataset.routers))).Router.hostnames
+    |> List.hd
+  in
+  let newcorp_host = List.hd (List.hd new_routers).Router.hostnames in
+  let t1 = Serve.create m1 in
+  (* prime the cache: the epoch-2 name is cached as a miss *)
+  Alcotest.(check bool) "epoch-2 hostname unknown under epoch-1 model" true
+    (Serve.geolocate t1 newcorp_host = None);
+  let known_answer = Serve.geolocate t1 known in
+  Alcotest.(check bool) "epoch-1 hostname answers" true (known_answer <> None);
+  let m2, _corpus2, stats =
+    ok_or_fail (Delta.relearn_model ~jobs:1 ~model:m1 ~corpus:ds1 events)
+  in
+  Alcotest.(check bool) "newcorp.net is dirty" true
+    (List.mem "newcorp.net" stats.Delta.dirty);
+  Obs.reset ();
+  let t2 = Serve.rebuild ~dirty:stats.Delta.dirty t1 m2 in
+  Alcotest.(check bool) "stale negative entry evicted" true
+    (match Obs.find_counter (Obs.snapshot ()) "serve.cache_invalidated" with
+    | Some n -> n >= 1
+    | None -> false);
+  (* the regression: without invalidation this served the cached None *)
+  let served = Serve.geolocate t2 newcorp_host in
+  Alcotest.(check bool) "epoch-2 hostname now answers through the cache" true
+    (served <> None && served = Serve.geolocate_uncached t2 newcorp_host);
+  Alcotest.(check bool) "clean suffix still answers identically" true
+    (Serve.geolocate t2 known = known_answer)
+
+let suites =
+  [
+    ( "delta",
+      [
+        Helpers.tc "conservative dirty sets" test_dirty_sets;
+        Helpers.tc "unknown router is a typed error" test_unknown_router;
+        Helpers.tc "corpus order is preserved" test_corpus_order_preserved;
+        Helpers.tc "events_between round-trips" test_events_between_roundtrip;
+        Helpers.tc "wire rejects malformed input" test_wire_rejects_malformed;
+        Helpers.tc "relearn stats and counters" test_relearn_stats_and_counters;
+        Helpers.tc "relearn_model matches batch" test_relearn_model_matches_batch;
+        Helpers.tc "negative cache invalidated on incremental swap"
+          test_serve_negative_cache_invalidation;
+        qcheck_equivalence;
+      ] );
+  ]

@@ -22,11 +22,15 @@
 
 module Pipeline = Hoiho.Pipeline
 module Learned_io = Hoiho.Learned_io
+module Delta = Hoiho.Delta
+module Model_diff = Hoiho.Model_diff
+module Json = Hoiho_util.Json
 module Serve = Hoiho_serve.Serve
 module City = Hoiho_geodb.City
 module Dataset = Hoiho_itdk.Dataset
 module Router = Hoiho_itdk.Router
 module Psl = Hoiho_psl.Psl
+module Evolve = Hoiho_netsim.Evolve
 
 let corpus_path = "golden/corpus.tsv"
 let max_per_suffix = 2
@@ -89,16 +93,35 @@ let corpus_lines () =
                String.sub line (i + 1) (String.length line - i - 1) )
          | None -> Alcotest.failf "golden corpus: malformed line %S" line)
 
-let test_corpus () =
+(* Where to write a regenerated golden file named [canonical].
+   HOIHO_UPDATE_GOLDEN may be "1" (in place, when running from the
+   source tree), a directory (every golden file lands there under its
+   canonical name), or a file path (that file for its own canonical
+   name; siblings land next to it) — so the documented
+   HOIHO_UPDATE_GOLDEN=$PWD/test/golden/corpus.tsv refreshes the whole
+   set. *)
+let golden_dest canonical =
   match Sys.getenv_opt "HOIHO_UPDATE_GOLDEN" with
   | Some dest when dest <> "" ->
+      if dest = "1" then Some (Filename.concat "golden" canonical)
+      else if Sys.file_exists dest && Sys.is_directory dest then
+        Some (Filename.concat dest canonical)
+      else if Filename.basename dest = canonical then Some dest
+      else Some (Filename.concat (Filename.dirname dest) canonical)
+  | _ -> None
+
+let write_golden dest contents =
+  let oc = open_out_bin dest in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "golden file regenerated to %s\n" dest
+
+let test_corpus () =
+  match golden_dest "corpus.tsv" with
+  | Some dest ->
       let ds, p = Lazy.force fixture in
-      let dest = if dest = "1" then corpus_path else dest in
-      let oc = open_out_bin dest in
-      output_string oc (render ds p);
-      close_out oc;
-      Printf.printf "golden corpus regenerated to %s\n" dest
-  | _ ->
+      write_golden dest (render ds p)
+  | None ->
       let ds, p = Lazy.force fixture in
       let pinned = corpus_lines () in
       Alcotest.(check bool) "corpus is non-trivial" true (List.length pinned >= 40);
@@ -158,6 +181,105 @@ let test_snapshot_serves_identically () =
           (describe answer) (describe expect))
     seq
 
+(* --- the drift corpus: one Evolve epoch over the golden fixture ---
+
+   Two pinned artifacts regenerate deterministically from (tiny seed
+   42, Evolve seed 1337): golden/drift_events.json — the Delta wire
+   stream turning epoch 1 into epoch 2 — and golden/drift.txt — the
+   rendered model diff between the two epochs' learned models. Any
+   change to the generator, the evolver, the wire codec, the pipeline,
+   or the diff renderer shows up as a readable diff against these
+   files; refresh them with HOIHO_UPDATE_GOLDEN like the corpus. *)
+
+let drift_events_path = "golden/drift_events.json"
+let drift_diff_path = "golden/drift.txt"
+
+let drift_fixture =
+  lazy
+    (let ds1, truth1 =
+       Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:42 ())
+     in
+     let ds2, _truth2 = Evolve.epoch (Evolve.default ~seed:1337) (ds1, truth1) in
+     (ds1, ds2))
+
+let normalize m = { m with Learned_io.metrics = Json.Obj [] }
+
+let test_drift_events () =
+  let ds1, ds2 = Lazy.force drift_fixture in
+  let rendered = Delta.events_to_string (Delta.events_between ds1 ds2) in
+  match golden_dest "drift_events.json" with
+  | Some dest -> write_golden dest rendered
+  | None ->
+      let pinned = read_file drift_events_path in
+      if rendered <> pinned then
+        Alcotest.fail
+          "drift event stream drifted from golden/drift_events.json (if \
+           intended, regenerate with HOIHO_UPDATE_GOLDEN — see \
+           test/test_golden.ml)";
+      (* the pinned wire stream must replay: decode, apply, and land
+         exactly on epoch 2 *)
+      let events =
+        match Delta.events_of_string pinned with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "pinned drift events do not decode: %s" msg
+      in
+      Alcotest.(check bool) "drift is non-trivial" true (List.length events >= 10);
+      (* the wire is lossy in ground truth only (Delta doc): compare the
+         observable projection *)
+      let observable ds =
+        {
+          ds with
+          Dataset.routers =
+            Array.map
+              (fun (r : Router.t) -> { r with Router.truth = None })
+              ds.Dataset.routers;
+        }
+      in
+      (match Delta.apply ds1 events with
+      | Ok (replayed, dirty) ->
+          Alcotest.(check bool)
+            "replaying the pinned events reproduces epoch 2 observables" true
+            (observable replayed = observable ds2);
+          Alcotest.(check bool) "drift dirties some suffixes" true (dirty <> [])
+      | Error e ->
+          Alcotest.failf "pinned drift events do not apply: %s"
+            (Delta.error_to_string e));
+      (* and the incremental relearn across the epoch matches batch *)
+      let _, p1 = Lazy.force fixture in
+      (match Delta.relearn ~jobs:4 ~prior:p1 events with
+      | Ok (incr, _) ->
+          let batch = Pipeline.run ~jobs:4 ds2 in
+          Alcotest.(check string)
+            "incremental relearn across the drift epoch ≡ batch"
+            (Learned_io.encode (normalize (Learned_io.of_pipeline batch)))
+            (Learned_io.encode (normalize (Learned_io.of_pipeline incr)))
+      | Error e ->
+          Alcotest.failf "incremental relearn across the epoch failed: %s"
+            (Delta.error_to_string e))
+
+let test_drift_model_diff () =
+  let ds1, ds2 = Lazy.force drift_fixture in
+  let _, p1 = Lazy.force fixture in
+  ignore ds1;
+  let m1 = Learned_io.of_pipeline p1 in
+  let m2 = Learned_io.of_pipeline (Pipeline.run ~jobs:4 ds2) in
+  let rendered = Model_diff.render_text (Model_diff.diff m1 m2) in
+  match golden_dest "drift.txt" with
+  | Some dest -> write_golden dest rendered
+  | None ->
+      let pinned = read_file drift_diff_path in
+      if rendered <> pinned then
+        Alcotest.failf
+          "model diff drifted from golden/drift.txt (if intended, regenerate \
+           with HOIHO_UPDATE_GOLDEN — see test/test_golden.ml); got:\n%s"
+          rendered;
+      (* the machine form stays in lockstep with the text form *)
+      let d = Model_diff.diff m1 m2 in
+      Alcotest.(check bool) "drift changes the model" true
+        (List.length d.Model_diff.diffs > 0);
+      Alcotest.(check bool) "diff JSON encodes" true
+        (String.length (Model_diff.encode d) > 2)
+
 let suites =
   [
     ( "golden",
@@ -165,5 +287,7 @@ let suites =
         Helpers.tc "corpus answers are pinned" test_corpus;
         Helpers.tc "corpus covers both outcomes" test_corpus_covers_both_outcomes;
         Helpers.tc "snapshot serves byte-identically" test_snapshot_serves_identically;
+        Helpers.tc "drift event stream is pinned and replays" test_drift_events;
+        Helpers.tc "drift model diff is pinned" test_drift_model_diff;
       ] );
   ]

@@ -8,4 +8,5 @@ let () =
    @ Test_validate.suites @ Test_webreport.suites @ Test_chaos.suites
    @ Test_props.suites @ Test_learned_io.suites @ Test_serve.suites
    @ Test_granularity.suites
+   @ Test_delta.suites
    @ Test_golden.suites @ Test_trace.suites @ Test_net.suites)

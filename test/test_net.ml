@@ -17,9 +17,14 @@ module Server = Hoiho_net.Server
 module Chaos = Hoiho_netsim.Chaos
 module Pipeline = Hoiho.Pipeline
 module Learned_io = Hoiho.Learned_io
+module Delta = Hoiho.Delta
 module Serve = Hoiho_serve.Serve
 module City = Hoiho_geodb.City
 module Obs = Hoiho_obs.Obs
+module Router = Hoiho_itdk.Router
+module Dataset = Hoiho_itdk.Dataset
+module Io = Hoiho_itdk.Io
+module Psl = Hoiho_psl.Psl
 
 let describe = function Some c -> City.describe c | None -> "-"
 
@@ -184,8 +189,7 @@ let content_length head =
   in
   find 0
 
-let kc_request c target =
-  write_all c.fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" target);
+let kc_read_response c =
   let rec header_end () =
     match find_crlfcrlf c.pending with
     | Some i -> i
@@ -204,6 +208,18 @@ let kc_request c target =
   c.pending <-
     String.sub c.pending total (String.length c.pending - total);
   (parse_status head, body)
+
+let kc_request c target =
+  write_all c.fd (Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" target);
+  kc_read_response c
+
+(* keep-alive POST: body framed by Content-Length, connection stays up *)
+let kc_post c target body =
+  write_all c.fd
+    (Printf.sprintf
+       "POST %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s" target
+       (String.length body) body);
+  kc_read_response c
 
 let with_server ?(config = Server.default_config) model f =
   let t = Server.start ~config model in
@@ -592,6 +608,141 @@ let test_metrics_and_explain () =
          in
          contains 0))
 
+(* --- POST /observe: incremental relearn over the wire --- *)
+
+(* Epoch-2 events: clone an entire learned suffix group of the fixture
+   corpus under the brand-new suffix "newcorp.net" — same router
+   locations, same RTTs, same embedded geohint codes, so the relearn
+   must learn the clone convention and start answering names nothing in
+   the epoch-1 model could. *)
+let observe_fixture () =
+  let p, model, _ = Lazy.force fixture in
+  let ds = p.Pipeline.dataset in
+  let source_suffix, probe_host, probe_expected =
+    match
+      List.find_opt
+        (fun (h, e) -> e <> "-" && Psl.registered_suffix h <> None)
+        (corpus_lines ())
+    with
+    | Some (h, e) -> (Option.get (Psl.registered_suffix h), h, e)
+    | None -> Alcotest.fail "corpus has no geolocated hostname"
+  in
+  let swap h =
+    (* "...code1.<source_suffix>" -> "...code1.newcorp.net" *)
+    String.sub h 0 (String.length h - String.length source_suffix)
+    ^ "newcorp.net"
+  in
+  let clones =
+    ds.Dataset.routers |> Array.to_list
+    |> List.filter (fun (r : Router.t) ->
+           List.exists
+             (fun h -> Psl.registered_suffix h = Some source_suffix)
+             r.Router.hostnames)
+    |> List.map (fun (r : Router.t) ->
+           Router.make (r.Router.id + 100000)
+             ~hostnames:(List.map swap r.Router.hostnames)
+             ~ping_rtts:r.Router.ping_rtts ~trace_rtts:r.Router.trace_rtts)
+  in
+  Alcotest.(check bool) "source group is non-trivial" true
+    (List.length clones >= 3);
+  let events = List.map (fun r -> Delta.Upsert r) clones in
+  (* the in-process ground truth for what the daemon must serve after
+     the observe: incremental relearn of the same events *)
+  let model', _, _ =
+    match Delta.relearn_model ~jobs:1 ~model ~corpus:ds events with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "relearn_model: %s" (Delta.error_to_string e)
+  in
+  let expected_after =
+    describe (Serve.geolocate_uncached (Serve.create model') (swap probe_host))
+  in
+  Alcotest.(check string)
+    "clone convention learned (clone of a geolocated hostname geolocates)"
+    probe_expected expected_after;
+  (swap probe_host, expected_after, Delta.events_to_string events)
+
+let with_corpus_file ds f =
+  let path = Filename.temp_file "hoiho_net_corpus" ".itdk" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Io.save path ds;
+      f path)
+
+let test_observe_relearn_mid_stream () =
+  let p, model, _ = Lazy.force fixture in
+  let probe, expected_after, events_json = observe_fixture () in
+  let pinned_h, pinned_e = List.hd (corpus_lines ()) in
+  with_corpus_file p.Pipeline.dataset (fun corpus_file ->
+      with_server
+        ~config:{ small_config with Server.corpus_path = Some corpus_file }
+        model
+        (fun _ port ->
+          let c = kc_connect port in
+          Fun.protect
+            ~finally:(fun () -> kc_close c)
+            (fun () ->
+              (* before: the epoch-2 name is unknown — and now cached *)
+              let status, body =
+                kc_request c ("/geolocate?h=" ^ Http.pct_encode probe)
+              in
+              Alcotest.(check int) "pre-observe status" 200 status;
+              Alcotest.(check string) "epoch-2 name unknown before observe"
+                "-\n" body;
+              (* malformed bodies: typed 400s, connection survives *)
+              let status, _ = kc_post c "/observe" "not json" in
+              Alcotest.(check int) "malformed body is 400" 400 status;
+              let status, body =
+                kc_post c "/observe" {|[{"op":"remove","id":123456789}]|}
+              in
+              Alcotest.(check int) "unknown router is 400" 400 status;
+              Alcotest.(check bool) "400 names the router id" true
+                (let needle = "123456789" in
+                 let rec contains i =
+                   i + String.length needle <= String.length body
+                   && (String.sub body i (String.length needle) = needle
+                      || contains (i + 1))
+                 in
+                 contains 0);
+              (* the real observe, same connection *)
+              let status, body = kc_post c "/observe" events_json in
+              if status <> 200 then
+                Alcotest.failf "observe failed (%d): %s" status body;
+              Alcotest.(check bool) "observe reports relearn stats" true
+                (String.length body >= 9 && String.sub body 0 9 = "relearned");
+              (* after, still the same connection: the swap answered the
+                 cached-negative name (the serving-boundary bugfix) *)
+              let status, body =
+                kc_request c ("/geolocate?h=" ^ Http.pct_encode probe)
+              in
+              Alcotest.(check int) "post-observe status" 200 status;
+              Alcotest.(check string) "epoch-2 name answers after observe"
+                (expected_after ^ "\n") body;
+              (* clean suffixes kept serving identically *)
+              let status, body =
+                kc_request c ("/geolocate?h=" ^ Http.pct_encode pinned_h)
+              in
+              Alcotest.(check int) "clean suffix status" 200 status;
+              Alcotest.(check string) "clean suffix unchanged"
+                (pinned_e ^ "\n") body)))
+
+let test_observe_unconfigured () =
+  let _, model, _ = Lazy.force fixture in
+  with_server ~config:small_config model (fun _ port ->
+      let status, body, _ =
+        request ~meth:"POST" ~body:"[]" port "/observe"
+      in
+      Alcotest.(check int) "observe without a corpus is 400" 400 status;
+      Alcotest.(check bool) "400 explains the missing corpus" true
+        (let needle = "corpus" in
+         let low = String.lowercase_ascii body in
+         let rec contains i =
+           i + String.length needle <= String.length low
+           && (String.sub low i (String.length needle) = needle
+              || contains (i + 1))
+         in
+         contains 0))
+
 (* --- chaos: hostile clients against a short-deadline server --- *)
 
 let run_plan port (plan : Chaos.net_plan) =
@@ -699,6 +850,9 @@ let suites =
         Helpers.tc "reload semantics" test_reload_semantics;
         Helpers.tc "metrics and explain over the wire"
           test_metrics_and_explain;
+        Helpers.tc "observe relearns mid-stream on a keep-alive connection"
+          test_observe_relearn_mid_stream;
+        Helpers.tc "observe without a corpus" test_observe_unconfigured;
         Helpers.tc "chaos clients" test_chaos_clients;
       ] );
   ]
