@@ -882,7 +882,10 @@ let perf () =
   let apply_identical = apply1 = applyn in
   let apply_matches_inproc =
     List.for_all
-      (fun (h, answer) -> answer = Pipeline.geolocate par h)
+      (fun (h, (answer : Hoiho_serve.Serve.answer)) ->
+        let city, confidence = Pipeline.geolocate_conf par h in
+        answer.Hoiho_serve.Serve.city = city
+        && answer.Hoiho_serve.Serve.confidence = confidence)
       apply1
   in
   Report.note "apply (serving path, %d hostnames through the snapshot codec):"
@@ -1203,6 +1206,44 @@ let perf () =
     failwith
       (Printf.sprintf "jobs sweep: speedup %.2fx at jobs=4 below target %.1fx"
          (sweep_speedup_at 4) target_speedup);
+  (* --- confidence calibration on the paper-scale slice ---
+     the confidence subsystem's acceptance gate, measured on the same
+     paper-preset dataset as the jobs sweep: decile accuracy must be
+     monotone (tolerance 0.05) and ECE must stay under the limit, with
+     abstentions scored at zero confidence. *)
+  let module Calibration = Hoiho_validate.Calibration in
+  let calib =
+    Calibration.of_pipeline sweep_p1
+      ~suffixes:(Truth.geo_suffixes sweep_truth)
+  in
+  let calib_monotone = Calibration.monotone calib in
+  let calib_ece_limit = 0.15 in
+  let calib_ok =
+    calib_monotone && calib.Calibration.ece <= calib_ece_limit
+  in
+  Report.note
+    "calibration (%s): %d ground-truth samples (%d answered), Brier %.4f, \
+     ECE %.4f (limit %.2f), decile accuracy monotone: %b"
+    sweep_config.Generate.label calib.Calibration.total
+    calib.Calibration.answered calib.Calibration.brier calib.Calibration.ece
+    calib_ece_limit calib_monotone;
+  if not calib_ok then
+    failwith
+      (Printf.sprintf
+         "calibration gate failed: ECE %.4f (limit %.2f), monotone %b"
+         calib.Calibration.ece calib_ece_limit calib_monotone);
+  let calibration_json =
+    Hoiho_util.Json.to_string
+      (match Calibration.to_json calib with
+      | Hoiho_util.Json.Obj fields ->
+          Hoiho_util.Json.Obj
+            (fields
+            @ [
+                ("ece_limit", Hoiho_util.Json.Float calib_ece_limit);
+                ("ok", Hoiho_util.Json.Bool calib_ok);
+              ])
+      | j -> j)
+  in
   let relearn_json =
     Printf.sprintf
       "{\n\
@@ -1305,6 +1346,7 @@ let perf () =
     "jobs4": { "n_requests": %d, "req_per_sec": %.1f, "p50_ms": %.3f, "p95_ms": %.3f, "p99_ms": %.3f, "wall_ms": %.2f }
   },
   "relearn": %s,
+  "calibration": %s,
   "metrics": {
     "counters_identical_across_jobs": %b,
     "seq": %s,
@@ -1347,7 +1389,7 @@ let perf () =
       (hps applyn_cold_ms) (hps applyn_warm_ms) apply_identical
       apply_matches_inproc serve1_n serve1_rps serve1_p50 serve1_p95 serve1_p99
       serve1_wall serve4_n serve4_rps serve4_p50 serve4_p95 serve4_p99
-      serve4_wall relearn_json counters_identical
+      serve4_wall relearn_json calibration_json counters_identical
       (String.trim (Obs.to_json seq_metrics))
       (String.trim (Obs.to_json par_metrics))
   in

@@ -1,0 +1,65 @@
+(* CI smoke assertion for `dune build @check`: the calibration report
+   `hoiho calibrate -p tiny -s 42 -o ...` writes must clear the
+   acceptance gates — ECE within 0.15, decile accuracy monotone at the
+   default tolerance, a non-trivial ground-truth sample with most
+   hostnames answered, and exactly ten deciles. Exits nonzero with a
+   diagnostic otherwise. The same JSON file is uploaded as a CI
+   artifact, so a gate failure ships its evidence. *)
+
+module Json = Hoiho_util.Json
+
+let read_all path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "calibration_smoke.json"
+  in
+  let json =
+    match Json.parse (read_all path) with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "calibrate_check: %s does not parse: %s\n" path e;
+        exit 1
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let num key =
+    match Json.member key json with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  (match num "total" with
+  | Some t when t > 500.0 -> ()
+  | Some t -> fail "total is %.0f, expected > 500 ground-truth hostnames" t
+  | None -> fail "total missing");
+  (match (num "total", num "answered") with
+  | Some t, Some a when a *. 2.0 > t -> ()
+  | Some t, Some a -> fail "answered %.0f of %.0f: most should be answered" a t
+  | _ -> fail "answered missing");
+  (match num "ece" with
+  | Some e when e <= 0.15 -> ()
+  | Some e -> fail "ECE %.4f exceeds the 0.15 acceptance limit" e
+  | None -> fail "ece missing");
+  (match num "brier" with
+  | Some b when b <= 0.25 -> ()
+  | Some b -> fail "Brier %.4f is worse than a constant 0.5 guess" b
+  | None -> fail "brier missing");
+  (match Json.member "monotone" json with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) -> fail "decile accuracy is not monotone"
+  | _ -> fail "monotone missing");
+  (match Json.member "buckets" json with
+  | Some (Json.List l) when List.length l = 10 -> ()
+  | Some (Json.List l) -> fail "%d buckets, expected 10" (List.length l)
+  | _ -> fail "buckets missing");
+  match !failures with
+  | [] -> Printf.printf "calibration gates ok: %s\n" path
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "calibrate_check: %s\n" f) (List.rev fs);
+      exit 1

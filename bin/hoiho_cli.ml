@@ -298,9 +298,28 @@ let learn_cmd =
 
 (* --- save-model / apply / geolocate --- *)
 
-let print_answer hostname = function
-  | Some city -> Printf.printf "%-50s %s\n" hostname (Hoiho_geodb.City.describe city)
-  | None -> Printf.printf "%-50s (no geolocation)\n" hostname
+(* every answer prints with its confidence score; a --min-conf floor
+   turns a kept-but-low-scoring answer into the distinct
+   "(low confidence)" outcome, score still shown *)
+let print_answer ?min_conf hostname (answer : Hoiho_serve.Serve.answer) =
+  let conf = answer.Hoiho_serve.Serve.confidence in
+  let below = match min_conf with Some f -> conf < f | None -> false in
+  match answer.Hoiho_serve.Serve.city with
+  | Some _ when below ->
+      Printf.printf "%-50s (low confidence)\t%.3f\n" hostname conf
+  | Some city ->
+      Printf.printf "%-50s %s\t%.3f\n" hostname
+        (Hoiho_geodb.City.describe city) conf
+  | None -> Printf.printf "%-50s (no geolocation)\t%.3f\n" hostname conf
+
+let min_conf_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-conf" ] ~docv:"X"
+        ~doc:
+          "Confidence floor in [0,1]: answers scoring below $(docv) print as \
+           (low confidence) with their score instead of a geohint.")
 
 let load_model_or_die path =
   match Hoiho.Learned_io.load path with
@@ -413,7 +432,7 @@ let apply_cmd =
       & info [] ~docv:"HOSTNAME"
           ~doc:"Hostnames to locate (read from stdin when none are given).")
   in
-  let run model_path batch stats trace_out hostnames =
+  let run model_path batch stats min_conf trace_out hostnames =
     let model = load_model_or_die model_path in
     let serve = Hoiho_serve.Serve.create model in
     let hostnames =
@@ -423,7 +442,7 @@ let apply_cmd =
         List.iter
           (fun chunk ->
             List.iter
-              (fun (hostname, answer) -> print_answer hostname answer)
+              (fun (hostname, answer) -> print_answer ?min_conf hostname answer)
               (Hoiho_serve.Serve.apply_batch serve chunk))
           (chunks (max 1 batch) hostnames));
     if stats then begin
@@ -456,7 +475,9 @@ let apply_cmd =
        ~doc:
          "Geolocate hostnames from a saved model — the high-throughput \
           serving path: no learning run, answers cached in a sharded LRU.")
-    Term.(const run $ model_path $ batch $ stats $ trace_arg $ hostnames)
+    Term.(
+      const run $ model_path $ batch $ stats $ min_conf_arg $ trace_arg
+      $ hostnames)
 
 (* --- serve --- *)
 
@@ -609,7 +630,7 @@ let explain_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"HOSTNAME" ~doc:"The hostname to explain.")
   in
-  let run model_path hostname =
+  let run model_path min_conf hostname =
     let serve = Hoiho_serve.Serve.create (load_model_or_die model_path) in
     (* the decision trace IS the span tree of this one geolocate call:
        PSL split, cache probe, each candidate regex with its capture
@@ -617,9 +638,9 @@ let explain_cmd =
        losers included), and the final answer with provenance *)
     Trace.set_enabled true;
     Trace.clear ();
-    let answer = Hoiho_serve.Serve.geolocate serve hostname in
+    let answer = Hoiho_serve.Serve.geolocate_conf serve hostname in
     Trace.set_enabled false;
-    print_answer hostname answer;
+    print_answer ?min_conf hostname answer;
     print_newline ();
     print_string (Trace.render_text (Trace.spans ()))
   in
@@ -631,19 +652,20 @@ let explain_cmd =
           regex tried with its capture groups, the dictionary entries \
           consulted (with collision losers), and the final geohint with \
           the rule that produced it.")
-    Term.(const run $ model_path $ hostname)
+    Term.(const run $ model_path $ min_conf_arg $ hostname)
 
 let geolocate_cmd =
   let hostnames =
     Arg.(value & pos_all string [] & info [] ~docv:"HOSTNAME" ~doc:"Hostnames to locate.")
   in
-  let run config seed input model hostnames =
+  let run config seed input model min_conf hostnames =
     match model with
     | Some path ->
         let serve = Hoiho_serve.Serve.create (load_model_or_die path) in
         List.iter
           (fun hostname ->
-            print_answer hostname (Hoiho_serve.Serve.geolocate serve hostname))
+            print_answer ?min_conf hostname
+              (Hoiho_serve.Serve.geolocate_conf serve hostname))
           hostnames
     | None ->
         Printf.eprintf
@@ -654,12 +676,18 @@ let geolocate_cmd =
         let pipeline = Hoiho.Pipeline.run ~db ds in
         List.iter
           (fun hostname ->
-            print_answer hostname (Hoiho.Pipeline.geolocate pipeline hostname))
+            let city, confidence =
+              Hoiho.Pipeline.geolocate_conf pipeline hostname
+            in
+            print_answer ?min_conf hostname
+              { Hoiho_serve.Serve.city; confidence })
           hostnames
   in
   Cmd.v
     (Cmd.info "geolocate" ~doc:"Apply learned conventions to hostnames.")
-    Term.(const run $ preset_arg $ seed_arg $ input_arg $ model_arg $ hostnames)
+    Term.(
+      const run $ preset_arg $ seed_arg $ input_arg $ model_arg $ min_conf_arg
+      $ hostnames)
 
 (* --- compare --- *)
 
@@ -683,6 +711,43 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare Hoiho against HLOC, DRoP and undns.")
     Term.(const run $ preset_arg $ seed_arg)
+
+(* --- calibrate --- *)
+
+let calibrate_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the report as JSON to $(docv).")
+  in
+  let run config seed out =
+    let config = apply_seed config seed in
+    let ds, truth = Hoiho_netsim.Generate.generate config in
+    let pipeline = Hoiho.Pipeline.run ~db:(Hoiho_netsim.Truth.db truth) ds in
+    let suffixes = Hoiho_netsim.Truth.geo_suffixes truth in
+    let report = Hoiho_validate.Calibration.of_pipeline pipeline ~suffixes in
+    print_string (Hoiho_validate.Calibration.render_text report);
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Hoiho_util.Json.to_string
+             (Hoiho_validate.Calibration.to_json report));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote calibration report to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Measure confidence calibration against generator ground truth: \
+          bucket every ground-truth answer (abstentions included, at 0.0) \
+          by confidence decile and report per-bucket accuracy, the Brier \
+          score, and the expected calibration error.")
+    Term.(const run $ preset_arg $ seed_arg $ out)
 
 (* --- report --- *)
 
@@ -846,4 +911,5 @@ let () =
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
                     [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
                       serve_cmd; explain_cmd; geolocate_cmd; compare_cmd;
-                      report_cmd; lookup_cmd; relearn_cmd; diff_model_cmd ]))
+                      calibrate_cmd; report_cmd; lookup_cmd; relearn_cmd;
+                      diff_model_cmd ]))

@@ -124,10 +124,13 @@ let parse_port line =
             (String.trim (String.sub before (i + 1) (String.length before - i - 1)))
       )
 
-(* EXPECTED lines are apply's "%-50s ANSWER" format *)
+(* EXPECTED lines are apply's "%-50s ANSWER\tCONF" format; the daemon
+   speaks "ANSWER\tCONF" with "(no geolocation)" spelled "-", so map
+   the prefix and keep the confidence column *)
 let parse_expected path =
   let ic = open_in path in
   let lines = ref [] in
+  let nog = "(no geolocation)" in
   (try
      while true do
        let line = input_line ic in
@@ -137,7 +140,15 @@ let parse_expected path =
          | Some i ->
              let h = String.sub line 0 i in
              let a = String.trim (String.sub line i (String.length line - i)) in
-             lines := (h, (if a = "(no geolocation)" then "-" else a)) :: !lines
+             let a =
+               if
+                 String.length a >= String.length nog
+                 && String.sub a 0 (String.length nog) = nog
+               then "-" ^ String.sub a (String.length nog)
+                            (String.length a - String.length nog)
+               else a
+             in
+             lines := (h, a) :: !lines
        end
      done
    with End_of_file -> close_in_noerr ic);

@@ -78,6 +78,17 @@ let location_consistent t (r : Router.t) loc =
   let pairs = if r.Router.ping_rtts <> [] then r.Router.ping_rtts else r.Router.trace_rtts in
   List.for_all check pairs
 
+type channel = Ping | Trace
+
+let channel_consistent t (r : Router.t) channel loc =
+  let check (vp_id, rtt) = rtt +. slack_ms >= best_case t vp_id loc in
+  let pairs =
+    match channel with
+    | Ping -> r.Router.ping_rtts
+    | Trace -> r.Router.trace_rtts
+  in
+  List.for_all check pairs
+
 let city_consistent t r (city : Hoiho_geodb.City.t) =
   location_consistent t r city.Hoiho_geodb.City.coord
 

@@ -41,5 +41,16 @@ val location_consistent :
 
 val city_consistent : t -> Hoiho_itdk.Router.t -> Hoiho_geodb.City.t -> bool
 
+type channel = Ping | Trace
+
+val channel_consistent :
+  t -> Hoiho_itdk.Router.t -> channel -> Hoiho_geo.Coord.t -> bool
+(** {!location_consistent} restricted to one measurement channel's RTT
+    samples — [location_consistent] itself uses ping when available and
+    traceroute otherwise, so it can never report the two channels
+    disagreeing. This can: it is the cross-channel corroboration probe
+    behind {!Confidence.stats_of_nc}. Vacuously true when the channel
+    has no samples for the router. *)
+
 val closest_vp_rtt : t -> Hoiho_itdk.Router.t -> float option
 (** Smallest ping RTT, if any (figure 10a / 11 analyses). *)

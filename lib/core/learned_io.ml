@@ -3,7 +3,10 @@ module City = Hoiho_geodb.City
 module Db = Hoiho_geodb.Db
 module Engine = Hoiho_rx.Engine
 
-let format_version = 1
+(* v2 added the per-suffix confidence stats block; v1 snapshots still
+   decode, with neutral stats (DESIGN.md §9/§13) *)
+let format_version = 2
+let oldest_readable_version = 1
 
 type cand = { source : string; plan : Plan.t; regex : Engine.t }
 
@@ -12,6 +15,7 @@ type suffix_model = {
   classification : Ncsel.classification;
   cands : cand list;
   learned : Learned.t;
+  stats : Confidence.suffix_stats;
 }
 
 type dictionary = Default | Embedded of City.t list
@@ -30,8 +34,9 @@ type error =
 let error_to_string = function
   | Syntax msg -> "syntax error: " ^ msg
   | Unknown_version v ->
-      Printf.sprintf "unknown format version %d (this build reads version %d)"
-        v format_version
+      Printf.sprintf
+        "unknown format version %d (this build reads versions %d-%d)" v
+        oldest_readable_version format_version
   | Schema { path; expected; got } ->
       Printf.sprintf "schema error at %s: expected %s, got %s" path expected got
 
@@ -137,6 +142,16 @@ let sorted_entries learned =
         (b.Learned.hint_type, b.Learned.hint))
     (Learned.entries learned)
 
+let stats_to_json (s : Confidence.suffix_stats) =
+  Json.Obj
+    [
+      ("tp", Json.Int s.Confidence.tp);
+      ("fp", Json.Int s.Confidence.fp);
+      ("fn", Json.Int s.Confidence.fn);
+      ("unk", Json.Int s.Confidence.unk);
+      ("rtt_agreement", Json.Float s.Confidence.rtt_agreement);
+    ]
+
 let suffix_to_json sm =
   Json.Obj
     [
@@ -144,6 +159,7 @@ let suffix_to_json sm =
       ("classification", Json.String (classification_wire sm.classification));
       ("cands", Json.List (List.map cand_to_json sm.cands));
       ("learned", Json.List (List.map entry_to_json (sorted_entries sm.learned)));
+      ("stats", stats_to_json sm.stats);
     ]
 
 let to_json t =
@@ -314,7 +330,22 @@ let cand_of_json path json =
           (Printf.sprintf "%d element(s)" (List.length plan))
       else Ok { source; plan; regex }
 
-let suffix_of_json path json =
+let stats_of_json path json =
+  let* tp = int_field path "tp" json in
+  let* fp = int_field path "fp" json in
+  let* fn = int_field path "fn" json in
+  let* unk = int_field path "unk" json in
+  let* rtt_agreement =
+    Result.bind
+      (field path "rtt_agreement" json)
+      (as_float (path ^ ".rtt_agreement"))
+  in
+  if rtt_agreement < 0.0 || rtt_agreement > 1.0 then
+    schema (path ^ ".rtt_agreement") "float in [0,1]"
+      (Printf.sprintf "%g" rtt_agreement)
+  else Ok { Confidence.tp; fp; fn; unk; rtt_agreement }
+
+let suffix_of_json ~version path json =
   let* suffix = string_field path "suffix" json in
   let* cls_name = string_field path "classification" json in
   let* classification =
@@ -332,11 +363,18 @@ let suffix_of_json path json =
   let* entries = map_items (path ^ ".learned") entry_of_json entry_items in
   let learned = Learned.empty () in
   List.iter (Learned.add learned) entries;
-  Ok { suffix; classification; cands; learned }
+  (* v1 predates the stats block: decode with the neutral stats, so old
+     snapshots keep serving (their answers score from the 0.5 prior) *)
+  let* stats =
+    if version < 2 then Ok Confidence.no_stats
+    else Result.bind (field path "stats" json) (stats_of_json (path ^ ".stats"))
+  in
+  Ok { suffix; classification; cands; learned; stats }
 
 let of_json json =
   let* version = int_field "$" "format_version" json in
-  if version <> format_version then Error (Unknown_version version)
+  if version < oldest_readable_version || version > format_version then
+    Error (Unknown_version version)
   else
     let* dict_json = field "$" "dictionary" json in
     let* provenance = string_field "$.dictionary" "provenance" dict_json in
@@ -358,7 +396,9 @@ let of_json json =
     let* suffix_items =
       Result.bind (field "$" "suffixes" json) (as_list "$.suffixes")
     in
-    let* suffixes = map_items "$.suffixes" suffix_of_json suffix_items in
+    let* suffixes =
+      map_items "$.suffixes" (suffix_of_json ~version) suffix_items
+    in
     (* duplicate suffixes are a corrupt snapshot: a server indexing
        by suffix would silently drop one model's regexes and learned
        hints, and which half survives would depend on load order *)
@@ -412,6 +452,8 @@ let suffix_model_of_result (r : Pipeline.suffix_result) =
                 })
               nc.Ncsel.cands;
           learned = r.Pipeline.learned;
+          stats =
+            Option.value r.Pipeline.stats ~default:Confidence.no_stats;
         }
   | _ -> None
 
@@ -460,6 +502,7 @@ let equal_suffix a b =
   && a.classification = b.classification
   && List.equal equal_cand a.cands b.cands
   && sorted_entries a.learned = sorted_entries b.learned
+  && a.stats = b.stats
 
 let equal a b =
   (match (a.dictionary, b.dictionary) with

@@ -25,6 +25,9 @@ type suffix_model = {
   classification : Ncsel.classification;
   cands : cand list;  (** in application order, first match wins *)
   learned : Learned.t;  (** operator-geohint overlay (stage 4) *)
+  stats : Confidence.suffix_stats;
+      (** the suffix's confidence signals at learn time (format v2);
+          {!Confidence.no_stats} when decoded from a v1 snapshot *)
 }
 
 type dictionary =
@@ -44,9 +47,15 @@ type t = {
 }
 
 val format_version : int
-(** Current snapshot format version (1). Encoders stamp it; decoders
-    reject anything else with {!Unknown_version} — version evolution
-    policy is in DESIGN.md §9. *)
+(** Current snapshot format version (2: v1 plus the per-suffix
+    confidence [stats] block). Encoders stamp it; decoders accept
+    {!oldest_readable_version} through this and reject anything else
+    with {!Unknown_version} — version evolution policy is in
+    DESIGN.md §9. *)
+
+val oldest_readable_version : int
+(** Oldest version {!decode} still reads (1). v1 suffix models decode
+    with {!Confidence.no_stats}. *)
 
 type error =
   | Syntax of string  (** not a JSON document: truncation, garbage *)

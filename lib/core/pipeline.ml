@@ -35,6 +35,7 @@ type suffix_result = {
   nc : Ncsel.t option;
   learned : Learned.t;
   classification : Ncsel.classification option;
+  stats : Confidence.suffix_stats option;
   degraded : degradation option;
 }
 
@@ -81,6 +82,7 @@ let run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers =
       nc = None;
       learned = Learned.empty ();
       classification = None;
+      stats = None;
       degraded = None;
     }
   in
@@ -111,7 +113,15 @@ let run_suffix_exn consist db ~learn_geohints ?jobs ~suffix routers =
                     | Some nc -> nc
                     | None -> nc0))
         in
-        { base with nc = Some nc; learned; classification = Some (Ncsel.classify nc) }
+        {
+          base with
+          nc = Some nc;
+          learned;
+          classification = Some (Ncsel.classify nc);
+          (* digested from the final NC (after reselect): the per-answer
+             confidence signals that must survive into the snapshot *)
+          stats = Some (Confidence.stats_of_nc consist nc);
+        }
   end
 
 (* Per-suffix failure isolation: suffix groups are mutually independent,
@@ -134,6 +144,7 @@ let run_suffix consist db ?(learn_geohints = true) ?jobs ~suffix routers =
       nc = None;
       learned = Learned.empty ();
       classification = None;
+      stats = None;
       degraded = Some { stage = stage_name; error = Printexc.to_string e };
     }
   in
@@ -162,7 +173,7 @@ let run_groups consist db ?(learn_geohints = true) ?(min_samples = 1) ?jobs
     Obs.time h_suffix (fun () ->
         let result = run_suffix consist db ~learn_geohints ~jobs ~suffix routers in
         if result.n_tagged < min_samples then
-          { result with nc = None; classification = None }
+          { result with nc = None; classification = None; stats = None }
         else result)
   in
   if jobs <= 1 then List.map run_group groups
@@ -226,17 +237,19 @@ let trace_groups groups =
        (function Some g -> g | None -> "-")
        (Array.to_list groups))
 
-let trace_resolve_result cities provenance =
+let trace_resolve_result cities provenance confidence =
   Trace.add_attr "provenance" (Evalx.provenance_name provenance);
-  match cities with
+  (match cities with
   | [] -> Trace.add_attr "resolved" "none"
   | best :: losers ->
       Trace.add_attr "resolved" (City.describe best);
       if losers <> [] then
         Trace.add_attr "collision_losers"
-          (String.concat " | " (List.map City.describe losers))
+          (String.concat " | "
+             (List.map (Confidence.describe_loser ~best) losers)));
+  Trace.add_attr "confidence" (Printf.sprintf "%.3f" confidence)
 
-let geolocate t hostname =
+let geolocate_conf t hostname =
   (* the learned regexes speak normalized hostnames (lowercase, no
      whitespace, no root dot): the PSL lookup normalizes internally, so
      the very same normalized string must be what [Engine.exec] sees *)
@@ -254,10 +267,13 @@ let geolocate t hostname =
             Trace.add_attr "suffix" (Option.value s ~default:"-");
             s)
       with
-      | None -> None
+      | None -> (None, Confidence.none)
       | Some suffix -> (
           match find t suffix with
-          | Some ({ nc = Some nc; learned; _ } as r) when usable r ->
+          | Some ({ nc = Some nc; learned; stats; _ } as r) when usable r ->
+              let stats =
+                Option.value stats ~default:Confidence.no_stats
+              in
               (* spans for successive candidates must be siblings, so
                  the recursion steps OUTSIDE the current span before
                  trying the next regex *)
@@ -285,26 +301,32 @@ let geolocate t hostname =
                         let cities, provenance =
                           Evalx.resolve_explained t.db ~learned ex
                         in
-                        trace_resolve_result cities provenance;
+                        let confidence =
+                          Confidence.of_resolution ~stats ~learned ex
+                            (cities, provenance)
+                        in
+                        trace_resolve_result cities provenance confidence;
                         `Done
                           (match cities with
-                          | best :: _ -> Some best
-                          | [] -> None))
+                          | best :: _ -> (Some best, confidence)
+                          | [] -> (None, Confidence.none)))
               in
               let rec first = function
-                | [] -> None
+                | [] -> (None, Confidence.none)
                 | cand :: rest -> (
                     match try_cand cand with
                     | `Done answer -> answer
                     | `Next -> first rest)
               in
               first nc.Ncsel.cands
-          | _ -> None)
+          | _ -> (None, Confidence.none))
     in
     Trace.add_attr "answer"
-      (match answer with Some c -> City.describe c | None -> "none");
+      (match fst answer with Some c -> City.describe c | None -> "none");
     answer
-  with _ -> None
+  with _ -> (None, Confidence.none)
+
+let geolocate t hostname = fst (geolocate_conf t hostname)
 
 let geolocated_routers _t r =
   match r.nc with

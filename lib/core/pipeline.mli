@@ -19,6 +19,10 @@ type suffix_result = {
   nc : Ncsel.t option;  (** best NC after learned-geohint refinement *)
   learned : Learned.t;
   classification : Ncsel.classification option;
+  stats : Confidence.suffix_stats option;
+      (** confidence signals digested from the final NC ([Some] exactly
+          when [nc] is): support counts and RTT-channel agreement,
+          carried into snapshots so served answers score identically *)
   degraded : degradation option;
       (** [Some _] when a stage raised: the group learned nothing
           ([nc = None], zero sample counts) but the run carried on —
@@ -99,6 +103,12 @@ val geolocate : t -> string -> Hoiho_geodb.City.t option
     bytes the hostname contains. The result is the
     convention's *claim*; no RTT check is applied (regexes are usable
     offline — the paper's motivation for learning regexes at all). *)
+
+val geolocate_conf : t -> string -> Hoiho_geodb.City.t option * float
+(** {!geolocate} plus the answer's {!Confidence} score in [0,1]
+    (0 exactly when the answer is [None]). Same never-raise contract;
+    the score is deterministic across [jobs] settings and byte-identical
+    to what {!Hoiho_serve} computes from this run's snapshot. *)
 
 val geolocated_routers : t -> suffix_result -> int
 (** Routers of a suffix with at least one TP hostname under the NC. *)

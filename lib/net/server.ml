@@ -57,7 +57,7 @@ type t = {
   listener : Unix.file_descr;
   bound_port : int;
   serve : Serve.t Atomic.t;
-  batcher : City.t option Batcher.t;
+  batcher : Serve.answer Batcher.t;
   stop_flag : bool Atomic.t;
   reload_flag : bool Atomic.t;
   (* producers currently inside a request handler; the batcher's
@@ -96,6 +96,34 @@ let boundary raw =
 
 let describe = function Some c -> City.describe c | None -> "-"
 
+(* --- response vocabulary ---
+
+   Every answered hostname renders as "GEOHINT\tCONF" with CONF to
+   three decimals; negative answers are "-\t0.000", never a missing
+   field, so /batch rows always have the same column count. With
+   ?min_conf=X a *positive* answer scoring below X renders as the
+   distinct "!low-confidence\tCONF" outcome (the score is still
+   disclosed: the client asked for a floor, not secrecy). Negative
+   answers stay "-": the floor suppresses uncertain claims, and "no
+   geolocation" is not a claim — the CLI's --min-conf makes the same
+   distinction. *)
+
+let render_answer ?min_conf (a : Serve.answer) =
+  match (a.Serve.city, min_conf) with
+  | Some _, Some floor when a.Serve.confidence < floor ->
+      Printf.sprintf "!low-confidence\t%.3f" a.Serve.confidence
+  | _ -> Printf.sprintf "%s\t%.3f" (describe a.Serve.city) a.Serve.confidence
+
+(* absent -> no thresholding; unparsable or out-of-range -> client
+   error, distinguishable from a low-confidence answer *)
+let min_conf_param req =
+  match Http.query_param req "min_conf" with
+  | None -> Ok None
+  | Some raw -> (
+      match float_of_string_opt raw with
+      | Some f when f >= 0.0 && f <= 1.0 -> Ok (Some f)
+      | _ -> Error `Bad_min_conf)
+
 (* --- responses --- *)
 
 let count_status status =
@@ -125,23 +153,32 @@ let respond fd ?headers ?content_type ~status body =
 (* --- handlers --- *)
 
 let handle_geolocate t fd req =
-  match Http.query_param req "h" with
-  | None -> respond fd ~status:400 "missing query parameter h\n"
-  | Some raw -> (
-      match boundary raw with
-      | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
-      | Ok key -> (
-          match Batcher.submit t.batcher [ key ] with
-          | Ok [ answer ] -> respond fd ~status:200 (describe answer ^ "\n")
-          | Ok _ -> respond fd ~status:500 "internal error\n"
-          | Error `Overloaded ->
-              respond fd
-                ~headers:[ ("Retry-After", "1") ]
-                ~status:503 "overloaded, retry later\n"
-          | Error (`Stopped | `Failed) ->
-              respond fd ~status:503 "shutting down\n"))
+  match min_conf_param req with
+  | Error `Bad_min_conf ->
+      respond fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
+  | Ok min_conf -> (
+      match Http.query_param req "h" with
+      | None -> respond fd ~status:400 "missing query parameter h\n"
+      | Some raw -> (
+          match boundary raw with
+          | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
+          | Ok key -> (
+              match Batcher.submit t.batcher [ key ] with
+              | Ok [ answer ] ->
+                  respond fd ~status:200 (render_answer ?min_conf answer ^ "\n")
+              | Ok _ -> respond fd ~status:500 "internal error\n"
+              | Error `Overloaded ->
+                  respond fd
+                    ~headers:[ ("Retry-After", "1") ]
+                    ~status:503 "overloaded, retry later\n"
+              | Error (`Stopped | `Failed) ->
+                  respond fd ~status:503 "shutting down\n")))
 
 let handle_batch t fd req =
+  match min_conf_param req with
+  | Error `Bad_min_conf ->
+      respond fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
+  | Ok min_conf ->
   let lines =
     String.split_on_char '\n' req.Http.body
     |> List.map (fun l ->
@@ -169,12 +206,15 @@ let handle_batch t fd req =
         let rec render answers = function
           | [] -> ()
           | (raw, Error `Invalid) :: rest ->
-              Buffer.add_string buf (raw ^ "\t!invalid\n");
+              (* same column count as answered rows: the 0.000 is the
+                 uniform negative-confidence placeholder *)
+              Buffer.add_string buf (raw ^ "\t!invalid\t0.000\n");
               render answers rest
           | (raw, Ok _) :: rest -> (
               match answers with
               | a :: answers ->
-                  Buffer.add_string buf (raw ^ "\t" ^ describe a ^ "\n");
+                  Buffer.add_string buf
+                    (raw ^ "\t" ^ render_answer ?min_conf a ^ "\n");
                   render answers rest
               | [] -> ())
         in
@@ -202,7 +242,7 @@ let handle_explain t fd req =
                 Trace.set_enabled true;
                 Trace.clear ();
                 let answer =
-                  Serve.geolocate_uncached (Atomic.get t.serve) key
+                  Serve.geolocate_uncached_conf (Atomic.get t.serve) key
                 in
                 Trace.set_enabled was;
                 let spans = Trace.spans () in
@@ -236,7 +276,7 @@ let handle_explain t fd req =
                 (answer, Trace.render_text mine))
           in
           respond fd ~status:200
-            (Printf.sprintf "%s\t%s\n\n%s" key (describe answer) rendered))
+            (Printf.sprintf "%s\t%s\n\n%s" key (render_answer answer) rendered))
 
 let handle_metrics fd =
   respond fd

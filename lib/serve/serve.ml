@@ -2,6 +2,7 @@ module Learned_io = Hoiho.Learned_io
 module Ncsel = Hoiho.Ncsel
 module Plan = Hoiho.Plan
 module Evalx = Hoiho.Evalx
+module Confidence = Hoiho.Confidence
 module Engine = Hoiho_rx.Engine
 module Pool = Hoiho_util.Pool
 module Obs = Hoiho_obs.Obs
@@ -13,12 +14,18 @@ let c_applied = Obs.counter "serve.applied"
 let c_invalidated = Obs.counter "serve.cache_invalidated"
 let h_batch = Obs.histogram "serve.batch_ms"
 
+type answer = { city : Hoiho_geodb.City.t option; confidence : float }
+
 type t = {
   model : Learned_io.t;
   db : Hoiho_geodb.Db.t;
   by_suffix : (string, Learned_io.suffix_model) Hashtbl.t;
-  cache : Hoiho_geodb.City.t option Lru.t;
+  cache : answer Lru.t;
 }
+
+(* negative answers carry an explicit confidence of 0.0 — cached
+   entries, batch rows, and cold-path answers all share one shape *)
+let no_answer = { city = None; confidence = Confidence.none }
 
 let index_model model =
   let by_suffix = Hashtbl.create 64 in
@@ -78,16 +85,17 @@ let trace_groups groups =
   String.concat ","
     (List.map (function Some g -> g | None -> "-") (Array.to_list groups))
 
-let trace_resolve_result cities provenance =
+let trace_resolve_result cities provenance confidence =
   Trace.add_attr "provenance" (Evalx.provenance_name provenance);
-  match cities with
+  (match cities with
   | [] -> Trace.add_attr "resolved" "none"
   | best :: losers ->
       Trace.add_attr "resolved" (Hoiho_geodb.City.describe best);
       if losers <> [] then
         Trace.add_attr "collision_losers"
           (String.concat " | "
-             (List.map Hoiho_geodb.City.describe losers))
+             (List.map (Confidence.describe_loser ~best) losers)));
+  Trace.add_attr "confidence" (Printf.sprintf "%.3f" confidence)
 
 (* the apply path, on an already-normalized hostname: a step-for-step
    mirror of Pipeline.geolocate, so a served answer is byte-identical to
@@ -107,7 +115,7 @@ let apply_norm ?parent t hostname =
             Trace.add_attr "suffix" (Option.value s ~default:"-");
             s)
       with
-      | None -> None
+      | None -> no_answer
       | Some suffix -> (
           match Hashtbl.find_opt t.by_suffix suffix with
           | Some sm when usable sm.Learned_io.classification ->
@@ -139,34 +147,46 @@ let apply_norm ?parent t hostname =
                           Evalx.resolve_explained t.db
                             ~learned:sm.Learned_io.learned ex
                         in
-                        trace_resolve_result cities provenance;
+                        (* the same Confidence.of_resolution call, on
+                           the same inputs, as Pipeline.geolocate_conf:
+                           served scores are byte-identical to
+                           in-process ones *)
+                        let confidence =
+                          Confidence.of_resolution
+                            ~stats:sm.Learned_io.stats
+                            ~learned:sm.Learned_io.learned ex
+                            (cities, provenance)
+                        in
+                        trace_resolve_result cities provenance confidence;
                         `Done
                           (match cities with
-                          | best :: _ -> Some best
-                          | [] -> None))
+                          | best :: _ -> { city = Some best; confidence }
+                          | [] -> no_answer))
               in
               let rec first = function
-                | [] -> None
+                | [] -> no_answer
                 | c :: rest -> (
                     match try_cand c with
                     | `Done answer -> answer
                     | `Next -> first rest)
               in
               first sm.Learned_io.cands
-          | _ -> None)
+          | _ -> no_answer)
     in
     Trace.add_attr "answer"
-      (match answer with
+      (match answer.city with
       | Some c -> Hoiho_geodb.City.describe c
       | None -> "none");
     answer
-  with _ -> None
+  with _ -> no_answer
 
-let geolocate_uncached t hostname =
+let geolocate_uncached_conf t hostname =
   Obs.incr c_applied;
   apply_norm t (Hoiho_util.Strutil.normalize_hostname hostname)
 
-let geolocate t hostname =
+let geolocate_uncached t hostname = (geolocate_uncached_conf t hostname).city
+
+let geolocate_conf t hostname =
   Obs.incr c_applied;
   let key = Hoiho_util.Strutil.normalize_hostname hostname in
   Trace.with_span "serve.geolocate" ~attrs:[ ("hostname", key) ]
@@ -186,6 +206,8 @@ let geolocate t hostname =
       let answer = apply_norm t key in
       Lru.add t.cache key answer;
       answer
+
+let geolocate t hostname = (geolocate_conf t hostname).city
 
 let apply_batch ?jobs ?(normalized = false) t hostnames =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
@@ -208,7 +230,7 @@ let apply_batch ?jobs ?(normalized = false) t hostnames =
   (* one sequential cache probe per distinct key, in first-appearance
      order: hit/miss counts and eviction order are then functions of the
      batch contents alone, not of scheduling *)
-  let answers : (string, Hoiho_geodb.City.t option) Hashtbl.t =
+  let answers : (string, answer) Hashtbl.t =
     Hashtbl.create (List.length keys)
   in
   let misses = ref [] in
@@ -221,7 +243,7 @@ let apply_batch ?jobs ?(normalized = false) t hostnames =
             Hashtbl.replace answers key answer
         | None ->
             Obs.incr c_misses;
-            Hashtbl.replace answers key None;
+            Hashtbl.replace answers key no_answer;
             misses := key :: !misses)
     keys;
   let misses = Array.of_list (List.rev !misses) in

@@ -27,6 +27,17 @@
 
 type t
 
+type answer = {
+  city : Hoiho_geodb.City.t option;
+  confidence : float;
+      (** the {!Hoiho.Confidence} score of this answer, in [0,1].
+          Exactly 0 when [city] is [None] — negative answers (cached
+          ones included) carry an explicit 0 rather than omitting the
+          field, so batch rows have a uniform shape. Byte-identical to
+          {!Hoiho.Pipeline.geolocate_conf} on the run the model was
+          saved from, warm or cold cache, at any [jobs] setting. *)
+}
+
 val create : ?cache_capacity:int -> ?cache_shards:int -> Hoiho.Learned_io.t -> t
 (** Build a server: resolve the dictionary ({!Hoiho.Learned_io.db}),
     index suffixes, allocate the cache ([cache_capacity] entries,
@@ -53,17 +64,24 @@ val geolocate : t -> string -> Hoiho_geodb.City.t option
 (** Apply the model to one hostname, through the cache. Never raises;
     normalization matches {!Hoiho.Pipeline.geolocate} exactly. *)
 
+val geolocate_conf : t -> string -> answer
+(** {!geolocate} with the answer's confidence — the full cached
+    {!answer} record. *)
+
 val geolocate_uncached : t -> string -> Hoiho_geodb.City.t option
 (** The pure apply path, bypassing the cache (still never raises). *)
+
+val geolocate_uncached_conf : t -> string -> answer
+(** {!geolocate_uncached} with the answer's confidence. *)
 
 val apply_batch :
   ?jobs:int ->
   ?normalized:bool ->
   t ->
   string list ->
-  (string * Hoiho_geodb.City.t option) list
+  (string * answer) list
 (** Answer a batch, in input order, each hostname paired with its
-    geolocation. Distinct uncached hostnames are computed in parallel
+    geolocation and confidence. Distinct uncached hostnames are computed in parallel
     over the shared pool ([jobs] defaults to
     {!Hoiho_util.Pool.default_jobs}); duplicates within the batch are
     computed once. [normalized] (default false) promises every

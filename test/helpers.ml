@@ -113,3 +113,11 @@ let iata_fixture ?(extra = []) () =
        (city_st "chicago" "us" "il", "ord", 3);
      ]
     @ extra)
+
+(* substring test, for asserting over rendered reports *)
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0

@@ -31,6 +31,8 @@ module Dataset = Hoiho_itdk.Dataset
 module Router = Hoiho_itdk.Router
 module Psl = Hoiho_psl.Psl
 module Evolve = Hoiho_netsim.Evolve
+module Truth = Hoiho_netsim.Truth
+module Calibration = Hoiho_validate.Calibration
 
 let corpus_path = "golden/corpus.tsv"
 let max_per_suffix = 2
@@ -43,6 +45,14 @@ let fixture =
      (ds, Pipeline.run ds))
 
 let describe = function Some c -> City.describe c | None -> "-"
+
+(* one corpus cell: "GEOHINT\tCONF" with the confidence to three
+   decimals — the same two-column answer shape the server speaks, so a
+   corpus "expected" string (everything after the first tab) is exactly
+   a /geolocate response body *)
+let render_conf p h =
+  let city, conf = Pipeline.geolocate_conf p h in
+  Printf.sprintf "%s\t%.3f" (describe city) conf
 
 (* the corpus slice: per suffix in sorted order, the first
    [max_per_suffix] hostnames in sorted order — a pure function of the
@@ -62,7 +72,8 @@ let select_hostnames ds =
 let render ds p =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    "# Golden corpus: tiny preset, seed 42. hostname<TAB>expected geohint.\n";
+    "# Golden corpus: tiny preset, seed 42. \
+     hostname<TAB>expected geohint<TAB>confidence.\n";
   Buffer.add_string buf "# Regenerate: see test/test_golden.ml.\n";
   List.iter
     (fun (suffix, hostnames) ->
@@ -70,8 +81,7 @@ let render ds p =
         Buffer.add_string buf (Printf.sprintf "# %s\n" suffix);
         List.iter
           (fun h ->
-            Buffer.add_string buf
-              (Printf.sprintf "%s\t%s\n" h (describe (Pipeline.geolocate p h))))
+            Buffer.add_string buf (Printf.sprintf "%s\t%s\n" h (render_conf p h)))
           hostnames
       end)
     (select_hostnames ds);
@@ -130,7 +140,7 @@ let test_corpus () =
       let drift =
         List.filter_map
           (fun (h, expected) ->
-            let got = describe (Pipeline.geolocate p h) in
+            let got = render_conf p h in
             if got = expected then None
             else Some (Printf.sprintf "  %-44s pinned %-28s got %s" h expected got))
           pinned
@@ -154,7 +164,9 @@ let test_corpus () =
    every answer into "-" (or resolves garbage everywhere) could pass *)
 let test_corpus_covers_both_outcomes () =
   let pinned = corpus_lines () in
-  let geo, nogeo = List.partition (fun (_, e) -> e <> "-") pinned in
+  (* "expected" is now "GEOHINT\tCONF"; negative rows are "-\t0.000" *)
+  let is_negative e = String.length e >= 2 && String.sub e 0 2 = "-\t" in
+  let geo, nogeo = List.partition (fun (_, e) -> not (is_negative e)) pinned in
   Alcotest.(check bool) "has geolocated hostnames" true (List.length geo >= 10);
   Alcotest.(check bool) "has non-geolocated hostnames" true (List.length nogeo >= 5)
 
@@ -174,11 +186,16 @@ let test_snapshot_serves_identically () =
   let seq = serve 1 and par = serve 4 in
   Alcotest.(check bool) "jobs=1 and jobs=4 identical" true (seq = par);
   List.iter
-    (fun (h, answer) ->
-      let expect = Pipeline.geolocate p h in
-      if answer <> expect then
+    (fun (h, (answer : Serve.answer)) ->
+      let expect_city, expect_conf = Pipeline.geolocate_conf p h in
+      if answer.Serve.city <> expect_city then
         Alcotest.failf "served answer diverges on %s: served %s, in-process %s" h
-          (describe answer) (describe expect))
+          (describe answer.Serve.city) (describe expect_city);
+      (* confidences must be byte-identical, not merely close: the serve
+         path recomputes the same formula from snapshot-carried stats *)
+      if answer.Serve.confidence <> expect_conf then
+        Alcotest.failf "served confidence diverges on %s: served %.17g, in-process %.17g"
+          h answer.Serve.confidence expect_conf)
     seq
 
 (* --- the drift corpus: one Evolve epoch over the golden fixture ---
@@ -199,13 +216,13 @@ let drift_fixture =
     (let ds1, truth1 =
        Hoiho_netsim.Generate.generate (Hoiho_netsim.Presets.tiny ~seed:42 ())
      in
-     let ds2, _truth2 = Evolve.epoch (Evolve.default ~seed:1337) (ds1, truth1) in
-     (ds1, ds2))
+     let ds2, truth2 = Evolve.epoch (Evolve.default ~seed:1337) (ds1, truth1) in
+     (ds1, ds2, truth2))
 
 let normalize m = { m with Learned_io.metrics = Json.Obj [] }
 
 let test_drift_events () =
-  let ds1, ds2 = Lazy.force drift_fixture in
+  let ds1, ds2, _ = Lazy.force drift_fixture in
   let rendered = Delta.events_to_string (Delta.events_between ds1 ds2) in
   match golden_dest "drift_events.json" with
   | Some dest -> write_golden dest rendered
@@ -258,7 +275,7 @@ let test_drift_events () =
             (Delta.error_to_string e))
 
 let test_drift_model_diff () =
-  let ds1, ds2 = Lazy.force drift_fixture in
+  let ds1, ds2, _ = Lazy.force drift_fixture in
   let _, p1 = Lazy.force fixture in
   ignore ds1;
   let m1 = Learned_io.of_pipeline p1 in
@@ -280,6 +297,36 @@ let test_drift_model_diff () =
       Alcotest.(check bool) "diff JSON encodes" true
         (String.length (Model_diff.encode d) > 2)
 
+(* Calibration under drift: the reliability table of the epoch-2 model
+   against epoch-2 ground truth is pinned — a readable early warning
+   when confidence scores decalibrate as the simulated world shifts —
+   and the drifted epoch must still clear the acceptance gates the
+   fresh model is held to. *)
+
+let calibration_drift_path = "golden/calibration_drift.txt"
+
+let test_drift_calibration () =
+  let _, ds2, truth2 = Lazy.force drift_fixture in
+  let p2 = Pipeline.run ~db:(Truth.db truth2) ds2 in
+  let report =
+    Calibration.of_pipeline p2 ~suffixes:(Truth.geo_suffixes truth2)
+  in
+  let rendered = Calibration.render_text report in
+  match golden_dest "calibration_drift.txt" with
+  | Some dest -> write_golden dest rendered
+  | None ->
+      let pinned = read_file calibration_drift_path in
+      if rendered <> pinned then
+        Alcotest.failf
+          "drift-epoch calibration drifted from \
+           golden/calibration_drift.txt (if intended, regenerate with \
+           HOIHO_UPDATE_GOLDEN — see test/test_golden.ml); got:\n%s"
+          rendered;
+      Alcotest.(check bool) "ECE within 0.15 after drift" true
+        (report.Calibration.ece <= 0.15);
+      Alcotest.(check bool) "decile accuracy monotone after drift" true
+        (Calibration.monotone report)
+
 let suites =
   [
     ( "golden",
@@ -289,5 +336,6 @@ let suites =
         Helpers.tc "snapshot serves byte-identically" test_snapshot_serves_identically;
         Helpers.tc "drift event stream is pinned and replays" test_drift_events;
         Helpers.tc "drift model diff is pinned" test_drift_model_diff;
+        Helpers.tc "drift-epoch calibration is pinned" test_drift_calibration;
       ] );
   ]

@@ -90,15 +90,30 @@ let gen_cand =
       (list_size (int_range 0 3) gen_elem)
       gen_word)
 
+let gen_stats =
+  Gen.(
+    map (fun (tp, fp, fn, unk, agreement) ->
+        {
+          Hoiho.Confidence.tp;
+          fp;
+          fn;
+          unk;
+          (* a representable-in-JSON fraction, like the real computation
+             produces (agree/both) *)
+          rtt_agreement = float_of_int agreement /. 16.0;
+        })
+      (tup5 (int_bound 500) (int_bound 100) (int_bound 100) (int_bound 100)
+         (int_bound 16)))
+
 let gen_suffix_model =
   Gen.(
-    map (fun (suffix, classification, cands, learned) ->
-        { Learned_io.suffix; classification; cands; learned })
-      (tup4
+    map (fun (suffix, classification, cands, learned, stats) ->
+        { Learned_io.suffix; classification; cands; learned; stats })
+      (tup5
          (map2 (Printf.sprintf "%s.%s") gen_word (oneofl [ "net"; "com"; "org" ]))
          (oneofl [ Ncsel.Good; Ncsel.Promising; Ncsel.Poor ])
          (list_size (int_range 0 3) gen_cand)
-         gen_learned))
+         gen_learned gen_stats))
 
 let gen_model =
   Gen.(
@@ -175,6 +190,14 @@ let sample_model () =
               };
             ];
           learned = Learned.empty ();
+          stats =
+            {
+              Hoiho.Confidence.tp = 12;
+              fp = 1;
+              fn = 0;
+              unk = 2;
+              rtt_agreement = 0.75;
+            };
         };
       ];
     metrics = Json.Obj [];
@@ -293,6 +316,19 @@ let nested_failures () =
       ( "learned entry of wrong type",
         patch_suffix (set_field "learned" (Json.List [ Json.Int 5 ])) );
       ("suffix of wrong type", patch_suffix (set_field "suffix" (Json.Int 5))) ;
+      ("stats of wrong type", patch_suffix (set_field "stats" (Json.Int 5)));
+      ( "rtt_agreement out of range",
+        patch_suffix (fun sm ->
+            set_field "stats"
+              (Json.Obj
+                 [
+                   ("tp", Json.Int 1);
+                   ("fp", Json.Int 0);
+                   ("fn", Json.Int 0);
+                   ("unk", Json.Int 0);
+                   ("rtt_agreement", Json.Float 1.5);
+                 ])
+              sm) );
     ]
   in
   List.iter
@@ -325,6 +361,44 @@ let duplicate_suffix_rejected () =
   | Error e ->
       Alcotest.failf "expected Schema, got %s" (Learned_io.error_to_string e)
   | Ok _ -> Alcotest.fail "duplicate suffix decoded successfully"
+
+(* format evolution: a v1 snapshot (no stats block) must still decode,
+   landing on the neutral stats — old saved models keep serving after
+   the v2 bump *)
+let v1_decodes_with_neutral_stats () =
+  let drop_field name = function
+    | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> name) fields)
+    | j -> j
+  in
+  let input =
+    reencode (fun j ->
+        set_field "format_version" (Json.Int 1) j
+        |> patch_suffix (drop_field "stats"))
+  in
+  match Learned_io.decode input with
+  | Ok m -> (
+      match m.Learned_io.suffixes with
+      | [ sm ] ->
+          Alcotest.(check bool)
+            "v1 suffix model carries the neutral stats" true
+            (sm.Learned_io.stats = Hoiho.Confidence.no_stats)
+      | _ -> Alcotest.fail "sample shape changed")
+  | Error e ->
+      Alcotest.failf "v1 snapshot must decode: %s"
+        (Learned_io.error_to_string e)
+
+(* ...and a v2 snapshot missing its stats block must NOT decode: the
+   field is required at the current version *)
+let v2_requires_stats () =
+  let drop_field name = function
+    | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> name) fields)
+    | j -> j
+  in
+  match Learned_io.decode (reencode (patch_suffix (drop_field "stats"))) with
+  | Error (Learned_io.Schema _) -> ()
+  | Error e ->
+      Alcotest.failf "expected Schema, got %s" (Learned_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "v2 snapshot without stats decoded"
 
 let load_missing () =
   match Learned_io.load "no/such/model.hoiho.json" with
@@ -387,6 +461,10 @@ let suites =
         Alcotest.test_case "nested schema failures" `Quick nested_failures;
         Alcotest.test_case "duplicate suffix rejected" `Quick
           duplicate_suffix_rejected;
+        Alcotest.test_case "v1 decodes with neutral stats" `Quick
+          v1_decodes_with_neutral_stats;
+        Alcotest.test_case "v2 requires the stats block" `Quick
+          v2_requires_stats;
         Alcotest.test_case "load of missing file" `Quick load_missing;
         Alcotest.test_case "save/load round-trip" `Quick save_load_roundtrip;
         roundtrip;

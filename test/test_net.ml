@@ -28,6 +28,12 @@ module Psl = Hoiho_psl.Psl
 
 let describe = function Some c -> City.describe c | None -> "-"
 
+(* corpus "expected" strings are "GEOHINT\tCONF" — exactly a /geolocate
+   response body minus the newline. Negative rows are "-\t0.000". *)
+let is_negative e = String.length e >= 2 && String.sub e 0 2 = "-\t"
+
+let render_conf city conf = Printf.sprintf "%s\t%.3f" (describe city) conf
+
 (* --- fixture: the golden-corpus run, its snapshot, and a saved copy --- *)
 
 let fixture =
@@ -437,7 +443,7 @@ let test_server_basics () =
 let test_boundary_parity () =
   let p, model, _ = Lazy.force fixture in
   let some_host =
-    match List.find_opt (fun (_, e) -> e <> "-") (corpus_lines ()) with
+    match List.find_opt (fun (_, e) -> not (is_negative e)) (corpus_lines ()) with
     | Some (h, _) -> h
     | None -> Alcotest.fail "corpus has no geolocated hostname"
   in
@@ -452,7 +458,8 @@ let test_boundary_parity () =
   with_server ~config:small_config model (fun _ port ->
       List.iter
         (fun raw ->
-          let expected = describe (Pipeline.geolocate p raw) ^ "\n" in
+          let city, conf = Pipeline.geolocate_conf p raw in
+          let expected = render_conf city conf ^ "\n" in
           let status, body, _ =
             request port ("/geolocate?h=" ^ Http.pct_encode raw)
           in
@@ -511,11 +518,64 @@ let test_batch_endpoint () =
       let expected =
         String.concat ""
           (List.map (fun (h, e) -> Printf.sprintf "%s\t%s\n" h e) hosts)
-        ^ "bad..name\t!invalid\n"
+        ^ "bad..name\t!invalid\t0.000\n"
       in
       Alcotest.(check string) "line-aligned batch answers" expected resp;
       let status, _, _ = request ~meth:"POST" ~body:"\n\n" port "/batch" in
       Alcotest.(check int) "empty batch is 400" 400 status)
+
+(* ?min_conf=: the confidence floor is a server-side outcome, not a
+   client-side filter — a below-floor answer renders as the distinct
+   !low-confidence outcome with its score still shown, and a malformed
+   floor is a 400 (distinguishable from any served answer) *)
+let test_min_conf () =
+  let _, model, _ = Lazy.force fixture in
+  let h, expected =
+    match List.find_opt (fun (_, e) -> not (is_negative e)) (corpus_lines ()) with
+    | Some he -> he
+    | None -> Alcotest.fail "corpus has no geolocated hostname"
+  in
+  let conf_str =
+    match String.rindex_opt expected '\t' with
+    | Some i -> String.sub expected (i + 1) (String.length expected - i - 1)
+    | None -> Alcotest.failf "pinned %S has no confidence column" expected
+  in
+  with_server ~config:small_config model (fun _ port ->
+      let status, body, _ =
+        request port ("/geolocate?h=" ^ Http.pct_encode h ^ "&min_conf=0")
+      in
+      Alcotest.(check int) "min_conf=0 status" 200 status;
+      Alcotest.(check string) "min_conf=0 keeps the answer" (expected ^ "\n")
+        body;
+      (* scores are strictly < 1 (Laplace smoothing), so a floor of 1.0
+         trips every answer *)
+      let status, body, _ =
+        request port ("/geolocate?h=" ^ Http.pct_encode h ^ "&min_conf=1.0")
+      in
+      Alcotest.(check int) "min_conf=1 status" 200 status;
+      Alcotest.(check string) "below-floor answer is !low-confidence"
+        ("!low-confidence\t" ^ conf_str ^ "\n") body;
+      let status, resp, _ =
+        request ~meth:"POST" ~body:(h ^ "\n") port "/batch?min_conf=1.0"
+      in
+      Alcotest.(check int) "batch min_conf status" 200 status;
+      Alcotest.(check string) "batch row below floor"
+        (h ^ "\t!low-confidence\t" ^ conf_str ^ "\n") resp;
+      (* a negative answer is not a claim, so the floor leaves it "-":
+         no-geolocation stays distinguishable from low-confidence *)
+      let status, body, _ =
+        request port "/geolocate?h=nosuch.example.invalid&min_conf=0.5"
+      in
+      Alcotest.(check int) "negative under floor status" 200 status;
+      Alcotest.(check string) "negative answer stays -" "-\t0.000\n" body;
+      List.iter
+        (fun bad ->
+          let status, _, _ =
+            request port
+              ("/geolocate?h=" ^ Http.pct_encode h ^ "&min_conf=" ^ bad)
+          in
+          Alcotest.(check int) ("min_conf=" ^ bad ^ " is 400") 400 status)
+        [ "nan"; "2.0"; "-0.5"; "abc"; "" ])
 
 (* deterministic shedding at the socket level: a batch bigger than the
    admission bound must be refused with 503 + Retry-After, and the
@@ -573,7 +633,7 @@ let test_metrics_and_explain () =
   let _, model, _ = Lazy.force fixture in
   let pinned = corpus_lines () in
   let h, expected =
-    match List.find_opt (fun (_, e) -> e <> "-") pinned with
+    match List.find_opt (fun (_, e) -> not (is_negative e)) pinned with
     | Some he -> he
     | None -> Alcotest.fail "corpus has no geolocated hostname"
   in
@@ -621,7 +681,7 @@ let observe_fixture () =
   let source_suffix, probe_host, probe_expected =
     match
       List.find_opt
-        (fun (h, e) -> e <> "-" && Psl.registered_suffix h <> None)
+        (fun (h, e) -> (not (is_negative e)) && Psl.registered_suffix h <> None)
         (corpus_lines ())
     with
     | Some (h, e) -> (Option.get (Psl.registered_suffix h), h, e)
@@ -654,11 +714,18 @@ let observe_fixture () =
     | Error e -> Alcotest.failf "relearn_model: %s" (Delta.error_to_string e)
   in
   let expected_after =
-    describe (Serve.geolocate_uncached (Serve.create model') (swap probe_host))
+    let a = Serve.geolocate_uncached_conf (Serve.create model') (swap probe_host) in
+    render_conf a.Serve.city a.Serve.confidence
+  in
+  (* compare the geohint field only: the clone group's confidence is
+     recomputed from its own relearned stats, which the corpus entry
+     for the source suffix does not pin *)
+  let geohint e =
+    match String.index_opt e '\t' with Some i -> String.sub e 0 i | None -> e
   in
   Alcotest.(check string)
     "clone convention learned (clone of a geolocated hostname geolocates)"
-    probe_expected expected_after;
+    (geohint probe_expected) (geohint expected_after);
   (swap probe_host, expected_after, Delta.events_to_string events)
 
 let with_corpus_file ds f =
@@ -688,7 +755,7 @@ let test_observe_relearn_mid_stream () =
               in
               Alcotest.(check int) "pre-observe status" 200 status;
               Alcotest.(check string) "epoch-2 name unknown before observe"
-                "-\n" body;
+                "-\t0.000\n" body;
               (* malformed bodies: typed 400s, connection survives *)
               let status, _ = kc_post c "/observe" "not json" in
               Alcotest.(check int) "malformed body is 400" 400 status;
@@ -846,6 +913,7 @@ let suites =
         Helpers.tc "golden corpus over a socket, straddling a reload"
           test_corpus_over_socket_with_reload;
         Helpers.tc "batch endpoint" test_batch_endpoint;
+        Helpers.tc "min_conf floor over the wire" test_min_conf;
         Helpers.tc "deterministic 503 shedding" test_socket_shed_503;
         Helpers.tc "reload semantics" test_reload_semantics;
         Helpers.tc "metrics and explain over the wire"

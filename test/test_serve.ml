@@ -176,7 +176,11 @@ let test_negative_entry_cached () =
   Alcotest.(check int) "second probe hit the negative entry"
     (hits_before + 1)
     (Obs.count (Obs.counter "serve.cache_hits"));
-  Alcotest.(check int) "negative entry occupies the cache" 1 (Serve.cache_length s)
+  Alcotest.(check int) "negative entry occupies the cache" 1 (Serve.cache_length s);
+  (* satellite contract: cached negatives carry an explicit 0.0 score *)
+  Alcotest.(check (float 0.0))
+    "negative answer confidence is exactly 0.0" 0.0
+    (Serve.geolocate_conf s "nosuch.hostname.invalid").Serve.confidence
 
 let test_warm_cache_hits () =
   Obs.reset ();
@@ -193,15 +197,19 @@ let test_warm_cache_hits () =
   Alcotest.(check int) "warm probes all hit" 6 (hits_warm - hits_cold);
   Alcotest.(check int) "no new misses when warm" misses_cold misses_warm
 
+(* a served answer matches in-process on BOTH fields: the city and the
+   (byte-identical) confidence score *)
+let check_matches_inproc p h (answer : Serve.answer) =
+  let city, confidence = Pipeline.geolocate_conf p h in
+  Alcotest.(check bool) h true
+    (answer.Serve.city = city && answer.Serve.confidence = confidence)
+
 let test_batch_order_and_duplicates () =
   let p, model = Lazy.force fixture in
   let s = Serve.create model in
   let r = Serve.apply_batch ~jobs:1 s batch in
   Alcotest.(check (list string)) "input order preserved" batch (List.map fst r);
-  List.iter
-    (fun (h, answer) ->
-      Alcotest.(check bool) h true (answer = Pipeline.geolocate p h))
-    r
+  List.iter (fun (h, answer) -> check_matches_inproc p h answer) r
 
 let test_jobs_determinism () =
   let _, model = Lazy.force fixture in
@@ -226,8 +234,7 @@ let test_tiny_cache_still_correct () =
   let s = Serve.create ~cache_capacity:2 ~cache_shards:1 model in
   for _ = 1 to 3 do
     List.iter
-      (fun (h, answer) ->
-        Alcotest.(check bool) h true (answer = Pipeline.geolocate p h))
+      (fun (h, answer) -> check_matches_inproc p h answer)
       (Serve.apply_batch ~jobs:2 s batch)
   done;
   Alcotest.(check bool) "cache stayed bounded" true (Serve.cache_length s <= 2)
