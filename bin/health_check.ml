@@ -1,0 +1,274 @@
+(* `dune build @check` health smoke: boot the real daemon with a tight
+   SLO file and an access log, drive the health state machine with
+   injected fault load over a real socket, and leave the observability
+   artifacts behind for CI to upload.
+
+     health_check CLI_EXE MODEL ACCESS_LOG SLO_SNAPSHOT
+
+   Asserts, in order:
+   - a clean daemon under the tight SLO answers /healthz 200 "ok";
+   - `hoiho health URL` (the CLI probe) exits 0 against it;
+   - a burst of injected faults (404 storms tripping the error_rate
+     objective) flips /healthz to 503 with the failing objective named
+     in the body, and /debug/slo reports state "failing" (snapshot
+     saved to SLO_SNAPSHOT);
+   - the CLI probe exits 1 while failing;
+   - once the fault load stops, the bad requests age out of the
+     sliding window and /healthz recovers to 200 with no restart;
+   - after SIGTERM, the access log holds one strict-JSON line per
+     request, faults included. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("health_check: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+(* --- minimal HTTP client (Connection: close per request) --- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_to_eof fd =
+  let buf = Bytes.create 4096 and b = Buffer.create 1024 in
+  let rec go () =
+    match Unix.read fd buf 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b buf 0 n;
+        go ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception
+        Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT | ECONNRESET), _, _)
+      ->
+        ()
+  in
+  go ();
+  Buffer.contents b
+
+let request port target =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      (try
+         Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+       with Unix.Unix_error (e, _, _) ->
+         die "connect to 127.0.0.1:%d: %s" port (Unix.error_message e));
+      write_all fd
+        (Printf.sprintf "GET %s HTTP/1.1\r\nHost: c\r\nConnection: close\r\n\r\n"
+           target);
+      let raw = read_to_eof fd in
+      let status =
+        if String.length raw >= 12 && String.sub raw 0 9 = "HTTP/1.1 " then
+          Option.value ~default:0 (int_of_string_opt (String.sub raw 9 3))
+        else 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 3 >= n then None
+          else if
+            raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+            && raw.[i + 3] = '\n'
+          then Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with Some i -> String.sub raw i (n - i) | None -> ""
+      in
+      (status, body))
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* --- daemon stdout parsing (same format serve_check pins) --- *)
+
+let read_line_deadline fd deadline =
+  let b = Buffer.create 128 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    let now = Unix.gettimeofday () in
+    if now > deadline then die "timed out waiting for daemon output";
+    match Unix.select [ fd ] [] [] (deadline -. now) with
+    | [], _, _ -> die "timed out waiting for daemon output"
+    | _ -> (
+        match Unix.read fd one 0 1 with
+        | 0 -> die "daemon closed stdout before printing its port"
+        | _ ->
+            if Bytes.get one 0 = '\n' then Buffer.contents b
+            else begin
+              Buffer.add_char b (Bytes.get one 0);
+              go ()
+            end
+        | exception Unix.Unix_error (EINTR, _, _) -> go ())
+  in
+  go ()
+
+let parse_port line =
+  match String.index_opt line '(' with
+  | None -> None
+  | Some paren -> (
+      let before = String.trim (String.sub line 0 paren) in
+      match String.rindex_opt before ':' with
+      | None -> None
+      | Some i ->
+          int_of_string_opt
+            (String.trim (String.sub before (i + 1) (String.length before - i - 1)))
+      )
+
+let run_probe cli url =
+  let pid =
+    Unix.create_process cli
+      [| cli; "health"; url |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED n -> n
+  | _, _ -> die "health probe died on a signal"
+
+let () =
+  let cli, model, access_path, snapshot_path =
+    match Sys.argv with
+    | [| _; cli; model; access; snap |] -> (cli, model, access, snap)
+    | _ -> die "usage: health_check CLI_EXE MODEL ACCESS_LOG SLO_SNAPSHOT"
+  in
+  let cli = if String.contains cli '/' then cli else "./" ^ cli in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  (* a tight SLO: a short 2 s window so the state machine transitions
+     fast, and an error_rate budget any 404 storm tramples *)
+  let slo_path = Filename.temp_file "hoiho_health_slo" ".json" in
+  let oc = open_out slo_path in
+  output_string oc
+    {|{"window_s": 2, "buckets": 4,
+       "objectives": [
+         {"metric": "error_rate", "max": 0.02, "fail_ratio": 2.0},
+         {"metric": "latency_p99_ms", "max": 5000, "fail_ratio": 3.0}]}|};
+  close_out oc;
+  (try Sys.remove access_path with Sys_error _ -> ());
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process cli
+      [| cli; "serve"; "--model"; model; "--port"; "0"; "--jobs"; "2";
+         "--slo"; slo_path; "--access-log"; access_path |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  let deadline = Unix.gettimeofday () +. 120.0 in
+  let rec find_port tries =
+    if tries = 0 then die "daemon never printed its bound port";
+    let line = read_line_deadline out_r deadline in
+    match parse_port line with Some p -> p | None -> find_port (tries - 1)
+  in
+  let port = find_port 5 in
+  let fail_daemon fmt =
+    Printf.ksprintf
+      (fun m ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        die "%s" m)
+      fmt
+  in
+  let url = Printf.sprintf "http://127.0.0.1:%d" port in
+  (* phase 1: clean daemon is healthy, CLI probe agrees *)
+  let status, body = request port "/healthz" in
+  if status <> 200 || body <> "ok\n" then
+    fail_daemon "clean /healthz: status %d body %S" status body;
+  (match run_probe cli url with
+  | 0 -> ()
+  | n -> fail_daemon "healthy probe exited %d (want 0)" n);
+  (* phase 2: fault injection — a 404 storm burns the error budget *)
+  let n_faults = 40 in
+  for _ = 1 to n_faults do
+    ignore (request port "/chaos-nonexistent")
+  done;
+  let status, body = request port "/healthz" in
+  if status <> 503 then
+    fail_daemon "under fault load /healthz: status %d body %S (want 503)"
+      status body;
+  if not (contains body "failing:") then
+    fail_daemon "503 body does not render the failing state: %S" body;
+  if not (contains body "error_rate") then
+    fail_daemon "503 body does not name the burned objective: %S" body;
+  (* snapshot /debug/slo while failing — the CI artifact *)
+  let status, slo_body = request port "/debug/slo" in
+  if status <> 200 then fail_daemon "/debug/slo: status %d" status;
+  if not (contains slo_body "\"state\":\"failing\"") then
+    fail_daemon "/debug/slo does not report failing: %S" slo_body;
+  let oc = open_out snapshot_path in
+  output_string oc slo_body;
+  close_out oc;
+  (match run_probe cli url with
+  | 1 -> ()
+  | n -> fail_daemon "failing probe exited %d (want 1)" n);
+  (* phase 3: stop the fault load; the bad requests age out of the 2 s
+     window and the daemon recovers with no restart *)
+  let rec await_recovery () =
+    if Unix.gettimeofday () > deadline then
+      fail_daemon "daemon never recovered after the fault load stopped";
+    let status, body = request port "/healthz" in
+    if status = 200 && body = "ok\n" then ()
+    else begin
+      Unix.sleepf 0.3;
+      await_recovery ()
+    end
+  in
+  await_recovery ();
+  (match run_probe cli url with
+  | 0 -> ()
+  | n -> fail_daemon "recovered probe exited %d (want 0)" n);
+  (* clean shutdown, then audit the access log *)
+  Unix.kill pid Sys.sigterm;
+  let rec wait_exit () =
+    if Unix.gettimeofday () > deadline then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      die "daemon did not exit within the deadline after SIGTERM"
+    end;
+    match Unix.waitpid [ WNOHANG ] pid with
+    | 0, _ ->
+        Unix.sleepf 0.05;
+        wait_exit ()
+    | _, st -> st
+  in
+  (match wait_exit () with
+  | WEXITED 0 -> ()
+  | WEXITED n -> die "daemon exited %d after SIGTERM (want 0)" n
+  | WSIGNALED s -> die "daemon died on signal %d instead of handling SIGTERM" s
+  | WSTOPPED s -> die "daemon stopped on signal %d" s);
+  (try Sys.remove slo_path with Sys_error _ -> ());
+  let ic = open_in_bin access_path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' raw) in
+  if List.length lines < n_faults + 4 then
+    die "access log has %d lines, expected at least %d" (List.length lines)
+      (n_faults + 4);
+  List.iter
+    (fun line ->
+      if not (String.length line > 1 && line.[0] = '{'
+              && line.[String.length line - 1] = '}') then
+        die "access log line is not a JSON object: %S" line;
+      if not (contains line "\"request_id\":") then
+        die "access log line lacks request_id: %S" line)
+    lines;
+  if not (contains raw "\"status\":404") then
+    die "access log never recorded the injected 404 faults";
+  if not (contains raw "\"endpoint\":\"GET /healthz\"") then
+    die "access log never recorded a health probe";
+  if not (contains raw "\"degraded\":true") then
+    die "access log never flagged a request served while degraded";
+  Printf.printf
+    "health_check: OK — healthz 200 -> 503 (error_rate named) -> 200 on port \
+     %d, CLI probe exit codes 0/1/0, %d access-log lines audited\n"
+    port (List.length lines)

@@ -557,9 +557,40 @@ let serve_cmd =
             "ITDK corpus the model was learned from; enables POST /observe \
              (incremental relearn from observation events).")
   in
-  let run model_path corpus port host jobs batch_max batch_wait max_pending
-      timeout =
+  let slo =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:
+            "SLO declaration file (strict JSON: window_s, buckets, \
+             objectives) for the health monitor. /healthz answers 503 when \
+             an objective burns past its fail_ratio. A malformed file fails \
+             startup.")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSON line per request to $(docv) (request id, \
+             endpoint, status, latency, batch size, cache hit, confidence, \
+             shed/degraded flags), rotated by size to $(docv).1.")
+  in
+  let run model_path corpus slo access_log port host jobs batch_max batch_wait
+      max_pending timeout =
     let model = load_model_or_die model_path in
+    let slo =
+      match slo with
+      | None -> None
+      | Some path -> (
+          match Hoiho_net.Slo.load path with
+          | Ok s -> Some s
+          | Error e ->
+              Printf.eprintf "hoiho: cannot load SLO file %s: %s\n" path e;
+              exit 1)
+    in
     let config =
       {
         Hoiho_net.Server.default_config with
@@ -575,6 +606,16 @@ let serve_cmd =
         request_timeout_s = Float.max 0.05 timeout;
         model_path = Some model_path;
         corpus_path = corpus;
+        objectives = Option.map (fun s -> s.Hoiho_net.Slo.objectives) slo;
+        health_bucket_ms =
+          (match slo with
+          | Some s -> s.Hoiho_net.Slo.bucket_ms
+          | None -> Hoiho_net.Server.default_config.health_bucket_ms);
+        health_nbuckets =
+          (match slo with
+          | Some s -> s.Hoiho_net.Slo.nbuckets
+          | None -> Hoiho_net.Server.default_config.health_nbuckets);
+        access_log;
       }
     in
     let server = Hoiho_net.Server.start ~config model in
@@ -592,8 +633,9 @@ let serve_cmd =
       (Hoiho_net.Server.port server)
       config.Hoiho_net.Server.jobs;
     Printf.printf
-      "hoiho: GET /geolocate?h= /explain?h= /metrics /healthz; POST /batch \
-       /reload%s; SIGHUP reloads, SIGTERM stops\n%!"
+      "hoiho: GET /geolocate?h= /explain?h= /metrics /healthz /debug/slo \
+       /debug/windows; POST /batch /reload%s; SIGHUP reloads, SIGTERM stops\n\
+       %!"
       (match corpus with Some _ -> " /observe" | None -> "");
     while not (Atomic.get stop) do
       (* sleepf returns early on EINTR when a signal lands *)
@@ -611,8 +653,112 @@ let serve_cmd =
           and hot model reload (SIGHUP or POST /reload) that swaps the \
           snapshot atomically without dropping traffic.")
     Term.(
-      const run $ model_path $ corpus $ port $ host $ jobs $ batch_max
-      $ batch_wait $ max_pending $ timeout)
+      const run $ model_path $ corpus $ slo $ access_log $ port $ host $ jobs
+      $ batch_max $ batch_wait $ max_pending $ timeout)
+
+(* --- health --- *)
+
+(* a deliberately tiny HTTP/1.1 client: one GET, read to EOF. The probe
+   must not share code with the daemon it is checking. *)
+let probe_healthz url =
+  let strip_prefix p s =
+    if String.length s >= String.length p
+       && String.(lowercase_ascii (sub s 0 (length p))) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  let rest =
+    match strip_prefix "http://" url with
+    | Some r -> r
+    | None -> ( match strip_prefix "https://" url with
+      | Some _ ->
+          Printf.eprintf "hoiho: health: https is not supported\n";
+          exit 2
+      | None -> url)
+  in
+  let hostport =
+    match String.index_opt rest '/' with
+    | Some i -> String.sub rest 0 i
+    | None -> rest
+  in
+  let host, port =
+    match String.index_opt hostport ':' with
+    | Some i ->
+        ( String.sub hostport 0 i,
+          int_of_string
+            (String.sub hostport (i + 1) (String.length hostport - i - 1)) )
+    | None -> (hostport, 80)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      let req =
+        Printf.sprintf
+          "GET /healthz HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+          host port
+      in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Buffer.create 512 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        try Scanf.sscanf raw "HTTP/1.1 %d" (fun s -> s) with _ -> 0
+      in
+      let body =
+        let n = String.length raw in
+        let rec find i =
+          if i + 4 > n then ""
+          else if String.sub raw i 4 = "\r\n\r\n" then
+            String.sub raw (i + 4) (n - i - 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      (status, String.trim body))
+
+let health_cmd =
+  let url =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"URL"
+          ~doc:
+            "Daemon base URL, e.g. $(b,http://127.0.0.1:8080) (the /healthz \
+             path is implied).")
+  in
+  let run url =
+    match probe_healthz url with
+    | exception e ->
+        Printf.eprintf "hoiho: health: %s unreachable: %s\n" url
+          (Printexc.to_string e);
+        exit 2
+    | status, body ->
+        Printf.printf "%d %s\n" status body;
+        if status <> 200 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe a running daemon's /healthz and print the evaluated state. \
+          Exits 0 when healthy (200), 1 when degraded service reports \
+          failing (503), 2 when the daemon is unreachable — ready for \
+          scripting and orchestration liveness checks.")
+    Term.(const run $ url)
 
 (* --- explain --- *)
 
@@ -910,6 +1056,6 @@ let () =
   let doc = "learn geographic naming conventions from router hostnames" in
   exit (Cmd.eval (Cmd.group (Cmd.info "hoiho" ~doc)
                     [ generate_cmd; learn_cmd; save_model_cmd; apply_cmd;
-                      serve_cmd; explain_cmd; geolocate_cmd; compare_cmd;
-                      calibrate_cmd; report_cmd; lookup_cmd; relearn_cmd;
-                      diff_model_cmd ]))
+                      serve_cmd; health_cmd; explain_cmd; geolocate_cmd;
+                      compare_cmd; calibrate_cmd; report_cmd; lookup_cmd;
+                      relearn_cmd; diff_model_cmd ]))

@@ -47,6 +47,15 @@ let () =
   (* every run times at least the whole-run span and one suffix group *)
   if not (String.length text > 0 && find_int text "count" <> None) then
     fail "no histogram samples recorded";
+  (* histogram summaries carry the tail quantile since the health work *)
+  let contains needle =
+    let nlen = String.length needle and tlen = String.length text in
+    let rec scan i =
+      i + nlen <= tlen && (String.sub text i nlen = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  if not (contains "\"p99_ms\"") then fail "histogram summaries lack p99_ms";
   match !failures with
   | [] -> Printf.printf "metrics snapshot %s ok\n" path
   | fs ->

@@ -101,6 +101,38 @@ let score s =
     *. collision_factor s.collisions
     *. overlay_factor s.overlay)
 
+(* The expected confidence-decile profile of a model: what distribution
+   of per-answer confidences this model should produce on traffic shaped
+   like its training corpus. Per suffix, the tp+fp answered-positive
+   mass sits at the suffix's typical positive score (support × agreement
+   — the collision/overlay factors are per-answer and average near 1),
+   and the fn+unk mass sits at 0.0, the uniform confidence of a negative
+   answer. Pure arithmetic over the stats in list order, so a batch
+   learn and an incremental relearn that produce byte-identical suffix
+   lists produce bit-identical profiles (the Delta equivalence
+   contract). *)
+let expected_profile stats_list =
+  let masses = Array.make 10 0.0 in
+  let total = ref 0.0 in
+  List.iter
+    (fun s ->
+      let pos = float_of_int (s.tp + s.fp) in
+      let neg = float_of_int (s.fn + s.unk) in
+      if pos > 0.0 then begin
+        let c = clamp01 (shrunk_ppv s.tp s.fp *. agreement_factor s.rtt_agreement) in
+        let i = min 9 (int_of_float (c *. 10.0)) in
+        masses.(i) <- masses.(i) +. pos
+      end;
+      if neg > 0.0 then masses.(0) <- masses.(0) +. neg;
+      total := !total +. pos +. neg)
+    stats_list;
+  if !total <= 0.0 then begin
+    (* an evidence-free model can only answer negatives *)
+    masses.(0) <- 1.0;
+    masses
+  end
+  else Array.map (fun m -> m /. !total) masses
+
 let of_resolution ~stats ~learned (ex : Plan.extraction) (cities, provenance) =
   match cities with
   | [] -> none

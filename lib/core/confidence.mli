@@ -85,6 +85,19 @@ val of_resolution :
 val none : float
 (** 0., the confidence of an absent answer. *)
 
+val expected_profile : suffix_stats list -> float array
+(** The confidence-decile profile (10 masses summing to 1; index [i]
+    covers confidences in [[i/10, (i+1)/10)], with 1.0 in the top
+    decile) this model is expected to produce on traffic shaped like
+    its training corpus: per suffix, [tp+fp] mass at the suffix's
+    typical positive score ([shrunk PPV × agreement]) and [fn+unk]
+    mass at 0.0 (the negative-answer confidence). An evidence-free
+    list puts all mass at decile 0. Pure arithmetic in list order —
+    byte-identical suffix lists yield bit-identical profiles, so
+    {!Learned_io.of_pipeline} and {!Delta.relearn_model} agree — the
+    baseline the serving daemon's calibration-drift monitor compares
+    live traffic against (DESIGN.md §14). *)
+
 val describe_loser :
   best:Hoiho_geodb.City.t -> Hoiho_geodb.City.t -> string
 (** Decision-trace rendering of one collision loser: the city plus the

@@ -425,6 +425,16 @@ let relearn_model ?jobs ~(model : Learned_io.t) ~(corpus : Dataset.t) events =
         {
           model with
           Learned_io.suffixes;
+          (* recomputed from the spliced suffix list, exactly as
+             of_pipeline would from a batch learn of the final corpus —
+             pure arithmetic in list order, so the byte-identity
+             contract extends to the stored profile *)
+          Learned_io.calibration =
+            Some
+              (Confidence.expected_profile
+                 (List.map
+                    (fun (sm : Learned_io.suffix_model) -> sm.Learned_io.stats)
+                    suffixes));
           Learned_io.metrics = Json.Obj [];
         }
       in

@@ -3,9 +3,11 @@ module City = Hoiho_geodb.City
 module Db = Hoiho_geodb.Db
 module Engine = Hoiho_rx.Engine
 
-(* v2 added the per-suffix confidence stats block; v1 snapshots still
-   decode, with neutral stats (DESIGN.md §9/§13) *)
-let format_version = 2
+(* v2 added the per-suffix confidence stats block; v3 adds the expected
+   calibration profile the serving drift monitor compares live traffic
+   against (DESIGN.md §14). v1/v2 snapshots still decode: neutral stats
+   for v1, no stored profile (drift monitoring disabled) below v3. *)
+let format_version = 3
 let oldest_readable_version = 1
 
 type cand = { source : string; plan : Plan.t; regex : Engine.t }
@@ -23,6 +25,7 @@ type dictionary = Default | Embedded of City.t list
 type t = {
   dictionary : dictionary;
   suffixes : suffix_model list;
+  calibration : float array option;
   metrics : Json.t;
 }
 
@@ -174,13 +177,21 @@ let to_json t =
           ]
   in
   Json.Obj
-    [
-      ("format_version", Json.Int format_version);
-      ("generator", Json.String "hoiho");
-      ("dictionary", dictionary);
-      ("suffixes", Json.List (List.map suffix_to_json t.suffixes));
-      ("metrics", t.metrics);
-    ]
+    ([
+       ("format_version", Json.Int format_version);
+       ("generator", Json.String "hoiho");
+       ("dictionary", dictionary);
+       ("suffixes", Json.List (List.map suffix_to_json t.suffixes));
+     ]
+    @ (match t.calibration with
+      | None -> []
+      | Some masses ->
+          [
+            ( "calibration",
+              Json.List
+                (List.map (fun m -> Json.Float m) (Array.to_list masses)) );
+          ])
+    @ [ ("metrics", t.metrics) ])
 
 let encode t = Json.to_string (to_json t)
 
@@ -419,10 +430,33 @@ let of_json json =
       in
       unique 0 suffixes
     in
+    (* v3 added the expected calibration profile; below v3 (or absent —
+       the field is optional even in v3) drift monitoring is simply
+       disabled, but a present profile must be well-formed: exactly 10
+       decile masses, each in [0,1] *)
+    let* calibration =
+      match Json.member "calibration" json with
+      | None -> Ok None
+      | Some j ->
+          let* items = as_list "$.calibration" j in
+          let* masses =
+            map_items "$.calibration"
+              (fun p item ->
+                let* m = as_float p item in
+                if m < 0.0 || m > 1.0 then
+                  schema p "decile mass in [0,1]" (Printf.sprintf "%g" m)
+                else Ok m)
+              items
+          in
+          if List.length masses <> 10 then
+            schema "$.calibration" "10 decile masses"
+              (Printf.sprintf "%d element(s)" (List.length masses))
+          else Ok (Some (Array.of_list masses))
+    in
     let metrics =
       match Json.member "metrics" json with Some m -> m | None -> Json.Obj []
     in
-    Ok { dictionary; suffixes; metrics }
+    Ok { dictionary; suffixes; calibration; metrics }
 
 let decode s =
   match Json.parse s with
@@ -469,7 +503,10 @@ let of_pipeline (p : Pipeline.t) =
     | Ok j -> j
     | Error _ -> Json.Obj []
   in
-  { dictionary; suffixes; metrics }
+  let calibration =
+    Some (Confidence.expected_profile (List.map (fun sm -> sm.stats) suffixes))
+  in
+  { dictionary; suffixes; calibration; metrics }
 
 let db t =
   match t.dictionary with
@@ -510,4 +547,5 @@ let equal a b =
   | Embedded ca, Embedded cb -> ca = cb
   | _ -> false)
   && List.equal equal_suffix a.suffixes b.suffixes
+  && Option.equal (fun x y -> x = y) a.calibration b.calibration
   && Json.equal a.metrics b.metrics

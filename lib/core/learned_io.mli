@@ -41,21 +41,30 @@ type dictionary =
 type t = {
   dictionary : dictionary;
   suffixes : suffix_model list;  (** in training order *)
+  calibration : float array option;
+      (** the model's expected confidence-decile profile
+          ({!Confidence.expected_profile} of the suffixes' stats),
+          stored at save-model time so the serving daemon can compare
+          live served-confidence distributions against it (format v3,
+          DESIGN.md §14); [None] for pre-v3 snapshots — drift
+          monitoring disabled *)
   metrics : Hoiho_util.Json.t;
       (** observability snapshot of the learn run, carried verbatim for
           provenance (an empty object when unavailable) *)
 }
 
 val format_version : int
-(** Current snapshot format version (2: v1 plus the per-suffix
-    confidence [stats] block). Encoders stamp it; decoders accept
+(** Current snapshot format version (3: v2 plus the expected
+    [calibration] profile; 2: v1 plus the per-suffix confidence
+    [stats] block). Encoders stamp it; decoders accept
     {!oldest_readable_version} through this and reject anything else
     with {!Unknown_version} — version evolution policy is in
     DESIGN.md §9. *)
 
 val oldest_readable_version : int
 (** Oldest version {!decode} still reads (1). v1 suffix models decode
-    with {!Confidence.no_stats}. *)
+    with {!Confidence.no_stats}; pre-v3 snapshots decode with
+    [calibration = None]. *)
 
 type error =
   | Syntax of string  (** not a JSON document: truncation, garbage *)

@@ -9,6 +9,9 @@ module Engine = Hoiho_rx.Engine
 module Pool = Hoiho_util.Pool
 module Obs = Hoiho_obs.Obs
 module Trace = Hoiho_obs.Trace
+module Health = Hoiho_obs.Health
+module Window = Hoiho_obs.Window
+module Json = Hoiho_util.Json
 
 let c_conns = Obs.counter "net.connections"
 let c_requests = Obs.counter "net.requests"
@@ -25,6 +28,13 @@ let c_observe_events = Obs.counter "net.observe_events"
 let c_observe_failures = Obs.counter "net.observe_failures"
 let h_request = Obs.histogram "net.request_ms"
 
+(* level gauges (set, not high-water): the current evaluated health
+   state (0 ok / 1 degraded / 2 failing) and the served-confidence
+   drift vs the model's stored calibration profile, in parts-per-million
+   (gauges are ints; 1e6 keeps three decimals of the [0,1] distance) *)
+let g_health_state = Obs.gauge "health.state"
+let g_drift = Obs.gauge "health.calibration_drift_ppm"
+
 type config = {
   host : string;
   port : int;
@@ -36,6 +46,11 @@ type config = {
   max_body : int;
   model_path : string option;
   corpus_path : string option;
+  objectives : Health.objective list option;
+  health_bucket_ms : float;
+  health_nbuckets : int;
+  access_log : string option;
+  access_log_max_bytes : int;
 }
 
 let default_config =
@@ -50,6 +65,11 @@ let default_config =
     max_body = 1 lsl 20;
     model_path = None;
     corpus_path = None;
+    objectives = None;
+    health_bucket_ms = 5000.0;
+    health_nbuckets = 12;
+    access_log = None;
+    access_log_max_bytes = 16 * 1024 * 1024;
   }
 
 type t = {
@@ -58,6 +78,12 @@ type t = {
   bound_port : int;
   serve : Serve.t Atomic.t;
   batcher : Serve.answer Batcher.t;
+  monitor : Health.monitor;
+  access : Access_log.t option;
+  (* the housekeeper's cached evaluation, read per request for the
+     access-log degraded flag so the hot path never sorts a window *)
+  health_state : int Atomic.t;
+  rid_counter : int Atomic.t;
   stop_flag : bool Atomic.t;
   reload_flag : bool Atomic.t;
   (* producers currently inside a request handler; the batcher's
@@ -146,38 +172,97 @@ let write_all fd s =
   in
   go 0
 
-let respond fd ?headers ?content_type ~status body =
+(* --- per-request context ---
+
+   One mutable record rides through dispatch so the response writer,
+   the health monitor, and the access log see one consistent story:
+   which request id went out, what status, whether admission shed it,
+   how many hostnames it carried, and what the answer's confidence
+   was. Allocated per request; fields default to the non-lookup
+   shape. *)
+
+type req_ctx = {
+  rid : string;
+  endpoint : string;
+  mutable status : int;
+  mutable shed : bool;
+  mutable batch : int;
+  mutable cache_hit : bool;
+  mutable confidence : float option;
+}
+
+(* a client-supplied X-Request-Id is echoed when it is sane: non-empty,
+   bounded, visible ASCII only (it goes back out in a header and into
+   log lines — no CR/LF smuggling, no control bytes) *)
+let sane_rid s =
+  let n = String.length s in
+  n > 0 && n <= 128
+  && String.for_all (fun c -> c > ' ' && Char.code c < 0x7f) s
+
+let rid_of_request t req =
+  match Http.header req "x-request-id" with
+  | Some rid when sane_rid rid -> rid
+  | _ ->
+      Printf.sprintf "hoiho-%d-%d" (Unix.getpid ())
+        (Atomic.fetch_and_add t.rid_counter 1)
+
+let make_ctx ~rid ~endpoint =
+  {
+    rid;
+    endpoint;
+    status = 0;
+    shed = false;
+    batch = 0;
+    cache_hit = false;
+    confidence = None;
+  }
+
+(* every response — handlers and parse-error paths alike — goes out
+   through here: the status is counted once, recorded in the ctx for
+   the monitor/access log, and the request id is echoed back *)
+let respond ctx fd ?(headers = []) ?content_type ~status body =
   count_status status;
-  write_all fd (Http.response ?headers ?content_type ~status body)
+  ctx.status <- status;
+  write_all fd
+    (Http.response
+       ~headers:(("X-Request-Id", ctx.rid) :: headers)
+       ?content_type ~status body)
 
 (* --- handlers --- *)
 
-let handle_geolocate t fd req =
+let handle_geolocate t ctx fd req =
   match min_conf_param req with
   | Error `Bad_min_conf ->
-      respond fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
+      respond ctx fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
   | Ok min_conf -> (
       match Http.query_param req "h" with
-      | None -> respond fd ~status:400 "missing query parameter h\n"
+      | None -> respond ctx fd ~status:400 "missing query parameter h\n"
       | Some raw -> (
           match boundary raw with
-          | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
+          | Error `Invalid -> respond ctx fd ~status:400 "invalid hostname\n"
           | Ok key -> (
+              ctx.batch <- 1;
+              (* read-only probe, before submit: the answer below may
+                 itself populate the cache *)
+              ctx.cache_hit <- Serve.cached (Atomic.get t.serve) key;
               match Batcher.submit t.batcher [ key ] with
               | Ok [ answer ] ->
-                  respond fd ~status:200 (render_answer ?min_conf answer ^ "\n")
-              | Ok _ -> respond fd ~status:500 "internal error\n"
+                  ctx.confidence <- Some answer.Serve.confidence;
+                  respond ctx fd ~status:200
+                    (render_answer ?min_conf answer ^ "\n")
+              | Ok _ -> respond ctx fd ~status:500 "internal error\n"
               | Error `Overloaded ->
-                  respond fd
+                  ctx.shed <- true;
+                  respond ctx fd
                     ~headers:[ ("Retry-After", "1") ]
                     ~status:503 "overloaded, retry later\n"
               | Error (`Stopped | `Failed) ->
-                  respond fd ~status:503 "shutting down\n")))
+                  respond ctx fd ~status:503 "shutting down\n")))
 
-let handle_batch t fd req =
+let handle_batch t ctx fd req =
   match min_conf_param req with
   | Error `Bad_min_conf ->
-      respond fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
+      respond ctx fd ~status:400 "invalid min_conf (want a float in [0,1])\n"
   | Ok min_conf ->
   let lines =
     String.split_on_char '\n' req.Http.body
@@ -186,21 +271,26 @@ let handle_batch t fd req =
            l)
     |> List.filter (fun l -> l <> "")
   in
-  if lines = [] then respond fd ~status:400 "empty batch\n"
+  if lines = [] then respond ctx fd ~status:400 "empty batch\n"
   else begin
     (* boundary-normalize every line once; invalid lines keep their
        slot so the response aligns line-for-line with the request *)
     let keyed = List.map (fun raw -> (raw, boundary raw)) lines in
     let keys = List.filter_map (fun (_, k) -> Result.to_option k) keyed in
+    ctx.batch <- List.length keys;
+    ctx.cache_hit <-
+      keys <> []
+      && List.for_all (Serve.cached (Atomic.get t.serve)) keys;
     let submitted =
       if keys = [] then Ok [] else Batcher.submit t.batcher keys
     in
     match submitted with
     | Error `Overloaded ->
-        respond fd
+        ctx.shed <- true;
+        respond ctx fd
           ~headers:[ ("Retry-After", "1") ]
           ~status:503 "overloaded, retry later\n"
-    | Error (`Stopped | `Failed) -> respond fd ~status:503 "shutting down\n"
+    | Error (`Stopped | `Failed) -> respond ctx fd ~status:503 "shutting down\n"
     | Ok answers ->
         let buf = Buffer.create 4096 in
         let rec render answers = function
@@ -219,19 +309,19 @@ let handle_batch t fd req =
               | [] -> ())
         in
         render answers keyed;
-        respond fd ~status:200 (Buffer.contents buf)
+        respond ctx fd ~status:200 (Buffer.contents buf)
   end
 
 (* the /explain decision trace: serialize explains (the tracer is
    process-global) and render only the span tree rooted at this
    application, so concurrent traffic that records spans while tracing
    is briefly enabled cannot leak into the answer *)
-let handle_explain t fd req =
+let handle_explain t ctx fd req =
   match Http.query_param req "h" with
-  | None -> respond fd ~status:400 "missing query parameter h\n"
+  | None -> respond ctx fd ~status:400 "missing query parameter h\n"
   | Some raw -> (
       match boundary raw with
-      | Error `Invalid -> respond fd ~status:400 "invalid hostname\n"
+      | Error `Invalid -> respond ctx fd ~status:400 "invalid hostname\n"
       | Ok key ->
           let answer, rendered =
             Mutex.lock t.explain_mutex;
@@ -275,12 +365,17 @@ let handle_explain t fd req =
                 in
                 (answer, Trace.render_text mine))
           in
-          respond fd ~status:200
+          ctx.confidence <- Some answer.Serve.confidence;
+          respond ctx fd ~status:200
             (Printf.sprintf "%s\t%s\n\n%s" key (render_answer answer) rendered))
 
-let handle_metrics fd =
-  respond fd
-    ~content_type:"application/openmetrics-text; version=1.0.0; charset=utf-8"
+let handle_metrics ctx fd =
+  (* the Prometheus text-exposition content type — scrapers content-
+     negotiate on it; the previous application/openmetrics-text value
+     declared the stricter OpenMetrics dialect this exposition does not
+     fully implement *)
+  respond ctx fd
+    ~content_type:"text/plain; version=0.0.4; charset=utf-8"
     ~status:200
     (Obs.to_openmetrics (Obs.snapshot ()))
 
@@ -294,21 +389,24 @@ let do_reload t path =
          fresh LRU) before the swap: serving never blocks on a decode,
          and no cache entry learned under the old model survives *)
       Atomic.set t.serve (Serve.create model);
+      (* the drift baseline follows the serving model: answers from the
+         new snapshot are judged against ITS expected profile *)
+      Health.set_expected_profile t.monitor model.Learned_io.calibration;
       Obs.incr c_reloads;
       Ok ()
 
-let handle_reload t fd req =
+let handle_reload t ctx fd req =
   let path =
     match Http.query_param req "model" with
     | Some p when p <> "" -> Some p
     | _ -> t.cfg.model_path
   in
   match path with
-  | None -> respond fd ~status:400 "no model path configured\n"
+  | None -> respond ctx fd ~status:400 "no model path configured\n"
   | Some path -> (
       match do_reload t path with
-      | Ok () -> respond fd ~status:200 ("reloaded " ^ path ^ "\n")
-      | Error msg -> respond fd ~status:500 ("reload failed: " ^ msg ^ "\n"))
+      | Ok () -> respond ctx fd ~status:200 ("reloaded " ^ path ^ "\n")
+      | Error msg -> respond ctx fd ~status:500 ("reload failed: " ^ msg ^ "\n"))
 
 (* POST /observe: the streaming half of the serving story. A body of
    Delta wire events is applied to the retained corpus, only the dirty
@@ -318,33 +416,35 @@ let handle_reload t fd req =
    serializes observes so every relearn sees a consistent
    (corpus, model) pair; lookups keep serving the old model
    throughout — the swap is one atomic store, exactly like /reload. *)
-let handle_observe t fd req =
+let handle_observe t ctx fd req =
   Mutex.lock t.relearn_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.relearn_mutex) @@ fun () ->
   match t.corpus with
   | None ->
       Obs.incr c_observe_failures;
-      respond fd ~status:400 "no corpus configured (start with --corpus)\n"
+      respond ctx fd ~status:400 "no corpus configured (start with --corpus)\n"
   | Some corpus -> (
       match Delta.events_of_string req.Http.body with
       | Error msg ->
           Obs.incr c_observe_failures;
-          respond fd ~status:400 ("bad events: " ^ msg ^ "\n")
+          respond ctx fd ~status:400 ("bad events: " ^ msg ^ "\n")
       | Ok events -> (
           let model = Serve.model (Atomic.get t.serve) in
           match Delta.relearn_model ~jobs:t.cfg.jobs ~model ~corpus events with
           | Error e ->
               Obs.incr c_observe_failures;
-              respond fd ~status:400
+              respond ctx fd ~status:400
                 ("bad events: " ^ Delta.error_to_string e ^ "\n")
           | Ok (model', corpus', stats) ->
               t.corpus <- Some corpus';
               Atomic.set t.serve
                 (Serve.rebuild ~dirty:stats.Delta.dirty (Atomic.get t.serve)
                    model');
+              Health.set_expected_profile t.monitor
+                model'.Learned_io.calibration;
               Obs.incr c_observes;
               Obs.add c_observe_events stats.Delta.events;
-              respond fd ~status:200
+              respond ctx fd ~status:200
                 (Printf.sprintf
                    "relearned: %d events, %d dirty suffixes, %d groups \
                     relearned, %d reused\n"
@@ -352,17 +452,131 @@ let handle_observe t fd req =
                    (List.length stats.Delta.dirty)
                    stats.Delta.groups_relearned stats.Delta.groups_reused)))
 
-let dispatch t fd (req : Http.request) =
+(* --- health & debug endpoints (DESIGN.md §14) --- *)
+
+(* fresh evaluation at the probe (the housekeeper's cached state could
+   be a tick stale — a load balancer polling /healthz deserves the
+   current window). The cache is refreshed as a side effect so the
+   access-log degraded flag tracks the latest evaluation. *)
+let evaluate_health t =
+  let state = Health.evaluate_monitor t.monitor ~now_ms:(Obs.now_ms ()) in
+  Atomic.set t.health_state (Health.state_to_int state);
+  state
+
+let handle_healthz t ctx fd =
+  match evaluate_health t with
+  | Health.Ok -> respond ctx fd ~status:200 "ok\n"
+  | Health.Degraded _ as s ->
+      (* degraded is a warning, not an outage: load balancers keep
+         routing (200), operators see the reasons in the body *)
+      respond ctx fd ~status:200 (Health.render s ^ "\n")
+  | Health.Failing _ as s -> respond ctx fd ~status:503 (Health.render s ^ "\n")
+
+let json_of_stats (s : Window.stats) =
+  Json.Obj
+    [
+      ("n", Json.Int s.Window.n);
+      ("rate_per_s", Json.Float s.Window.rate_per_s);
+      ("p50", Json.Float s.Window.p50);
+      ("p95", Json.Float s.Window.p95);
+      ("p99", Json.Float s.Window.p99);
+      ("max", Json.Float s.Window.max);
+      ("sum", Json.Float s.Window.sum);
+    ]
+
+let json_of_profile masses =
+  Json.List (List.map (fun m -> Json.Float m) (Array.to_list masses))
+
+let handle_debug_slo t ctx fd =
+  let now_ms = Obs.now_ms () in
+  let measurements = Health.measurements t.monitor ~now_ms in
+  let state =
+    Health.evaluate
+      ~objectives:(Health.objectives t.monitor)
+      ~measurements
+  in
+  Atomic.set t.health_state (Health.state_to_int state);
+  let objectives =
+    List.map
+      (fun (o : Health.objective) ->
+        let value = List.assoc_opt o.Health.metric measurements in
+        Json.Obj
+          ([
+             ("metric", Json.String o.Health.metric);
+             ("max", Json.Float o.Health.max_value);
+             ("fail_ratio", Json.Float o.Health.fail_ratio);
+           ]
+          @
+          match value with
+          | None -> [ ("value", Json.Null); ("burn", Json.Null) ]
+          | Some v ->
+              [
+                ("value", Json.Float v);
+                ("burn", Json.Float (v /. o.Health.max_value));
+              ]))
+      (Health.objectives t.monitor)
+  in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ("state", Json.String (Health.state_label state));
+           ( "reasons",
+             Json.List
+               (List.map
+                  (fun r -> Json.String r)
+                  (Health.state_reasons state)) );
+           ("objectives", Json.List objectives);
+           ( "measurements",
+             Json.Obj
+               (List.map (fun (k, v) -> (k, Json.Float v)) measurements) );
+         ])
+  in
+  respond ctx fd ~content_type:"application/json" ~status:200 (body ^ "\n")
+
+let handle_debug_windows t ctx fd =
+  let now_ms = Obs.now_ms () in
+  let m = t.monitor in
+  let window w = json_of_stats (Window.stats w ~now_ms) in
+  let confs = Window.samples (Health.confidence_window m) ~now_ms in
+  let body =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "bucket_ms",
+             Json.Float (Window.bucket_ms (Health.latency_window m)) );
+           ("nbuckets", Json.Int (Window.nbuckets (Health.latency_window m)));
+           ( "windows",
+             Json.Obj
+               [
+                 ("latency_ms", window (Health.latency_window m));
+                 ("errors", window (Health.error_window m));
+                 ("shed", window (Health.shed_window m));
+                 ("confidence", window (Health.confidence_window m));
+               ] );
+           ( "expected_calibration",
+             match Health.expected_profile m with
+             | Some p -> json_of_profile p
+             | None -> Json.Null );
+           ( "observed_calibration",
+             json_of_profile (Health.decile_histogram confs) );
+         ])
+  in
+  respond ctx fd ~content_type:"application/json" ~status:200 (body ^ "\n")
+
+let dispatch t ctx fd (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
-  | "GET", "/healthz" -> respond fd ~status:200 "ok\n"
-  | "GET", "/metrics" -> handle_metrics fd
-  | "GET", "/geolocate" -> handle_geolocate t fd req
-  | "GET", "/explain" -> handle_explain t fd req
-  | "POST", "/batch" -> handle_batch t fd req
-  | "POST", "/reload" -> handle_reload t fd req
-  | "POST", "/observe" -> handle_observe t fd req
-  | ("GET" | "POST" | "HEAD"), _ -> respond fd ~status:404 "not found\n"
-  | _ -> respond fd ~status:405 "method not allowed\n"
+  | "GET", "/healthz" -> handle_healthz t ctx fd
+  | "GET", "/metrics" -> handle_metrics ctx fd
+  | "GET", "/debug/slo" -> handle_debug_slo t ctx fd
+  | "GET", "/debug/windows" -> handle_debug_windows t ctx fd
+  | "GET", "/geolocate" -> handle_geolocate t ctx fd req
+  | "GET", "/explain" -> handle_explain t ctx fd req
+  | "POST", "/batch" -> handle_batch t ctx fd req
+  | "POST", "/reload" -> handle_reload t ctx fd req
+  | "POST", "/observe" -> handle_observe t ctx fd req
+  | ("GET" | "POST" | "HEAD"), _ -> respond ctx fd ~status:404 "not found\n"
+  | _ -> respond ctx fd ~status:405 "method not allowed\n"
 
 (* --- per-connection loop --- *)
 
@@ -381,8 +595,54 @@ let handle_connection t fd =
     }
   in
   let reader = Http.reader_of_fd fd in
+  (* one observation point for every response this connection produces:
+     cumulative histogram, sliding health windows, and the access log
+     all see the same (status, latency, flags) story *)
+  let finish ?(histo = true) ctx t0 =
+    let dt_ms = Obs.now_ms () -. t0 in
+    (* parse-error responses keep the cumulative histogram's historical
+       meaning (dispatch time of parsed requests only) but still land
+       in the health windows and the log: a garbage storm must move
+       error_rate *)
+    if histo then Obs.observe h_request dt_ms;
+    let now_ms = Obs.now_ms () in
+    (* observability endpoints are excluded from the health windows:
+       /healthz answering 503 *because* the daemon is failing must not
+       itself count as a service error, or probing a failing daemon
+       feeds the error window and pins it in Failing forever *)
+    let observability =
+      match ctx.endpoint with
+      | "GET /healthz" | "GET /metrics" | "GET /debug/slo"
+      | "GET /debug/windows" ->
+          true
+      | _ -> false
+    in
+    if not observability then
+      Health.record_request t.monitor ~now_ms ~latency_ms:dt_ms
+        ~status:ctx.status ~shed:ctx.shed;
+    match t.access with
+    | None -> ()
+    | Some log ->
+        Access_log.log log
+          {
+            Access_log.request_id = ctx.rid;
+            endpoint = ctx.endpoint;
+            status = ctx.status;
+            latency_us = int_of_float (dt_ms *. 1000.0);
+            batch = ctx.batch;
+            cache_hit = ctx.cache_hit;
+            confidence = ctx.confidence;
+            shed = ctx.shed;
+            degraded = Atomic.get t.health_state > 0;
+          }
+  in
+  let fresh_rid () =
+    Printf.sprintf "hoiho-%d-%d" (Unix.getpid ())
+      (Atomic.fetch_and_add t.rid_counter 1)
+  in
   let rec serve_requests () =
     if not (Atomic.get t.stop_flag) then begin
+      let t0 = Obs.now_ms () in
       match Http.read_request ~limits reader with
       | Error Http.Closed -> ()
       | Error Http.Timeout ->
@@ -390,11 +650,17 @@ let handle_connection t fd =
              that we already read part of a request; answering 408 on
              a dead drip-feed is best-effort either way *)
           Obs.incr c_timeouts;
-          (try respond fd ~status:408 "request timeout\n" with _ -> ())
+          let ctx = make_ctx ~rid:(fresh_rid ()) ~endpoint:"-" in
+          (try respond ctx fd ~status:408 "request timeout\n" with _ -> ());
+          finish ~histo:false ctx t0
       | Error (Http.Bad_request msg) ->
-          (try respond fd ~status:400 (msg ^ "\n") with _ -> ())
+          let ctx = make_ctx ~rid:(fresh_rid ()) ~endpoint:"-" in
+          (try respond ctx fd ~status:400 (msg ^ "\n") with _ -> ());
+          finish ~histo:false ctx t0
       | Error (Http.Too_large msg) ->
-          (try respond fd ~status:413 (msg ^ "\n") with _ -> ())
+          let ctx = make_ctx ~rid:(fresh_rid ()) ~endpoint:"-" in
+          (try respond ctx fd ~status:413 (msg ^ "\n") with _ -> ());
+          finish ~histo:false ctx t0
       | Ok req ->
           let again =
             Atomic.incr t.active;
@@ -402,15 +668,25 @@ let handle_connection t fd =
               ~finally:(fun () -> Atomic.decr t.active)
               (fun () ->
                 let t0 = Obs.now_ms () in
+                let ctx =
+                  make_ctx ~rid:(rid_of_request t req)
+                    ~endpoint:(req.Http.meth ^ " " ^ req.Http.path)
+                in
                 let ok =
-                  match dispatch t fd req with
+                  Trace.with_span "net.request" ~cat:"net"
+                    ~attrs:
+                      [
+                        ("request_id", ctx.rid); ("endpoint", ctx.endpoint);
+                      ]
+                  @@ fun () ->
+                  match dispatch t ctx fd req with
                   | () -> true
                   | exception _ ->
-                      (try respond fd ~status:500 "internal error\n"
+                      (try respond ctx fd ~status:500 "internal error\n"
                        with _ -> ());
                       false
                 in
-                Obs.observe h_request (Obs.now_ms () -. t0);
+                finish ctx t0;
                 ok && Http.keep_alive req)
           in
           if again then serve_requests ()
@@ -442,7 +718,22 @@ let accept_loop t =
   in
   loop ()
 
-(* --- housekeeping (reload requests from signals) --- *)
+(* --- housekeeping (reload requests from signals, health gauges) --- *)
+
+(* periodic re-evaluation keeps the cached state and the exported
+   gauges fresh even when nobody polls /healthz: an idle-but-failing
+   daemon still shows health.state=2 on the next /metrics scrape *)
+let update_health_gauges t =
+  let now_ms = Obs.now_ms () in
+  let measurements = Health.measurements t.monitor ~now_ms in
+  let state =
+    Health.evaluate ~objectives:(Health.objectives t.monitor) ~measurements
+  in
+  Atomic.set t.health_state (Health.state_to_int state);
+  Obs.set_gauge g_health_state (Health.state_to_int state);
+  match List.assoc_opt "calibration_drift" measurements with
+  | Some d -> Obs.set_gauge g_drift (int_of_float (d *. 1e6))
+  | None -> ()
 
 let housekeeping_loop t =
   let rec loop () =
@@ -451,6 +742,7 @@ let housekeeping_loop t =
         (match t.cfg.model_path with
         | Some path -> ignore (do_reload t path)
         | None -> Obs.incr c_reload_failures);
+      update_health_gauges t;
       Unix.sleepf 0.05;
       loop ()
     end
@@ -481,14 +773,46 @@ let start ?(config = default_config) model =
   in
   let serve = Atomic.make (Serve.create model) in
   let active = Atomic.make 0 in
+  let monitor =
+    Health.create_monitor
+      ?objectives:config.objectives
+      ~bucket_ms:config.health_bucket_ms ~nbuckets:config.health_nbuckets ()
+  in
+  (* drift baseline: the served model's stored expected profile (None
+     for pre-v3 snapshots — the drift measurement simply stays off) *)
+  Health.set_expected_profile monitor model.Learned_io.calibration;
+  let access =
+    match config.access_log with
+    | None -> None
+    | Some path -> (
+        match
+          Access_log.create ~max_bytes:config.access_log_max_bytes path
+        with
+        | Ok log -> Some log
+        | Error msg ->
+            (* an unwritable log path fails the start, like an
+               unbindable address: the operator asked for a log *)
+            (try Unix.close listener with _ -> ());
+            failwith (Printf.sprintf "access log %s: %s" path msg))
+  in
   let batcher =
     Batcher.create ~max_batch:config.max_batch ~max_wait_ms:config.max_wait_ms
       ~max_pending:config.max_pending
       ~more_hint:(fun () -> Atomic.get active)
       ~apply:(fun keys ->
-        List.map snd
-          (Serve.apply_batch ~jobs:config.jobs ~normalized:true
-             (Atomic.get serve) keys))
+        let answers =
+          List.map snd
+            (Serve.apply_batch ~jobs:config.jobs ~normalized:true
+               (Atomic.get serve) keys)
+        in
+        (* every served answer's confidence — cached or computed — feeds
+           the drift window at one point, whatever endpoint asked *)
+        let now_ms = Obs.now_ms () in
+        List.iter
+          (fun (a : Serve.answer) ->
+            Health.record_confidence monitor ~now_ms a.Serve.confidence)
+          answers;
+        answers)
       ()
   in
   let t =
@@ -498,6 +822,10 @@ let start ?(config = default_config) model =
       bound_port;
       serve;
       batcher;
+      monitor;
+      access;
+      health_state = Atomic.make 0;
+      rid_counter = Atomic.make 0;
       stop_flag = Atomic.make false;
       reload_flag = Atomic.make false;
       active;
@@ -522,7 +850,11 @@ let port t = t.bound_port
 
 let reload t model =
   Atomic.set t.serve (Serve.create model);
+  Health.set_expected_profile t.monitor model.Learned_io.calibration;
   Obs.incr c_reloads
+
+let monitor t = t.monitor
+let health t = evaluate_health t
 
 let reload_from_path t path = do_reload t path
 
@@ -543,5 +875,6 @@ let stop t =
         t.housekeeper <- None
     | None -> ());
     Batcher.stop t.batcher;
+    (match t.access with Some log -> Access_log.close log | None -> ());
     try Unix.close t.listener with Unix.Unix_error _ -> ()
   end

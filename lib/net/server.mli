@@ -18,8 +18,19 @@
       for names rejected at the boundary).
     - [GET /explain?h=HOSTNAME] — the answer plus the rendered
       decision trace of this one application (uncached).
-    - [GET /metrics] — OpenMetrics exposition of the process registry.
-    - [GET /healthz] — liveness ([200 ok]).
+    - [GET /metrics] — OpenMetrics exposition of the process registry
+      ([text/plain; version=0.0.4; charset=utf-8]).
+    - [GET /healthz] — the evaluated health state (DESIGN.md §14):
+      [200 ok] when every objective is within budget, [200 degraded:
+      ...] when some budget is exceeded, [503 failing: ...] (naming
+      the failing objectives) when an objective burns past its
+      [fail_ratio].
+    - [GET /debug/slo] — strict JSON: the evaluated state, each
+      objective with its current value and burn rate, and the raw
+      measurement vector.
+    - [GET /debug/windows] — strict JSON: per-window rolling stats
+      (latency, errors, shed, confidence) plus the expected and
+      observed calibration deciles behind the drift measurement.
     - [POST /reload[?model=PATH]] — hot model reload, see below.
     - [POST /observe] — a body of {!Hoiho.Delta} wire events: the
       daemon applies them to its retained corpus ([corpus_path]),
@@ -43,7 +54,23 @@
     atomic store. The LRU lives inside the [Serve.t], so the swap
     also replaces the cache — stale entries (negative ones included)
     cannot survive a model change. In-flight batches finish on the
-    server they started with. *)
+    server they started with. Every model swap also swaps the
+    expected calibration profile the drift monitor compares served
+    confidences against.
+
+    Observability: every response carries an [X-Request-Id] header
+    (the client's, when sane, else a generated one), which is also a
+    span attribute on the per-request ["net.request"] trace span.
+    With [access_log] set, every response appends one
+    {!Access_log.entry} JSON line. A {!Hoiho_obs.Health.monitor}
+    aggregates per-request latency/error/shed/confidence into rolling
+    windows; the housekeeping domain re-evaluates it continuously and
+    publishes [health.state] (0/1/2) and
+    [health.calibration_drift_ppm] gauges. The observability endpoints
+    themselves ([/healthz], [/metrics], [/debug/*]) are access-logged
+    but excluded from the health windows — a probe seeing a 503
+    {e because} the daemon is failing must not count as a fresh
+    service error, or watching a failing daemon would pin it failing. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -60,12 +87,26 @@ type config = {
           served model was (default-options) learned from, or the
           incremental-equivalence contract of {!Hoiho.Delta} does not
           apply. [None] disables /observe. *)
+  objectives : Hoiho_obs.Health.objective list option;
+      (** SLO objectives for the health monitor (what [--slo FILE]
+          supplies via {!Slo.load}); [None] uses
+          {!Hoiho_obs.Health.default_objectives}, generous enough that
+          a clean server evaluates [Ok]. *)
+  health_bucket_ms : float;  (** health window bucket width *)
+  health_nbuckets : int;
+      (** health window ring length; span = bucket × ring *)
+  access_log : string option;
+      (** JSON-lines access log path ({!Access_log}); [None] disables.
+          An unwritable path fails {!start}. *)
+  access_log_max_bytes : int;  (** size-based rotation threshold *)
 }
 
 val default_config : config
 (** 127.0.0.1:0, jobs = {!Hoiho_util.Pool.default_jobs}, max_batch 64,
     max_wait_ms 1.0, max_pending 1024, request_timeout_s 5.0,
-    max_body 1 MiB, no model or corpus path. *)
+    max_body 1 MiB, no model or corpus path, default objectives over a
+    60 s window (5 s × 12 buckets), no access log (16 MiB rotation
+    when enabled). *)
 
 type t
 
@@ -75,6 +116,13 @@ val start : ?config:config -> Hoiho.Learned_io.t -> t
 
 val port : t -> int
 (** The bound port (the ephemeral one when [config.port] was 0). *)
+
+val monitor : t -> Hoiho_obs.Health.monitor
+(** The live health monitor — what chaos tests feed synthetic
+    latency/error samples through to drive state transitions. *)
+
+val health : t -> Hoiho_obs.Health.state
+(** Evaluate the monitor right now (what [/healthz] reports). *)
 
 val reload : t -> Hoiho.Learned_io.t -> unit
 (** Swap in an already-decoded model (fresh [Serve.t], fresh cache). *)

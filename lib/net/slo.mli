@@ -1,0 +1,37 @@
+(** SLO declaration files for the serving daemon's health monitor
+    ([hoiho serve --slo FILE], DESIGN.md §14): strict JSON in,
+    {!Hoiho_obs.Health.objective}s out.
+
+    The schema, all fields optional except [objectives]:
+
+    {v
+    {
+      "window_s": 60,          // sliding-window span, default 60
+      "buckets": 12,           // ring buckets across the span, default 12
+      "objectives": [
+        {"metric": "latency_p99_ms", "max": 250},
+        {"metric": "error_rate",     "max": 0.05, "fail_ratio": 3.0}
+      ]
+    }
+    v}
+
+    [metric] must name a measurement the monitor produces
+    ({!metrics}); [max] must be positive; [fail_ratio] (default 2.0)
+    must exceed 1. Parsing is strict and total: anything malformed is
+    an [Error] naming the offending path, never an exception — a bad
+    SLO file fails daemon startup, not the first health probe. *)
+
+type t = {
+  objectives : Hoiho_obs.Health.objective list;
+  bucket_ms : float;  (** window_s × 1000 / buckets *)
+  nbuckets : int;
+}
+
+val metrics : string list
+(** The measurement names an objective may budget: [latency_p50_ms],
+    [latency_p99_ms], [error_rate], [shed_rate], [calibration_drift]. *)
+
+val parse : string -> (t, string) result
+
+val load : string -> (t, string) result
+(** [parse] of the file contents; unreadable files are [Error]. *)

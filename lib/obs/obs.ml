@@ -44,6 +44,7 @@ let rec observe_gauge g v =
   let cur = Atomic.get g.gcell in
   if v > cur && not (Atomic.compare_and_set g.gcell cur v) then observe_gauge g v
 
+let set_gauge g v = Atomic.set g.gcell v
 let gauge_value g = Atomic.get g.gcell
 
 let histogram name =
@@ -82,6 +83,7 @@ type histo_stats = {
   n : int;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
   total : float;
 }
@@ -109,6 +111,7 @@ let histo_stats h =
     n;
     p50 = percentile copy n 50.0;
     p95 = percentile copy n 95.0;
+    p99 = percentile copy n 99.0;
     max = (if n = 0 then 0.0 else copy.(n - 1));
     total = Array.fold_left ( +. ) 0.0 copy;
   }
@@ -185,9 +188,9 @@ let to_json snap =
   json_obj buf ~indent:4 snap.histograms (fun (s : histo_stats) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"max_ms\": \
-            %.3f, \"total_ms\": %.3f}"
-           s.n s.p50 s.p95 s.max s.total));
+           "{\"count\": %d, \"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": \
+            %.3f, \"max_ms\": %.3f, \"total_ms\": %.3f}"
+           s.n s.p50 s.p95 s.p99 s.max s.total));
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 
@@ -237,6 +240,8 @@ let to_openmetrics snap =
         (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" n (om_float s.p50));
       Buffer.add_string buf
         (Printf.sprintf "%s{quantile=\"0.95\"} %s\n" n (om_float s.p95));
+      Buffer.add_string buf
+        (Printf.sprintf "%s{quantile=\"0.99\"} %s\n" n (om_float s.p99));
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n s.n);
       Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (om_float s.total)))
     snap.histograms;

@@ -37,10 +37,16 @@ val set_counter : counter -> int -> unit
 
 val gauge : string -> gauge
 val observe_gauge : gauge -> int -> unit
+
+val set_gauge : gauge -> int -> unit
+(** Overwrite the gauge with a current value (not a high-water mark) —
+    for level-style gauges such as the health state or calibration
+    drift, where the latest reading is the truth. *)
+
 val gauge_value : gauge -> int
 
 (** {1 Histograms} — duration samples in milliseconds with
-    count/p50/p95/max/total summaries. *)
+    count/p50/p95/p99/max/total summaries. *)
 
 val histogram : string -> histogram
 
@@ -66,6 +72,7 @@ type histo_stats = {
   n : int;
   p50 : float;
   p95 : float;
+  p99 : float;
   max : float;
   total : float;
 }
@@ -91,13 +98,14 @@ val reset : unit -> unit
 val to_json : snapshot -> string
 (** Render as a stable JSON object:
     [{"counters": {..}, "gauges": {..}, "histograms": {"name":
-    {"count": n, "p50_ms": x, "p95_ms": x, "max_ms": x, "total_ms":
-    x}}}]. Keys are sorted, so equal snapshots render equal strings. *)
+    {"count": n, "p50_ms": x, "p95_ms": x, "p99_ms": x, "max_ms": x,
+    "total_ms": x}}}]. Keys are sorted, so equal snapshots render
+    equal strings. *)
 
 val to_openmetrics : snapshot -> string
 (** The snapshot in OpenMetrics/Prometheus text exposition: counters
     as [hoiho_<name>_total], gauges verbatim, histograms as summaries
-    with p50/p95 quantile samples, terminated by [# EOF]. Names are
+    with p50/p95/p99 quantile samples, terminated by [# EOF]. Names are
     sanitized (non-alphanumeric bytes become ['_']) and prefixed with
     [hoiho_]; keys are sorted, so equal snapshots render equal
     strings. *)

@@ -87,6 +87,13 @@ let find t key =
           push_front s node;
           Some node.value)
 
+(* read-only probe: no promotion, no eviction, no counters — safe for
+   observers (access logging) that must not perturb the deterministic
+   recency order [find]/[add] callers rely on *)
+let mem t key =
+  let s = t.shard_arr.(shard_of t key) in
+  with_lock s (fun () -> Hashtbl.mem s.tbl key)
+
 let add t key value =
   let s = t.shard_arr.(shard_of t key) in
   with_lock s (fun () ->

@@ -33,6 +33,11 @@ val shard_of : 'v t -> string -> int
 val find : 'v t -> string -> 'v option
 (** [Some v] when cached (and promotes the entry to most-recent). *)
 
+val mem : 'v t -> string -> bool
+(** Read-only membership probe: no recency promotion, no counters —
+    for observers (e.g. access-log cache-hit flags) that must not
+    perturb the deterministic eviction order. *)
+
 val add : 'v t -> string -> 'v -> unit
 (** Insert or overwrite; may evict the shard's least-recent entry. *)
 

@@ -280,3 +280,4 @@ let apply_batch ?jobs ?(normalized = false) t hostnames =
   List.map2 (fun hostname key -> (hostname, Hashtbl.find answers key)) hostnames keys
 
 let cache_length t = Lru.length t.cache
+let cached t key = Lru.mem t.cache key

@@ -90,3 +90,9 @@ val apply_batch :
     so hostnames are never normalized twice on the serving path. *)
 
 val cache_length : t -> int
+
+val cached : t -> string -> bool
+(** Read-only cache probe on an already-normalized key: no recency
+    promotion, no hit/miss counters. The serving daemon uses it to
+    stamp access-log lines with a cache-hit flag without perturbing
+    the deterministic [serve.*] counters. *)

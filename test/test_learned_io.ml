@@ -137,6 +137,18 @@ let gen_model =
             | None -> Learned_io.Default
             | Some cities -> Learned_io.Embedded cities);
           suffixes;
+          (* what save-model stores: the profile derived from the
+             suffixes' stats (and half the time None, like a pre-v3
+             snapshot), so round-trips cover both arms of the option *)
+          calibration =
+            (if List.length metric_counts mod 2 = 0 then
+               Some
+                 (Hoiho.Confidence.expected_profile
+                    (List.map
+                       (fun (sm : Learned_io.suffix_model) ->
+                         sm.Learned_io.stats)
+                       suffixes))
+             else None);
           metrics =
             Json.Obj
               [
@@ -200,6 +212,7 @@ let sample_model () =
             };
         };
       ];
+    calibration = None;
     metrics = Json.Obj [];
   }
 

@@ -9,5 +9,6 @@ let () =
    @ Test_props.suites @ Test_learned_io.suites @ Test_serve.suites
    @ Test_granularity.suites
    @ Test_delta.suites
-   @ Test_golden.suites @ Test_trace.suites @ Test_net.suites
+   @ Test_golden.suites @ Test_trace.suites @ Test_health.suites
+   @ Test_net.suites
    @ Test_confidence.suites @ Test_calibration.suites)

@@ -885,6 +885,267 @@ let test_chaos_clients () =
       Alcotest.(check int) "alive after chaos" 200 status;
       Alcotest.(check string) "still correct after chaos" (expected ^ "\n") body)
 
+(* --- health, request ids, debug endpoints, access log --- *)
+
+module Health = Hoiho_obs.Health
+module Json = Hoiho_util.Json
+
+let contains haystack needle =
+  let nn = String.length needle and hn = String.length haystack in
+  let rec go i =
+    i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+(* the value of [name] in a raw response's header block, lowercased name *)
+let header_value raw name =
+  let head =
+    match find_crlfcrlf raw with Some i -> String.sub raw 0 i | None -> raw
+  in
+  let lines = String.split_on_char '\n' head in
+  let key = String.lowercase_ascii name ^ ":" in
+  List.find_map
+    (fun line ->
+      let line = String.trim line in
+      if
+        String.length line > String.length key
+        && String.lowercase_ascii (String.sub line 0 (String.length key)) = key
+      then
+        Some
+          (String.trim
+             (String.sub line (String.length key)
+                (String.length line - String.length key)))
+      else None)
+    lines
+
+(* one-shot GET with extra request headers *)
+let request_h port target headers =
+  let fd = connect port in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with _ -> ())
+    (fun () ->
+      let extra =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+      in
+      (try
+         write_all fd
+           (Printf.sprintf
+              "GET %s HTTP/1.1\r\nHost: t\r\n%sConnection: close\r\n\r\n"
+              target extra)
+       with Unix.Unix_error _ -> ());
+      let raw = read_to_eof fd in
+      let status, body = split_response raw in
+      (status, body, raw))
+
+(* satellite: the OpenMetrics exposition advertises its version *)
+let test_metrics_content_type () =
+  let _, model, _ = Lazy.force fixture in
+  with_server ~config:small_config model (fun _ port ->
+      let status, _, raw = request port "/metrics" in
+      Alcotest.(check int) "metrics status" 200 status;
+      Alcotest.(check (option string)) "openmetrics content type"
+        (Some "text/plain; version=0.0.4; charset=utf-8")
+        (header_value raw "content-type"))
+
+let test_request_id () =
+  let _, model, _ = Lazy.force fixture in
+  with_server ~config:small_config model (fun _ port ->
+      (* a sane client id is echoed verbatim *)
+      let _, _, raw = request_h port "/healthz" [ ("X-Request-Id", "abc-123") ] in
+      Alcotest.(check (option string)) "client id echoed" (Some "abc-123")
+        (header_value raw "x-request-id");
+      (* no client id: the daemon mints one *)
+      let _, _, raw = request port "/healthz" in
+      (match header_value raw "x-request-id" with
+      | Some rid ->
+          Alcotest.(check bool) "generated id is hoiho-*" true
+            (String.length rid > 6 && String.sub rid 0 6 = "hoiho-")
+      | None -> Alcotest.fail "response without X-Request-Id");
+      (* an insane id (control bytes / oversized) is replaced, not echoed *)
+      let _, _, raw =
+        request_h port "/healthz" [ ("X-Request-Id", String.make 300 'x') ]
+      in
+      (match header_value raw "x-request-id" with
+      | Some rid ->
+          Alcotest.(check bool) "oversized client id replaced" true
+            (String.sub rid 0 6 = "hoiho-")
+      | None -> Alcotest.fail "response without X-Request-Id");
+      (* errors carry the id too *)
+      let _, _, raw = request_h port "/nosuch" [ ("X-Request-Id", "err-7") ] in
+      Alcotest.(check (option string)) "404 still carries the id" (Some "err-7")
+        (header_value raw "x-request-id"))
+
+(* the chaos-driven health state machine over a live socket:
+   ok -> degraded -> failing (503 naming the burned objective) -> ok
+   again once the bad samples age out of the window *)
+let test_healthz_transitions () =
+  let _, model, _ = Lazy.force fixture in
+  let config =
+    {
+      small_config with
+      Server.objectives =
+        Some
+          [ { Health.metric = "latency_p99_ms"; max_value = 50.0; fail_ratio = 3.0 } ];
+      health_bucket_ms = 100.0;
+      health_nbuckets = 10;
+    }
+  in
+  with_server ~config model (fun t port ->
+      let status, body, _ = request port "/healthz" in
+      Alcotest.(check int) "clean server is healthy" 200 status;
+      Alcotest.(check string) "clean body" "ok\n" body;
+      (* inject latency inside the budget's degraded band: burn 1.5 *)
+      let m = Server.monitor t in
+      let inject latency =
+        for _ = 1 to 40 do
+          Health.record_request m ~now_ms:(Obs.now_ms ()) ~latency_ms:latency
+            ~status:200 ~shed:false
+        done
+      in
+      inject 75.0;
+      let status, body, _ = request port "/healthz" in
+      Alcotest.(check int) "degraded is still 200" 200 status;
+      Alcotest.(check bool) "degraded body" true (contains body "degraded:");
+      Alcotest.(check bool) "degraded names the objective" true
+        (contains body "latency_p99_ms");
+      (* now burn far past fail_ratio *)
+      inject 1000.0;
+      let status, body, _ = request port "/healthz" in
+      Alcotest.(check int) "failing is 503" 503 status;
+      Alcotest.(check bool) "failing body" true (contains body "failing:");
+      Alcotest.(check bool) "failing names the objective" true
+        (contains body "latency_p99_ms");
+      (* /debug/slo agrees while failing *)
+      let status, body, _ = request port "/debug/slo" in
+      Alcotest.(check int) "debug/slo status" 200 status;
+      Alcotest.(check bool) "debug/slo reports failing" true
+        (contains body "\"state\":\"failing\"");
+      (* recovery: the bad samples age out of the 1 s span on their own *)
+      Unix.sleepf 1.35;
+      let status, body, _ = request port "/healthz" in
+      Alcotest.(check int) "recovered" 200 status;
+      Alcotest.(check string) "recovered body" "ok\n" body)
+
+let test_debug_endpoints_strict_json () =
+  let _, model, _ = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let h, _ = List.hd pinned in
+  with_server ~config:small_config model (fun _ port ->
+      let status, _, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "warm-up request" 200 status;
+      let check_json target keys =
+        let status, body, raw = request port target in
+        Alcotest.(check int) (target ^ " status") 200 status;
+        Alcotest.(check (option string)) (target ^ " content type")
+          (Some "application/json")
+          (header_value raw "content-type");
+        match Json.parse body with
+        | Error e -> Alcotest.failf "%s is not strict JSON: %s" target e
+        | Ok json ->
+            List.iter
+              (fun k ->
+                if Json.member k json = None then
+                  Alcotest.failf "%s lacks %S" target k)
+              keys;
+            json
+      in
+      let slo =
+        check_json "/debug/slo" [ "state"; "reasons"; "objectives"; "measurements" ]
+      in
+      (match Json.member "state" slo with
+      | Some (Json.String "ok") -> ()
+      | _ -> Alcotest.fail "idle server's /debug/slo state is not ok");
+      (* every default objective row carries metric/max/fail_ratio *)
+      (match Json.member "objectives" slo with
+      | Some (Json.List (_ :: _ as rows)) ->
+          List.iter
+            (fun row ->
+              List.iter
+                (fun k ->
+                  if Json.member k row = None then
+                    Alcotest.failf "objective row lacks %S" k)
+                [ "metric"; "max"; "fail_ratio"; "value"; "burn" ])
+            rows
+      | _ -> Alcotest.fail "/debug/slo objectives missing or empty");
+      let windows =
+        check_json "/debug/windows"
+          [
+            "bucket_ms"; "nbuckets"; "windows"; "expected_calibration";
+            "observed_calibration";
+          ]
+      in
+      (* the served request above is visible in the latency window *)
+      match Json.member "windows" windows with
+      | Some w -> (
+          match Json.member "latency_ms" w with
+          | Some lat -> (
+              match Json.member "n" lat with
+              | Some (Json.Int n) ->
+                  Alcotest.(check bool) "latency window saw traffic" true (n > 0)
+              | _ -> Alcotest.fail "latency window lacks n")
+          | None -> Alcotest.fail "windows lacks latency_ms")
+      | None -> Alcotest.fail "windows section missing")
+
+(* the model ships a calibration profile (format v3), so the live
+   daemon's drift plumbing is armed end to end *)
+let test_expected_calibration_served () =
+  let _, model, _ = Lazy.force fixture in
+  Alcotest.(check bool) "fixture model carries a calibration profile" true
+    (model.Learned_io.calibration <> None);
+  with_server ~config:small_config model (fun _ port ->
+      let _, body, _ = request port "/debug/windows" in
+      Alcotest.(check bool) "expected profile exposed, not null" true
+        (not (contains body "\"expected_calibration\":null")))
+
+let test_access_log_over_the_wire () =
+  let _, model, _ = Lazy.force fixture in
+  let pinned = corpus_lines () in
+  let h, _ = List.hd pinned in
+  let path = Filename.temp_file "hoiho_net_access" ".log" in
+  let config = { small_config with Server.access_log = Some path } in
+  with_server ~config model (fun _ port ->
+      let status, _, _ = request port ("/geolocate?h=" ^ Http.pct_encode h) in
+      Alcotest.(check int) "geolocate" 200 status;
+      let status, _, _ = request port "/healthz" in
+      Alcotest.(check int) "healthz" 200 status;
+      let status, _, _ = request port "/nosuch" in
+      Alcotest.(check int) "404" 404 status);
+  let ic = open_in_bin path in
+  let raw = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' raw)
+  in
+  Alcotest.(check int) "one line per request" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error e -> Alcotest.failf "access-log line not strict JSON: %s" e
+      | Ok json ->
+          List.iter
+            (fun k ->
+              if Json.member k json = None then
+                Alcotest.failf "access-log line lacks %S" k)
+            [
+              "request_id"; "endpoint"; "status"; "latency_us"; "batch";
+              "cache_hit"; "confidence"; "shed"; "degraded";
+            ])
+    lines;
+  Alcotest.(check bool) "geolocate line present" true
+    (contains raw "\"endpoint\":\"GET /geolocate\"");
+  Alcotest.(check bool) "404 recorded" true (contains raw "\"status\":404");
+  (* an unwritable access log fails startup loudly, not silently *)
+  let bad =
+    { small_config with Server.access_log = Some "/nonexistent-dir/x/a.log" }
+  in
+  match Server.start ~config:bad model with
+  | exception Failure _ -> ()
+  | t ->
+      Server.stop t;
+      Alcotest.fail "unwritable access log did not fail startup"
+
 let suites =
   [
     ( "net.http",
@@ -922,5 +1183,14 @@ let suites =
           test_observe_relearn_mid_stream;
         Helpers.tc "observe without a corpus" test_observe_unconfigured;
         Helpers.tc "chaos clients" test_chaos_clients;
+        Helpers.tc "metrics content type" test_metrics_content_type;
+        Helpers.tc "request ids echoed and generated" test_request_id;
+        Helpers.tc "healthz transitions ok->degraded->failing->ok"
+          test_healthz_transitions;
+        Helpers.tc "debug endpoints are strict JSON"
+          test_debug_endpoints_strict_json;
+        Helpers.tc "expected calibration profile served"
+          test_expected_calibration_served;
+        Helpers.tc "access log over the wire" test_access_log_over_the_wire;
       ] );
   ]

@@ -49,6 +49,7 @@ let test_histogram_stats () =
       Alcotest.(check int) "count" 5 s.Obs.n;
       Alcotest.(check (float 1e-9)) "p50" 3.0 s.Obs.p50;
       Alcotest.(check (float 1e-9)) "p95" 5.0 s.Obs.p95;
+      Alcotest.(check (float 1e-9)) "p99" 5.0 s.Obs.p99;
       Alcotest.(check (float 1e-9)) "max" 5.0 s.Obs.max;
       Alcotest.(check (float 1e-9)) "total" 15.0 s.Obs.total
 

@@ -155,6 +155,7 @@ let test_openmetrics_shape () =
     (has "hoiho_trace_test_events_total 3");
   Alcotest.(check bool) "histogram count" true (has "hoiho_trace_test_lat_ms_count 1");
   Alcotest.(check bool) "quantile samples" true (has "quantile=\"0.95\"");
+  Alcotest.(check bool) "p99 quantile row" true (has "quantile=\"0.99\"");
   Alcotest.(check bool) "terminated" true
     (let tl = String.length text in
      tl >= 6 && String.sub text (tl - 6) 6 = "# EOF\n");
